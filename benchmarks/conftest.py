@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one figure of the paper's Section 7 at the
+laptop scale defined by ``repro.experiments.figures.BENCH_BASE``, prints
+the series the paper plots, and archives them under
+``benchmarks/results/`` (EXPERIMENTS.md records the paper-vs-measured
+comparison).  pytest-benchmark wraps each experiment in a single
+measured round — the experiments are minutes-scale simulations, not
+micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def run_figure(benchmark, figure_fn, **kwargs):
+    """Run one figure reproduction under pytest-benchmark and archive it."""
+    result = benchmark.pedantic(
+        lambda: figure_fn(**kwargs), rounds=1, iterations=1
+    )
+    table = result.table()
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = result.figure_id.lower().replace(" ", "_").replace(".", "_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(table + "\n")
+    return result

@@ -1,0 +1,72 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not figures from the paper — these quantify decisions the paper argues
+for (the batch range-region algorithm of Section 5.3) or that this
+reproduction added (the anti-storm relief pass of DESIGN.md §6), by
+toggling them off and measuring the cost on the base scenario.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.figures import BENCH_BASE
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import build_truth
+from repro.simulation.engine import SRBSimulation
+from repro.workloads.generator import generate_queries
+
+# A range-heavy workload makes the batch ablation meaningful.
+ABLATION_BASE = BENCH_BASE.with_overrides(duration=3.0)
+
+
+def _run(scenario, truth):
+    queries = generate_queries(scenario.workload(), seed=scenario.seed)
+    return SRBSimulation(scenario, queries=queries, truth=truth).run()
+
+
+def test_ablations(benchmark):
+    def run_all():
+        truth = build_truth(ABLATION_BASE)
+        variants = {
+            "default": ABLATION_BASE,
+            "no-batch-range": ABLATION_BASE.with_overrides(
+                batch_range_regions=False
+            ),
+            "with-anti-storm": ABLATION_BASE.with_overrides(
+                anti_storm_relief=True
+            ),
+        }
+        return {name: _run(sc, truth) for name, sc in variants.items()}
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "variant": name,
+            "accuracy": report.accuracy,
+            "comm_cost": report.comm_cost,
+            "updates": report.costs.updates,
+            "probes": report.costs.probes,
+        }
+        for name, report in reports.items()
+    ]
+    table = format_table(rows, title="Ablations (base scenario)")
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablations.txt").write_text(table + "\n")
+
+    default = reports["default"]
+    # Correctness is never traded: every variant stays accurate (the
+    # ablated parts are about cost, not soundness).
+    for name, report in reports.items():
+        assert report.accuracy > 0.9, name
+
+    # Dropping the batch algorithm must not *help*: strip-intersection
+    # regions are never longer-perimeter than the greedy union's.
+    assert reports["no-batch-range"].comm_cost >= 0.95 * default.comm_cost
+
+    # The relief pass trades probes for avoided re-reports; with
+    # poll-paced clients the trade is a net loss, which is why it is off
+    # by default (DESIGN.md §6).
+    assert reports["with-anti-storm"].costs.probes > default.costs.probes
+    assert reports["with-anti-storm"].comm_cost > default.comm_cost

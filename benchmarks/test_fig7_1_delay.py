@@ -1,0 +1,47 @@
+"""Reproduce Figure 7.1: impact of communication delay (tau).
+
+Paper shapes to verify (Section 7.2):
+* (a) SRB is ~100% accurate at tau = 0 and degrades gently; PRD(0.1)
+  degrades quickly towards PRD(1), which is flat (already ~0.5 t_prd
+  stale on average).
+* (b) communication cost is (nearly) independent of tau, ordered
+  OPT < SRB << PRD(1) < PRD(0.1).
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figures
+
+
+def test_fig7_1_delay(benchmark):
+    result = run_figure(benchmark, figures.figure_7_1)
+
+    by_scheme = {}
+    for row in result.rows:
+        by_scheme.setdefault(row["scheme"], []).append(row)
+
+    # (a) accuracy at tau = 0: SRB near-perfect and above both PRDs.
+    srb_zero = next(r for r in by_scheme["SRB"] if r["delay"] == 0.0)
+    prd01_zero = next(r for r in by_scheme["PRD(0.1)"] if r["delay"] == 0.0)
+    prd1_zero = next(r for r in by_scheme["PRD(1)"] if r["delay"] == 0.0)
+    assert srb_zero["accuracy"] > 0.95
+    assert srb_zero["accuracy"] > prd01_zero["accuracy"]
+    assert prd01_zero["accuracy"] > prd1_zero["accuracy"]
+
+    # (a) SRB accuracy decreases with delay.
+    srb_acc = [r["accuracy"] for r in sorted(by_scheme["SRB"], key=lambda r: r["delay"])]
+    assert srb_acc[-1] < srb_acc[0]
+
+    # (b) cost ordering OPT < SRB < PRD(0.1) holds at every delay.
+    for delay_rows in zip(*(sorted(by_scheme[s], key=lambda r: r["delay"])
+                            for s in ("OPT", "SRB", "PRD(0.1)"))):
+        opt_row, srb_row, prd_row = delay_rows
+        assert opt_row["comm_cost"] < srb_row["comm_cost"] < prd_row["comm_cost"]
+
+    # (b) PRD costs are exactly flat in tau (synchronised batches).
+    prd_costs = {r["comm_cost"] for r in by_scheme["PRD(0.1)"]}
+    assert len(prd_costs) == 1
+    # SRB's cost is tau-dependent in two regimes (see EXPERIMENTS.md):
+    # moderate delay adds install-too-late resends; large delay throttles
+    # clients (one outstanding update each, round trip 2 tau).  It must
+    # nevertheless stay strictly between OPT and PRD(0.1) — asserted above.

@@ -1,0 +1,63 @@
+"""Reproduce Figure 7.2: scalability with the number of queries (W).
+
+Paper shapes verified (Section 7.3), at bench scale:
+* (a) SRB server CPU grows no worse than ~linearly with W; PRD CPU
+  increases with W.  (The paper reports SRB *sublinear* and PRD linear:
+  at 100k objects PRD's per-period cost is evaluation-dominated, while at
+  bench scale its index rebuild — independent of W — dominates, and SRB's
+  kNN maintenance churn grows with W.  See EXPERIMENTS.md.)
+* (b) communication: OPT < SRB everywhere; SRB below PRD(0.1) at the base
+  workload.  At bench scale SRB's cost grows ~linearly in W (each kNN
+  query adds a fixed population of maintained result objects); the
+  paper's sublinearity needs W >> the per-cell query count.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figures
+
+QUERY_COUNTS = (10, 20, 40, 80)
+
+
+def test_fig7_2_queries(benchmark):
+    result = run_figure(
+        benchmark, figures.figure_7_2, query_counts=QUERY_COUNTS
+    )
+
+    def series(scheme, metric):
+        rows = [r for r in result.rows if r["scheme"] == scheme]
+        return [r[metric] for r in sorted(rows, key=lambda r: r["W"])]
+
+    growth = QUERY_COUNTS[-1] / QUERY_COUNTS[0]  # 8x queries
+
+    # (a) SRB CPU grows with W, but no worse than ~linearly.  (Wall-time
+    # measurements wobble with machine load; the envelope is sized to
+    # separate ~linear from anything super-quadratic, not to be tight.)
+    srb_cpu = series("SRB", "cpu_seconds_per_time")
+    assert srb_cpu[-1] > srb_cpu[0]
+    assert srb_cpu[-1] < 3.0 * growth * srb_cpu[0]
+
+    # (a) PRD CPU is rebuild-dominated at bench scale: roughly flat in W
+    # (the paper's linearity needs W large enough that evaluation
+    # dominates the per-period index rebuild).
+    prd_cpu = series("PRD(0.1)", "cpu_seconds_per_time")
+    assert max(prd_cpu) < 5.0 * min(prd_cpu)
+
+    # (b) communication-cost ordering.
+    srb_comm = series("SRB", "comm_cost")
+    prd_comm = series("PRD(0.1)", "comm_cost")
+    opt_comm = series("OPT", "comm_cost")
+    for srb, opt in zip(srb_comm, opt_comm):
+        assert opt < srb
+    base_index = QUERY_COUNTS.index(40)
+    assert srb_comm[base_index] < prd_comm[base_index]
+    # SRB cost grows with W (safe regions shrink) ...
+    assert srb_comm[-1] > srb_comm[0]
+    # ... but no worse than linearly.
+    assert srb_comm[-1] <= 1.1 * growth * srb_comm[0]
+
+    # Accuracy stays high across the sweep and beats PRD(0.1).
+    srb_acc = series("SRB", "accuracy")
+    prd_acc = series("PRD(0.1)", "accuracy")
+    assert min(srb_acc) > 0.9
+    assert sum(srb_acc) > sum(prd_acc)

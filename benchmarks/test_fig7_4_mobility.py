@@ -1,0 +1,43 @@
+"""Reproduce Figure 7.4: sensitivity to mobility parameters.
+
+Paper shapes to verify (Section 7.4):
+* (a) SRB communication cost grows with the average speed v-bar, while
+  the cost *per distance unit travelled* flattens towards a constant —
+  geometric boundary crossings depend on trajectory length, not on how
+  fast it is traversed.  (A speed-independent contention-knot component,
+  rate-capped by the client poll interval, makes the per-distance series
+  decrease towards that plateau at bench scale; see EXPERIMENTS.md.)
+* (b) cost is robust to the movement period t_v-bar (how often objects
+  change direction).
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figures
+
+SPEEDS = (0.01, 0.02, 0.05, 0.1)
+PERIODS = (0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+def test_fig7_4a_speed(benchmark):
+    result = run_figure(benchmark, figures.figure_7_4a, speeds=SPEEDS)
+    rows = sorted(result.rows, key=lambda r: r["v_mean"])
+    costs = [r["comm_cost"] for r in rows]
+    per_distance = [r["comm_cost_per_distance"] for r in rows]
+
+    # Cost grows monotonically with speed.
+    assert all(b > a for a, b in zip(costs, costs[1:]))
+    speed_growth = SPEEDS[-1] / SPEEDS[0]
+    cost_growth = costs[-1] / costs[0]
+    assert cost_growth > 0.2 * speed_growth
+
+    # Cost per distance decreases towards its plateau (never rises).
+    assert all(b <= a * 1.1 for a, b in zip(per_distance, per_distance[1:]))
+    assert max(per_distance) < 6.0 * min(per_distance)
+
+
+def test_fig7_4b_period(benchmark):
+    result = run_figure(benchmark, figures.figure_7_4b, periods=PERIODS)
+    costs = [r["comm_cost"] for r in sorted(result.rows, key=lambda r: r["t_v_mean"])]
+    # Robustness: the whole sweep stays within a small band.
+    assert max(costs) < 3.0 * min(costs)

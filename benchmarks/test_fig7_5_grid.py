@@ -1,0 +1,32 @@
+"""Reproduce Figure 7.5: sensitivity to the grid partitioning (M).
+
+Paper shapes to verify (Section 7.4):
+* communication cost increases with M — the grid cell caps the largest
+  possible safe region — gently over the useful range and sharply once
+  cells shrink below the query-driven region size;
+* server CPU time decreases with M — smaller cells mean fewer relevant
+  queries per safe-region computation.
+"""
+
+from conftest import run_figure
+
+from repro.experiments import figures
+
+GRID_SIZES = (5, 10, 15, 30, 60, 150)
+
+
+def test_fig7_5_grid(benchmark):
+    result = run_figure(benchmark, figures.figure_7_5, grid_sizes=GRID_SIZES)
+    rows = sorted(result.rows, key=lambda r: r["M"])
+    costs = [r["comm_cost"] for r in rows]
+    cpu = [r["cpu_seconds_per_time"] for r in rows]
+
+    # The cost curve is U-shaped: both the coarse-grid penalty (too many
+    # relevant queries) and the fine-grid penalty (cells cap the safe
+    # regions) exceed the interior minimum.
+    minimum = min(costs)
+    assert costs[0] > minimum
+    assert costs[-1] > minimum
+
+    # CPU time trends downwards as cells shrink over the useful range.
+    assert cpu[-1] < cpu[0]

@@ -1,0 +1,60 @@
+"""Scale smoke test: a large-N slice towards the paper's testbed size.
+
+Not a paper figure — evidence that the implementation sustains a
+20,000-object world (1/5 of the paper's N) with a proportionally scaled
+query load, and that the per-update server cost stays flat as N grows
+(the property that let the paper's server outpace PRD at 100k objects).
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.experiments.figures import BENCH_BASE
+from repro.experiments.reporting import format_table
+from repro.simulation.engine import SRBSimulation
+from repro.simulation.scenario import scaled_q_len
+
+
+def test_scale_smoke(benchmark):
+    def run():
+        reports = {}
+        for n in (2_000, 20_000):
+            scenario = BENCH_BASE.with_overrides(
+                num_objects=n,
+                num_queries=40,
+                q_len=scaled_q_len(n),
+                grid_m=20,
+                duration=1.0,
+                sample_interval=0.2,
+            )
+            reports[n] = SRBSimulation(scenario).run()
+        return reports
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for n, report in reports.items():
+        updates = max(report.costs.updates, 1)
+        rows.append(
+            {
+                "N": n,
+                "accuracy": report.accuracy,
+                "comm_cost": report.comm_cost,
+                "updates": report.costs.updates,
+                "cpu_s_per_update": report.cpu_seconds / updates,
+            }
+        )
+    table = format_table(rows, title="Scale smoke (SRB only, 1 time unit)")
+    print()
+    print(table)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scale_smoke.txt").write_text(table + "\n")
+
+    small, large = reports[2_000], reports[20_000]
+    assert large.accuracy > 0.95
+    # Per-update server cost must not blow up with 10x the objects —
+    # the index descent is logarithmic and grid filtering is local.  (A
+    # deeper tree and busier cells make each update somewhat costlier; a
+    # 6x envelope for 10x objects rules out anything linear.)
+    small_per_update = small.cpu_seconds / max(small.costs.updates, 1)
+    large_per_update = large.cpu_seconds / max(large.costs.updates, 1)
+    assert large_per_update < 6.0 * small_per_update

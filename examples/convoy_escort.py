@@ -1,0 +1,106 @@
+"""Convoy escort: proximity pairs around a moving anchor + aggregate alerts.
+
+Shows the two Section-8 "future work" query types this library implements
+on top of the generic framework:
+
+* a :class:`ProximityPairQuery` keeps the live list of vehicles within
+  escort distance of a VIP transport — while the transport itself moves;
+* a :class:`ThresholdRangeQuery` raises an alert whenever the depot zone
+  holds at least a quorum of vehicles.
+
+Run:  python examples/convoy_escort.py
+"""
+
+import random
+
+from repro import DatabaseServer, Point, Rect, ServerConfig
+from repro.core.extensions import ProximityPairQuery, ThresholdRangeQuery
+
+random.seed(31)
+
+VEHICLES = 200
+VIP = "vip-transport"
+ESCORT_DISTANCE = 0.12
+DEPOT = Rect(0.05, 0.05, 0.30, 0.30)
+QUORUM = 8
+
+
+def main() -> None:
+    positions = {
+        f"unit-{i}": Point(random.random(), random.random())
+        for i in range(VEHICLES)
+    }
+    positions[VIP] = Point(0.5, 0.5)
+
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        config=ServerConfig(grid_m=8),
+    )
+    server.load_objects(positions.items())
+
+    escort = ProximityPairQuery(VIP, ESCORT_DISTANCE, query_id="escort")
+    depot = ThresholdRangeQuery(DEPOT, QUORUM, query_id="depot-quorum")
+    server.register_query(escort)
+    server.register_query(depot)
+
+    print(f"escort ring at start : {sorted(escort.results)}")
+    print(f"depot quorum         : alerting={depot.alerting} "
+          f"({depot.count}/{QUORUM})")
+
+    # The VIP drives a loop; units wander.  Everyone reports only on
+    # safe-region exits.
+    t, alerts = 0.0, []
+    waypoints = [Point(0.8, 0.5), Point(0.8, 0.2), Point(0.2, 0.2), Point(0.5, 0.5)]
+    leg = 0
+    for step in range(700):
+        t += 0.01
+        # VIP moves steadily towards its next waypoint.
+        vip = positions[VIP]
+        target = waypoints[leg]
+        dx, dy = target.x - vip.x, target.y - vip.y
+        dist = (dx * dx + dy * dy) ** 0.5
+        if dist < 0.01:
+            leg = (leg + 1) % len(waypoints)
+        else:
+            positions[VIP] = Point(vip.x + 0.008 * dx / dist, vip.y + 0.008 * dy / dist)
+        if not server.safe_region_of(VIP).contains_point(positions[VIP]):
+            server.handle_location_update(VIP, positions[VIP], t)
+
+        # A few wandering units per tick.
+        for _ in range(3):
+            oid = f"unit-{random.randrange(VEHICLES)}"
+            p = positions[oid]
+            positions[oid] = Point(
+                min(max(p.x + random.uniform(-0.02, 0.02), 0.0), 1.0),
+                min(max(p.y + random.uniform(-0.02, 0.02), 0.0), 1.0),
+            )
+            if not server.safe_region_of(oid).contains_point(positions[oid]):
+                outcome = server.handle_location_update(oid, positions[oid], t)
+                for change in outcome.changed_queries():
+                    if change.query_id == "depot-quorum":
+                        alerts.append((t, change.new))
+
+    print(f"\nafter the patrol loop:")
+    print(f"escort ring          : {sorted(escort.results)}")
+    print(f"depot quorum         : alerting={depot.alerting} "
+          f"({depot.count}/{QUORUM})")
+    print(f"quorum transitions   : {len(alerts)}")
+    print(f"server stats         : {server.stats.location_updates} updates, "
+          f"{server.stats.probes} probes")
+
+    # Verify against brute force.
+    vip = positions[VIP]
+    true_escort = {
+        oid for oid, p in positions.items()
+        if oid != VIP and vip.distance_to(p) <= ESCORT_DISTANCE
+    }
+    true_depot = {
+        oid for oid, p in positions.items() if DEPOT.contains_point(p)
+    }
+    assert escort.results == true_escort
+    assert depot.members == true_depot
+    print("verified: both monitored results match brute-force ground truth")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — safe-region-based monitoring of continuous spatial queries.
+
+A from-scratch reproduction of Hu, Xu & Lee, *"A Generic Framework for
+Monitoring Continuous Spatial Queries over Moving Objects"* (SIGMOD 2005):
+the safe-region framework (server, query evaluation/reevaluation with lazy
+probes, safe-region geometry), its substrates (R*-tree with bottom-up
+updates, grid query index, random-waypoint mobility, a discrete event
+simulator), the paper's baselines (periodic and optimal monitoring), and a
+benchmark harness regenerating every figure of the evaluation.
+
+Quick start::
+
+    from repro import (
+        DatabaseServer, KNNQuery, Point, RangeQuery, Rect, ServerConfig,
+    )
+
+    positions = {"taxi-1": Point(0.2, 0.3), "taxi-2": Point(0.7, 0.8)}
+    server = DatabaseServer(position_oracle=positions.__getitem__)
+    server.load_objects(positions.items())
+    query = KNNQuery(Point(0.5, 0.5), k=1)
+    server.register_query(query)
+    assert query.results == ["taxi-2"]
+"""
+
+from repro.core import (
+    DatabaseServer,
+    KNNQuery,
+    Query,
+    RangeQuery,
+    ResultChange,
+    ServerConfig,
+    UpdateOutcome,
+)
+from repro.geometry import Circle, Point, Rect, Ring
+from repro.index import BruteForceIndex, GridIndex, RStarTree
+from repro.mobility import MobileClient, RandomWaypointModel, Trajectory
+from repro.simulation import (
+    GroundTruth,
+    Scenario,
+    SchemeReport,
+    SRBSimulation,
+)
+from repro.baselines import PRDSimulation, optimal_report
+from repro.workloads import WorkloadConfig, generate_queries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DatabaseServer",
+    "ServerConfig",
+    "Query",
+    "RangeQuery",
+    "KNNQuery",
+    "ResultChange",
+    "UpdateOutcome",
+    "Point",
+    "Rect",
+    "Circle",
+    "Ring",
+    "RStarTree",
+    "GridIndex",
+    "BruteForceIndex",
+    "MobileClient",
+    "RandomWaypointModel",
+    "Trajectory",
+    "Scenario",
+    "GroundTruth",
+    "SchemeReport",
+    "SRBSimulation",
+    "PRDSimulation",
+    "optimal_report",
+    "WorkloadConfig",
+    "generate_queries",
+    "__version__",
+]

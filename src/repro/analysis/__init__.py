@@ -1,0 +1,15 @@
+"""Analytical companions to the paper's theory (Theorem 5.1, Section 6.2)."""
+
+from repro.analysis.theorem import (
+    expected_escape_time,
+    simulate_escape_time,
+    theorem_5_1_cost,
+    weighted_escape_time,
+)
+
+__all__ = [
+    "expected_escape_time",
+    "simulate_escape_time",
+    "theorem_5_1_cost",
+    "weighted_escape_time",
+]

@@ -1,0 +1,126 @@
+"""Theorem 5.1 and the weighted-perimeter objective, made checkable.
+
+Theorem 5.1 states: for an object at point ``p`` inside a convex safe
+region ``R``, moving in a uniformly random direction at constant speed
+``phi``, the amortised location-update cost is
+
+    Cost_p = C_l * 2 * pi * phi / Perimeter(R)
+
+equivalently, the expected time until the boundary is hit is
+
+    E[T] = Perimeter(R) / (2 * pi * phi)
+
+independent of where ``p`` sits.  **Reproduction finding:** the proof's
+key identity, ``integral of k(theta) d theta = Perimeter(R)`` (``k`` the
+ray length from ``p``), holds only for a circle about its centre.  For
+the unit square's centre the integral is ``4 ln(1 + sqrt 2) ~ 3.53``, not
+4; and the integral *does* depend on ``p`` (it shrinks towards the
+boundary).  Empirically the perimeter formula is an upper bound on the
+true expected escape time over the regions this system produces, and the
+*design implication* the paper draws from it — prefer long-perimeter
+regions — remains directionally sound, which is why the Ir-lp machinery
+keeps perimeter as its objective.  This module provides the paper's
+closed form, an exact Monte-Carlo estimator (the ground truth), and the
+steady-movement variant of Section 6.2, so the gap is measurable and the
+estimators usable for capacity planning.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def expected_escape_time(region: Rect, speed: float) -> float:
+    """Theorem 5.1's escape-time estimate, ``Perimeter(R) / (2 pi phi)``.
+
+    This is the *paper's* closed form.  The true expected escape time
+    depends on the start point and is smaller (see the module docstring);
+    use :func:`simulate_escape_time` for the exact value.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    return region.perimeter / (2.0 * math.pi * speed)
+
+
+def theorem_5_1_cost(region: Rect, speed: float, c_l: float = 1.0) -> float:
+    """Amortised update cost per time unit for a client in ``region``."""
+    return c_l / expected_escape_time(region, speed)
+
+
+def _ray_exit_lengths(region: Rect, p: Point, angles: np.ndarray) -> np.ndarray:
+    """Distance from ``p`` to the boundary along each direction."""
+    dx = np.cos(angles)
+    dy = np.sin(angles)
+    with np.errstate(divide="ignore"):
+        tx = np.where(
+            dx > 0,
+            (region.max_x - p.x) / dx,
+            np.where(dx < 0, (region.min_x - p.x) / dx, np.inf),
+        )
+        ty = np.where(
+            dy > 0,
+            (region.max_y - p.y) / dy,
+            np.where(dy < 0, (region.min_y - p.y) / dy, np.inf),
+        )
+    return np.minimum(tx, ty)
+
+
+def simulate_escape_time(
+    region: Rect,
+    p: Point,
+    speed: float,
+    samples: int = 100_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of the mean escape time from ``p``.
+
+    Draws uniformly random directions and averages the exit time — the
+    empirical counterpart of Theorem 5.1's integral.  Converges to
+    :func:`expected_escape_time` for every interior ``p``.
+    """
+    if not region.contains_point(p):
+        raise ValueError("start point must lie inside the region")
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    rng = np.random.default_rng(seed)
+    angles = rng.uniform(0.0, 2.0 * math.pi, size=samples)
+    lengths = _ray_exit_lengths(region, p, angles)
+    return float(np.mean(lengths)) / speed
+
+
+def weighted_escape_time(
+    region: Rect,
+    p: Point,
+    p_lst: Point,
+    speed: float,
+    steadiness: float,
+    samples: int = 100_000,
+    seed: int = 0,
+) -> float:
+    """Expected escape time under the steady-movement density (§6.2).
+
+    The direction density is ``(1 + D) / 2 pi`` within 90 degrees of the
+    previous movement direction ``p_lst -> p`` and ``(1 - D) / 2 pi``
+    behind — the distribution the weighted-perimeter objective optimises
+    for.  Estimated by importance-weighted Monte Carlo.
+    """
+    if not 0.0 <= steadiness <= 1.0:
+        raise ValueError("steadiness must be within [0, 1]")
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    heading = math.atan2(p.y - p_lst.y, p.x - p_lst.x)
+    rng = np.random.default_rng(seed)
+    angles = rng.uniform(0.0, 2.0 * math.pi, size=samples)
+    lengths = _ray_exit_lengths(region, p, angles)
+    relative = np.mod(angles - heading + math.pi, 2.0 * math.pi) - math.pi
+    weights = np.where(
+        np.abs(relative) <= math.pi / 2.0,
+        1.0 + steadiness,
+        1.0 - steadiness,
+    )
+    return float(np.sum(lengths * weights) / np.sum(weights)) / speed

@@ -1,0 +1,15 @@
+"""Comparison schemes of Section 7 and related work.
+
+* :class:`~repro.baselines.periodic.PRDSimulation` — the paper's periodic
+  monitoring baseline (rebuild + reevaluate everything each period).
+* :func:`~repro.baselines.optimal.optimal_report` — the clairvoyant
+  optimum (exact result series, one update per true change event).
+* :class:`~repro.baselines.qindex.QIndexSimulation` — the Q-index scheme
+  from the paper's related work (index the queries, probe moved objects).
+"""
+
+from repro.baselines.periodic import PRDSimulation
+from repro.baselines.optimal import optimal_report
+from repro.baselines.qindex import QIndexSimulation
+
+__all__ = ["PRDSimulation", "optimal_report", "QIndexSimulation"]

@@ -1,0 +1,187 @@
+"""The Q-index baseline (Prabhakar et al., IEEE ToC 2002).
+
+The paper's related work: periodic monitoring where the *queries* are
+indexed instead of the objects.  Every period each moved object's new
+position is probed against an R-tree over the query rectangles, flipping
+memberships incrementally — cheaper than PRD's rebuild-everything server
+when objects outnumber queries.  Q-index supports range queries only; for
+the mixed workload the kNN queries are evaluated per period against an
+*incrementally maintained* object index (no per-period rebuild), which is
+the natural extension and keeps the comparison fair.
+
+Communication behaviour is identical to PRD (synchronised client updates
+every ``t_prd``), so accuracy matches PRD's; the scheme exists to compare
+server CPU profiles (Figures 7.2 / 7.3).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Hashable
+
+from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.geometry.rect import Rect
+from repro.index.bulk import bulk_load
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.simulation.metrics import (
+    AccuracyAccumulator,
+    CommunicationCosts,
+    SchemeReport,
+)
+from repro.simulation.scenario import Scenario
+from repro.simulation.truth import GroundTruth, Snapshot
+from repro.workloads.generator import generate_queries
+
+ObjectId = Hashable
+
+
+class QIndexSimulation:
+    """Periodic monitoring against an index over the queries."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        t_prd: float,
+        queries: list[Query] | None = None,
+        truth: GroundTruth | None = None,
+    ) -> None:
+        if t_prd <= 0:
+            raise ValueError("t_prd must be positive")
+        self.scenario = scenario
+        self.t_prd = t_prd
+        if truth is not None:
+            self.trajectories = truth.trajectories()
+            self.queries = queries if queries is not None else truth.queries
+            self.truth = truth
+        else:
+            model = RandomWaypointModel(
+                scenario.mean_speed,
+                scenario.mean_period,
+                scenario.space,
+                seed=scenario.seed,
+            )
+            self.trajectories = {
+                oid: model.create(oid) for oid in range(scenario.num_objects)
+            }
+            if queries is None:
+                queries = generate_queries(
+                    scenario.workload(), seed=scenario.seed
+                )
+            self.queries = queries
+            self.truth = GroundTruth(self.trajectories, queries)
+        self.range_queries = [
+            q for q in self.queries if isinstance(q, RangeQuery)
+        ]
+        self.knn_queries = [
+            q for q in self.queries if isinstance(q, KNNQuery)
+        ]
+        self.costs = CommunicationCosts()
+        self.accuracy = AccuracyAccumulator()
+        self.cpu_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def run(self) -> SchemeReport:
+        scenario = self.scenario
+        # One-off setup: the query R-tree and the initial object index.
+        query_index = bulk_load(
+            (q.query_id, q.rect) for q in self.range_queries
+        )
+        by_id = {q.query_id: q for q in self.range_queries}
+        positions = {
+            oid: tr.position_at(0.0) for oid, tr in self.trajectories.items()
+        }
+        object_index = bulk_load(
+            (oid, Rect.from_point(p)) for oid, p in positions.items()
+        )
+        memberships: dict[str, set[ObjectId]] = {
+            q.query_id: set() for q in self.range_queries
+        }
+        for oid, p in positions.items():
+            for qid in query_index.search(Rect.from_point(p)):
+                memberships[qid].add(oid)
+
+        events: list[tuple[float, int, float | None]] = []
+        t = 0.0
+        while t <= scenario.duration:
+            events.append((t, 0, t))
+            t = round(t + self.t_prd, 9)
+        for s in scenario.sample_times():
+            events.append((s, 1, None))
+        events.sort()
+
+        visible: dict[str, Snapshot] | None = None
+        pending: list[tuple[float, dict[str, Snapshot]]] = []
+        for when, kind, batch_time in events:
+            if kind == 0:
+                self.costs.updates += scenario.num_objects
+                results = self._evaluate_batch(
+                    batch_time, positions, object_index, query_index,
+                    by_id, memberships,
+                )
+                pending.append((batch_time + scenario.delay, results))
+            else:
+                while pending and pending[0][0] <= when:
+                    visible = pending.pop(0)[1]
+                self._sample(when, visible)
+
+        total_distance = sum(
+            tr.distance_travelled(0.0, scenario.duration)
+            for tr in self.trajectories.values()
+        )
+        return SchemeReport(
+            scheme=f"QIDX({self.t_prd:g})",
+            num_objects=scenario.num_objects,
+            num_queries=len(self.queries),
+            duration=scenario.duration,
+            accuracy=self.accuracy.value,
+            costs=self.costs,
+            cpu_seconds=self.cpu_seconds,
+            total_distance=total_distance,
+        )
+
+    def _evaluate_batch(
+        self, t, positions, object_index, query_index, by_id, memberships
+    ) -> dict[str, Snapshot]:
+        new_positions = {
+            oid: self.trajectories[oid].position_at(t)
+            for oid in self.trajectories
+        }
+        started = _time.perf_counter()
+        # Range queries: probe each *moved* object against the query index.
+        for oid, new in new_positions.items():
+            old = positions[oid]
+            if new == old:
+                continue
+            affected = set(query_index.search(Rect.from_point(old)))
+            affected |= set(query_index.search(Rect.from_point(new)))
+            for qid in affected:
+                if by_id[qid].rect.contains_point(new):
+                    memberships[qid].add(oid)
+                else:
+                    memberships[qid].discard(oid)
+            # The object index is maintained incrementally (no rebuild).
+            object_index.update(oid, Rect.from_point(new))
+            positions[oid] = new
+
+        results: dict[str, Snapshot] = {
+            qid: frozenset(members) for qid, members in memberships.items()
+        }
+        # kNN queries: best-first over the incrementally updated index.
+        for query in self.knn_queries:
+            nearest = []
+            for oid, _, _ in object_index.nearest_iter(query.center):
+                nearest.append(oid)
+                if len(nearest) == query.k:
+                    break
+            if query.order_sensitive:
+                results[query.query_id] = tuple(nearest)
+            else:
+                results[query.query_id] = frozenset(nearest)
+        self.cpu_seconds += _time.perf_counter() - started
+        return results
+
+    def _sample(self, t: float, visible: dict[str, Snapshot] | None) -> None:
+        true_results = self.truth.evaluate_at(t)
+        for query in self.queries:
+            monitored = None if visible is None else visible.get(query.query_id)
+            self.accuracy.record(monitored == true_results[query.query_id])

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compare`` — run SRB / OPT / PRD side by side over one scenario and
+  print the accuracy / cost / CPU table.
+* ``figure``  — regenerate one of the paper's figures (7.1 … 7.6b) and
+  print its series.
+* ``sweep``   — sweep any scenario parameter for any scheme subset.
+* ``theorem`` — check Theorem 5.1's escape-time estimate against the
+  exact Monte-Carlo value for a given region and start point.
+
+All commands accept ``--objects/--queries/--duration/--seed`` style
+overrides of the laptop-scale defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import expected_escape_time, simulate_escape_time
+from repro.experiments import figures, format_table, run_schemes, sweep
+from repro.geometry import Point, Rect
+from repro.simulation import Scenario
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    base = figures.BENCH_BASE
+    parser.add_argument("--objects", type=int, default=base.num_objects)
+    parser.add_argument("--queries", type=int, default=base.num_queries)
+    parser.add_argument("--speed", type=float, default=base.mean_speed,
+                        help="mean speed v-bar")
+    parser.add_argument("--period", type=float, default=base.mean_period,
+                        help="mean movement period t_v-bar")
+    parser.add_argument("--q-len", type=float, default=base.q_len)
+    parser.add_argument("--k-max", type=int, default=base.k_max)
+    parser.add_argument("--grid-m", type=int, default=base.grid_m)
+    parser.add_argument("--delay", type=float, default=base.delay,
+                        help="one-way communication delay tau")
+    parser.add_argument("--duration", type=float, default=base.duration)
+    parser.add_argument("--seed", type=int, default=base.seed)
+    parser.add_argument("--reachability", action="store_true",
+                        help="enable the Section 6.1 enhancement")
+    parser.add_argument("--steadiness", type=float, default=0.0,
+                        help="Section 6.2 weighted-perimeter D parameter")
+
+
+def _scenario_from(args: argparse.Namespace) -> Scenario:
+    return figures.BENCH_BASE.with_overrides(
+        num_objects=args.objects,
+        num_queries=args.queries,
+        mean_speed=args.speed,
+        mean_period=args.period,
+        q_len=args.q_len,
+        k_max=args.k_max,
+        grid_m=args.grid_m,
+        delay=args.delay,
+        duration=args.duration,
+        seed=args.seed,
+        use_reachability=args.reachability,
+        steadiness=args.steadiness,
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    schemes = tuple(args.schemes.split(","))
+    reports = run_schemes(scenario, schemes=schemes)
+    print(format_table(
+        [report.row() for report in reports.values()],
+        title=f"scheme comparison (N={scenario.num_objects}, "
+              f"W={scenario.num_queries}, tau={scenario.delay:g})",
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    figure_fn = figures.ALL_FIGURES.get(args.id)
+    if figure_fn is None:
+        known = ", ".join(sorted(figures.ALL_FIGURES))
+        print(f"unknown figure {args.id!r}; known: {known}", file=sys.stderr)
+        return 2
+    result = figure_fn(_scenario_from(args))
+    print(result.table())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    values = [_parse_value(v) for v in args.values.split(",")]
+    schemes = tuple(args.schemes.split(","))
+    rows = []
+    for value, reports in sweep(scenario, args.parameter, values, schemes):
+        for name, report in reports.items():
+            row = {args.parameter: value, "scheme": name}
+            row.update(report.row())
+            row.pop("scheme", None)
+            rows.append({args.parameter: value, "scheme": name,
+                         "accuracy": report.accuracy,
+                         "comm_cost": report.comm_cost,
+                         "cpu_s_per_time": report.cpu_seconds_per_time})
+    print(format_table(rows, title=f"sweep over {args.parameter}"))
+    return 0
+
+
+def _cmd_theorem(args: argparse.Namespace) -> int:
+    region = Rect(0.0, 0.0, args.width, args.height)
+    start = Point(args.x * args.width, args.y * args.height)
+    paper = expected_escape_time(region, args.speed)
+    exact = simulate_escape_time(region, start, args.speed, samples=args.samples)
+    print(f"region            : {args.width:g} x {args.height:g} "
+          f"(perimeter {region.perimeter:g})")
+    print(f"start (fractional): ({args.x:g}, {args.y:g})")
+    print(f"Theorem 5.1 says  : E[T] = {paper:.6f}")
+    print(f"Monte Carlo says  : E[T] = {exact:.6f}  "
+          f"({100 * exact / paper:.1f}% of the paper's estimate)")
+    return 0
+
+
+def _parse_value(text: str):
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compare = commands.add_parser(
+        "compare", help="run SRB / OPT / PRD over one scenario"
+    )
+    _add_scenario_arguments(compare)
+    compare.add_argument(
+        "--schemes", default="SRB,OPT,PRD(1),PRD(0.1)",
+        help="comma-separated scheme list",
+    )
+    compare.set_defaults(handler=_cmd_compare)
+
+    figure = commands.add_parser(
+        "figure", help="regenerate a paper figure (7.1 ... 7.6b)"
+    )
+    figure.add_argument("id", help="figure id, e.g. 7.1 or 7.6a")
+    _add_scenario_arguments(figure)
+    figure.set_defaults(handler=_cmd_figure)
+
+    sweep_cmd = commands.add_parser(
+        "sweep", help="sweep one scenario parameter"
+    )
+    sweep_cmd.add_argument("parameter", help="Scenario field, e.g. delay")
+    sweep_cmd.add_argument("values", help="comma-separated values")
+    _add_scenario_arguments(sweep_cmd)
+    sweep_cmd.add_argument("--schemes", default="SRB,OPT")
+    sweep_cmd.set_defaults(handler=_cmd_sweep)
+
+    theorem = commands.add_parser(
+        "theorem", help="Theorem 5.1 estimate vs exact Monte Carlo"
+    )
+    theorem.add_argument("--width", type=float, default=0.1)
+    theorem.add_argument("--height", type=float, default=0.05)
+    theorem.add_argument("--x", type=float, default=0.5,
+                         help="fractional start x within the region")
+    theorem.add_argument("--y", type=float, default=0.5)
+    theorem.add_argument("--speed", type=float, default=0.01)
+    theorem.add_argument("--samples", type=int, default=200_000)
+    theorem.set_defaults(handler=_cmd_theorem)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: safe-region-based query monitoring.
+
+Public surface:
+
+* :class:`~repro.core.queries.RangeQuery` and
+  :class:`~repro.core.queries.KNNQuery` — continuous queries with their
+  quarantine areas (Section 3.3).
+* :class:`~repro.core.server.DatabaseServer` — Algorithm 1: query
+  registration, incremental reevaluation on location updates, probes, and
+  safe-region maintenance.
+* :mod:`~repro.core.irlp` / :mod:`~repro.core.batch` — the geometric
+  optimisation of safe regions (Section 5).
+* :mod:`~repro.core.enhancements` — the reachability-circle and
+  steady-movement enhancements (Section 6).
+"""
+
+from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.core.results import ResultChange, UpdateOutcome
+from repro.core.server import DatabaseServer, ServerConfig
+from repro.core.extensions import (
+    CircleRangeQuery,
+    MovingKNNQuery,
+    ProximityPairQuery,
+    ThresholdRangeQuery,
+)
+
+__all__ = [
+    "Query",
+    "RangeQuery",
+    "KNNQuery",
+    "ResultChange",
+    "UpdateOutcome",
+    "DatabaseServer",
+    "ServerConfig",
+    "CircleRangeQuery",
+    "ThresholdRangeQuery",
+    "ProximityPairQuery",
+    "MovingKNNQuery",
+]

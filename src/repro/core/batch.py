@@ -1,0 +1,176 @@
+"""Safe region for a batch of range queries (Section 5.3).
+
+Given the object location ``p``, its grid cell, and the rectangles of all
+relevant range queries whose quarantine areas do *not* contain ``p``, the
+algorithm finds a large rectangle inside the cell containing ``p`` and
+avoiding every query rectangle:
+
+1. With ``p`` as the origin, each of the four quadrants of the cell is
+   processed independently.  Proposition 5.6 yields the *component
+   rectangles* — the maximal axis-aligned rectangles anchored at ``p``
+   avoiding all (clipped) query rectangles — via the staircase of
+   non-dominated obstacle corners.
+2. A four-step greedy pass combines one component rectangle per quadrant
+   into the final rectangular union: starting from the quadrant holding the
+   globally longest component and proceeding clockwise, each chosen
+   component's opposite corner trims the running union.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.irlp import interior_margin
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+Objective = Callable[[Rect], float]
+
+#: Quadrant sign pairs in clockwise order starting from the upper-right.
+_QUADRANTS: tuple[tuple[float, float], ...] = (
+    (1.0, 1.0),
+    (1.0, -1.0),
+    (-1.0, -1.0),
+    (-1.0, 1.0),
+)
+
+
+def batch_range_safe_region(
+    p: Point,
+    cell: Rect,
+    obstacles: Sequence[Rect],
+    objective: Objective | None = None,
+) -> Rect:
+    """Largest-perimeter rectangle in ``cell`` around ``p`` avoiding obstacles.
+
+    ``p`` must lie inside ``cell`` and inside no *open* obstacle (an
+    object's location is never strictly inside the quarantine area of a
+    range query it is not a result of).  Obstacles may extend beyond the
+    cell; only their part inside the cell matters.  The returned rectangle
+    contains ``p`` (possibly on its boundary) and overlaps no open
+    obstacle.
+    """
+    score = objective if objective is not None else _perimeter
+    component_sets = [
+        _component_corners(p, cell, obstacles, sx, sy) for sx, sy in _QUADRANTS
+    ]
+
+    # Greedy start: the quadrant owning the longest-perimeter component.
+    start = max(
+        range(4),
+        key=lambda idx: max(
+            (score(_component_rect(p, t, *_QUADRANTS[idx])) for t in component_sets[idx]),
+            default=float("-inf"),
+        ),
+    )
+
+    union = cell
+    for step in range(4):
+        idx = (start + step) % 4
+        sx, sy = _QUADRANTS[idx]
+        corners = component_sets[idx]
+        if not corners:
+            continue
+        best = max(
+            corners,
+            key=lambda t: _trim_rank(_trim(union, p, t, sx, sy), p, score),
+        )
+        union = _trim(union, p, best, sx, sy)
+    return union
+
+
+def _trim_rank(rect: Rect, p: Point, score: Objective) -> tuple[bool, float]:
+    """Rank a trimmed union: strict containment of ``p`` first, then score.
+
+    A trim that leaves ``p`` exactly on the union's boundary would have
+    the object exit its safe region immediately (update storm); any trim
+    keeping ``p`` strictly interior is preferred regardless of perimeter.
+    """
+    return (interior_margin(rect, p) > 1e-9, score(rect))
+
+
+def _perimeter(rect: Rect) -> float:
+    return rect.perimeter
+
+
+def _component_corners(
+    p: Point, cell: Rect, obstacles: Sequence[Rect], sx: float, sy: float
+) -> list[tuple[float, float]]:
+    """Opposite corners of the component rectangles in one quadrant.
+
+    Works in quadrant-local coordinates (``p`` at the origin, the quadrant
+    mapped onto the first): a component rectangle ``[0, X] x [0, Y]``
+    avoids an obstacle with local lower-left corner ``(ax, ay)`` iff
+    ``X <= ax`` or ``Y <= ay``.  The maximal ``(X, Y)`` pairs form the
+    staircase of Proposition 5.6.
+    """
+    width = (cell.max_x - p.x) if sx > 0 else (p.x - cell.min_x)
+    height = (cell.max_y - p.y) if sy > 0 else (p.y - cell.min_y)
+    width = max(width, 0.0)
+    height = max(height, 0.0)
+
+    blockers: list[tuple[float, float]] = []
+    for obstacle in obstacles:
+        corner = _local_min_corner(p, obstacle, sx, sy, width, height)
+        if corner is not None:
+            blockers.append(corner)
+    blockers.sort()
+
+    corners: list[tuple[float, float]] = []
+    y_cap = height
+    for ax, ay in blockers:
+        if ay >= y_cap:
+            continue  # adds no new constraint; its corner is dominated
+        if not corners or corners[-1][0] != ax:
+            corners.append((ax, y_cap))
+        y_cap = ay
+    corners.append((width, y_cap))
+    return corners
+
+
+def _local_min_corner(
+    p: Point, obstacle: Rect, sx: float, sy: float, width: float, height: float
+) -> tuple[float, float] | None:
+    """Obstacle's lower-left corner in quadrant-local coordinates.
+
+    Returns ``None`` when the obstacle cannot constrain any component
+    rectangle of this quadrant (no positive-area overlap with it).
+    """
+    if sx > 0:
+        lx1, lx2 = obstacle.min_x - p.x, obstacle.max_x - p.x
+    else:
+        lx1, lx2 = p.x - obstacle.max_x, p.x - obstacle.min_x
+    if sy > 0:
+        ly1, ly2 = obstacle.min_y - p.y, obstacle.max_y - p.y
+    else:
+        ly1, ly2 = p.y - obstacle.max_y, p.y - obstacle.min_y
+
+    if lx2 <= 0.0 or ly2 <= 0.0 or lx1 >= width or ly1 >= height:
+        return None
+    return (max(lx1, 0.0), max(ly1, 0.0))
+
+
+def _component_rect(
+    p: Point, corner: tuple[float, float], sx: float, sy: float
+) -> Rect:
+    """Global-coordinate rectangle of a component given its local corner."""
+    xs = sorted((p.x, p.x + sx * corner[0]))
+    ys = sorted((p.y, p.y + sy * corner[1]))
+    return Rect(xs[0], ys[0], xs[1], ys[1])
+
+
+def _trim(
+    union: Rect, p: Point, corner: tuple[float, float], sx: float, sy: float
+) -> Rect:
+    """Trim ``union`` by the lines through a component's opposite corner."""
+    gx = p.x + sx * corner[0]
+    gy = p.y + sy * corner[1]
+    if sx > 0:
+        min_x, max_x = union.min_x, min(union.max_x, gx)
+    else:
+        min_x, max_x = max(union.min_x, gx), union.max_x
+    if sy > 0:
+        min_y, max_y = union.min_y, min(union.max_y, gy)
+    else:
+        min_y, max_y = max(union.min_y, gy), union.max_y
+    return Rect(min(min_x, max_x), min(min_y, max_y), max(min_x, max_x), max(min_y, max_y))

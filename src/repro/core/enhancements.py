@@ -1,0 +1,124 @@
+"""Mobility-assumption enhancements (Section 6).
+
+* **Maximum speed / reachability circle** (Section 6.1): the object cannot
+  be farther from its last reported position ``p_lst`` than ``V (t - T)``;
+  intersecting safe regions with the circle's bounding box before probing
+  can resolve query ambiguity without communication.
+* **Steady movement / weighted perimeter** (Section 6.2): when objects tend
+  to keep their direction, the safe region should extend farther ahead of
+  the movement; the perimeter objective is replaced by a weighted one that
+  overweights the half plane in front of the object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.irlp import Objective
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class ReachabilityModel:
+    """The ever-expanding reachability circle of Section 6.1.
+
+    The circle is centred at the last reported location and grows at the
+    maximum speed ``max_speed``; at time ``t`` an object last heard from at
+    time ``T`` must be inside radius ``max_speed * (t - T)``.
+    """
+
+    max_speed: float
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0.0:
+            raise ValueError("maximum speed must be positive")
+
+    def circle(self, p_lst: Point, last_update_time: float, now: float) -> Circle:
+        """Reachability circle at time ``now``."""
+        elapsed = max(now - last_update_time, 0.0)
+        return Circle(p_lst, self.max_speed * elapsed)
+
+    def constrain(
+        self, region: Rect, p_lst: Point, last_update_time: float, now: float
+    ) -> Rect:
+        """Intersect ``region`` with the circle's bounding box.
+
+        The bounding box over-approximates the circle, so the result still
+        contains the object — query evaluation stays conservative while the
+        distance bounds tighten (fewer probes).
+        """
+        bbox = self.circle(p_lst, last_update_time, now).bounding_rect()
+        constrained = region.intersection(bbox)
+        if constrained is None:
+            # The object reported from p_lst inside ``region``; an empty
+            # intersection can only come from clock skew.  Fall back to the
+            # last known point.
+            return Rect.from_point(region.clamp_point(p_lst))
+        return constrained
+
+
+def weighted_perimeter(
+    rect: Rect, p: Point, p_lst: Point, steadiness: float
+) -> float:
+    """The weighted perimeter ``lambda_w`` of Section 6.2.
+
+    The movement direction is ``p_lst -> p``; the front half plane (within
+    90 degrees of the direction) is weighted ``1 + D`` and the back half
+    ``1 - D``.  The paper's fast approximation replaces the rectangle with
+    the circle of equal perimeter centred at the rectangle's centre ``o``:
+
+    ``lambda_w = (1 + D) * lambda - (2 D lambda / pi) *
+    arccos(2 pi d cos(beta) / lambda)``
+
+    where ``lambda`` is the ordinary perimeter, ``d = |p o|`` and ``beta``
+    is the angle between ``p -> o`` and the movement direction.
+    """
+    if not 0.0 <= steadiness <= 1.0:
+        raise ValueError(f"steadiness must be within [0, 1]: {steadiness}")
+    lam = rect.perimeter
+    if lam == 0.0:
+        return 0.0
+    if steadiness == 0.0:
+        return lam
+
+    dir_x = p.x - p_lst.x
+    dir_y = p.y - p_lst.y
+    dir_len = math.hypot(dir_x, dir_y)
+    if dir_len == 0.0:  # no movement direction known — unweighted
+        return lam
+
+    center = rect.center
+    to_center_x = center.x - p.x
+    to_center_y = center.y - p.y
+    d = math.hypot(to_center_x, to_center_y)
+    if d == 0.0:
+        d_cos_beta = 0.0
+    else:
+        d_cos_beta = (to_center_x * dir_x + to_center_y * dir_y) / dir_len
+
+    ratio = 2.0 * math.pi * d_cos_beta / lam
+    ratio = min(max(ratio, -1.0), 1.0)
+    return (1.0 + steadiness) * lam - (
+        2.0 * steadiness * lam / math.pi
+    ) * math.acos(ratio)
+
+
+def weighted_perimeter_objective(
+    p: Point, p_lst: Point | None, steadiness: float
+) -> Objective | None:
+    """An Ir-lp objective scoring rectangles by weighted perimeter.
+
+    Returns ``None`` (meaning: use the ordinary perimeter and its closed
+    forms) when steadiness is zero or no movement direction is available,
+    so callers can skip the slower search path entirely.
+    """
+    if steadiness == 0.0 or p_lst is None or p_lst == p:
+        return None
+
+    def objective(rect: Rect) -> float:
+        return weighted_perimeter(rect, p, p_lst, steadiness)
+
+    return objective

@@ -1,0 +1,360 @@
+"""Evaluation of new queries over safe regions (Section 4, Algorithm 2).
+
+Objects are represented by their safe regions, so exact results may be
+undecidable without asking some objects for their exact positions.  The
+*lazy probe* technique defers every probe until the evaluation cannot
+continue, which makes each issued probe mandatory.
+
+The optional ``constrain`` hook implements the maximum-speed enhancement
+(Section 6.1): before a probe is issued, the candidate's region is
+intersected with the bounding box of its reachability circle, hopefully
+resolving the ambiguity for free.  Whenever a constrained region is used
+to *decide* something, the tightened rectangle is recorded in ``shrunk``
+so the server can install it as the object's stored safe region (keeping
+the quarantine invariants exact) and push it to the client on the cheap
+downlink.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+ObjectId = Hashable
+ProbeFn = Callable[[ObjectId], Point]
+ConstrainFn = Callable[[ObjectId, Rect], Rect]
+
+#: Result geometry: the object's region, or its exact point after a probe.
+Geometry = Rect | Point
+
+_WORKSPACE_DIAMETER = math.sqrt(2.0)
+
+
+@dataclass(slots=True)
+class EvaluationResult:
+    """Outcome of evaluating one query over safe regions."""
+
+    #: Result object ids; in ascending distance order for kNN queries.
+    results: list[ObjectId]
+    #: Quarantine-circle radius (kNN only; 0.0 for range queries).
+    radius: float = 0.0
+    #: Objects probed during evaluation and their exact positions.
+    probed: dict[ObjectId, Point] = field(default_factory=dict)
+    #: Objects whose stored safe region must shrink to the recorded
+    #: rectangle because a reachability-constrained region was decisive.
+    shrunk: dict[ObjectId, Rect] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Range queries (Section 4.1)
+# ---------------------------------------------------------------------------
+def evaluate_range(
+    index,
+    rect: Rect,
+    probe: ProbeFn,
+    constrain: ConstrainFn | None = None,
+) -> EvaluationResult:
+    """Evaluate a new range query over safe regions.
+
+    A safe region fully inside the query rectangle makes its object a
+    result outright; a partial overlap requires a probe (possibly avoided
+    by the reachability constraint).
+    """
+    outcome = EvaluationResult(results=[])
+    for oid, region in index.search_entries(rect):
+        if rect.contains_rect(region):
+            outcome.results.append(oid)
+            continue
+        if constrain is not None:
+            tightened = constrain(oid, region)
+            if tightened != region:
+                if rect.contains_rect(tightened):
+                    outcome.results.append(oid)
+                    outcome.shrunk[oid] = tightened
+                    continue
+                if not rect.intersects(tightened):
+                    outcome.shrunk[oid] = tightened
+                    continue
+        position = probe(oid)
+        outcome.probed[oid] = position
+        if rect.contains_point(position):
+            outcome.results.append(oid)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# kNN queries (Section 4.2, Algorithm 2)
+# ---------------------------------------------------------------------------
+class _Candidate:
+    """A queue element: an object known by region or by exact point."""
+
+    __slots__ = ("oid", "geometry", "min_dist", "max_dist", "constrained")
+
+    def __init__(
+        self, oid: ObjectId, geometry: Geometry, q: Point, constrained: bool
+    ) -> None:
+        self.oid = oid
+        self.geometry = geometry
+        self.constrained = constrained
+        if isinstance(geometry, Point):
+            d = q.distance_to(geometry)
+            self.min_dist = d
+            self.max_dist = d
+        else:
+            self.min_dist = geometry.min_dist_to_point(q)
+            self.max_dist = geometry.max_dist_to_point(q)
+
+    @property
+    def is_point(self) -> bool:
+        return isinstance(self.geometry, Point)
+
+
+class _MergedQueue:
+    """Min-queue merging the index's best-first stream with re-pushed items."""
+
+    def __init__(self, stream: Iterator[tuple[ObjectId, Rect, float]], q: Point):
+        self._stream = stream
+        self._q = q
+        self._heap: list[tuple[float, int, _Candidate]] = []
+        self._counter = itertools.count()
+        self._buffered: _Candidate | None = None
+        self._advance_stream()
+
+    def _advance_stream(self) -> None:
+        nxt = next(self._stream, None)
+        if nxt is None:
+            self._buffered = None
+        else:
+            oid, rect, _ = nxt
+            self._buffered = _Candidate(oid, rect, self._q, constrained=False)
+
+    def push(self, candidate: _Candidate) -> None:
+        heapq.heappush(
+            self._heap, (candidate.min_dist, next(self._counter), candidate)
+        )
+
+    def pop(self) -> _Candidate | None:
+        """Pop the global minimum-``min_dist`` candidate, or ``None``."""
+        if self._buffered is None and not self._heap:
+            return None
+        take_stream = self._buffered is not None and (
+            not self._heap or self._buffered.min_dist <= self._heap[0][0]
+        )
+        if take_stream:
+            candidate = self._buffered
+            self._advance_stream()
+            return candidate
+        return heapq.heappop(self._heap)[2]
+
+
+def evaluate_knn(
+    index,
+    q: Point,
+    k: int,
+    probe: ProbeFn,
+    order_sensitive: bool = True,
+    exclude: Callable[[ObjectId], bool] | None = None,
+    constrain: ConstrainFn | None = None,
+) -> EvaluationResult:
+    """Evaluate a new kNN query over safe regions (Algorithm 2).
+
+    Returns the k nearest objects (strictly ordered for the
+    order-sensitive variant), the quarantine radius — the midpoint of
+    ``Delta(q, o_k)`` and ``delta(q, o_{k+1})`` over the geometries the
+    evaluation ended with — and the probes issued.  ``exclude`` omits
+    objects from the search (used by reevaluation case 1).
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if order_sensitive:
+        return _evaluate_knn_ordered(index, q, k, probe, exclude, constrain)
+    return _evaluate_knn_unordered(index, q, k, probe, exclude, constrain)
+
+
+def _evaluate_knn_ordered(
+    index,
+    q: Point,
+    k: int,
+    probe: ProbeFn,
+    exclude: Callable[[ObjectId], bool] | None,
+    constrain: ConstrainFn | None,
+) -> EvaluationResult:
+    queue = _MergedQueue(index.nearest_iter(q, exclude=exclude), q)
+    outcome = EvaluationResult(results=[])
+    confirmed: list[_Candidate] = []
+    held: _Candidate | None = None
+    next_min_dist: float | None = None
+
+    while len(confirmed) < k:
+        current = queue.pop()
+        if current is None:
+            break
+        if held is not None:
+            if held.max_dist > current.min_dist and constrain is not None:
+                # Maximum-speed enhancement: tighten before probing.
+                if not held.constrained and not held.is_point:
+                    held = _constrain_candidate(held, q, constrain, outcome)
+                if (
+                    held.max_dist > current.min_dist
+                    and not current.constrained
+                    and not current.is_point
+                ):
+                    tightened = _constrain_candidate(current, q, constrain, outcome)
+                    if tightened.min_dist > current.min_dist + 1e-15:
+                        # Its lower bound rose: re-queue under the new key.
+                        queue.push(tightened)
+                        continue
+                    current = tightened
+            if held.max_dist > current.min_dist:
+                # Still ambiguous: probe the held object (lazy probe) and
+                # feed both contenders back through the queue.
+                position = probe(held.oid)
+                outcome.probed[held.oid] = position
+                outcome.shrunk.pop(held.oid, None)
+                queue.push(_Candidate(held.oid, position, q, constrained=True))
+                queue.push(current)
+                held = None
+                continue
+            confirmed.append(held)
+            held = None
+            if len(confirmed) == k:
+                next_min_dist = current.min_dist
+                break
+        if current.is_point:
+            confirmed.append(current)
+        else:
+            held = current
+
+    if len(confirmed) < k and held is not None:
+        # Queue exhausted: the held object is the only candidate left.
+        confirmed.append(held)
+        held = None
+
+    outcome.results = [candidate.oid for candidate in confirmed]
+    outcome.radius = _quarantine_radius(
+        confirmed, held, queue, next_min_dist, k
+    )
+    return outcome
+
+
+def _constrain_candidate(
+    candidate: _Candidate,
+    q: Point,
+    constrain: ConstrainFn,
+    outcome: EvaluationResult,
+) -> _Candidate:
+    tightened_rect = constrain(candidate.oid, candidate.geometry)
+    if tightened_rect == candidate.geometry:
+        candidate.constrained = True
+        return candidate
+    outcome.shrunk[candidate.oid] = tightened_rect
+    return _Candidate(candidate.oid, tightened_rect, q, constrained=True)
+
+
+def _quarantine_radius(
+    confirmed: list[_Candidate],
+    held: _Candidate | None,
+    queue: _MergedQueue,
+    next_min_dist: float | None,
+    k: int,
+) -> float:
+    """Midpoint radius between the k-th NN and the next candidate.
+
+    When fewer than ``k`` objects exist the quarantine area covers the
+    whole workspace so that any newly appearing candidate is noticed.
+    """
+    if not confirmed:
+        return _WORKSPACE_DIAMETER
+    if len(confirmed) < k:
+        return _WORKSPACE_DIAMETER
+    kth_max = confirmed[-1].max_dist
+    if next_min_dist is None:
+        if held is not None:
+            next_min_dist = held.min_dist
+        else:
+            follower = queue.pop()
+            next_min_dist = follower.min_dist if follower is not None else None
+    if next_min_dist is None:
+        return kth_max
+    return (kth_max + max(next_min_dist, kth_max)) / 2.0
+
+
+def _evaluate_knn_unordered(
+    index,
+    q: Point,
+    k: int,
+    probe: ProbeFn,
+    exclude: Callable[[ObjectId], bool] | None,
+    constrain: ConstrainFn | None,
+) -> EvaluationResult:
+    """Order-insensitive variant: up to ``k`` objects may be held at once.
+
+    Soundness rests on the invariant ``|confirmed| + |held| <= k``: a held
+    candidate ``c`` with ``Delta(q, c) <= delta(q, incoming)`` is then
+    surely a member of the k-nearest *set* — at most ``k - 1`` other
+    candidates (the rest of confirmed + held) can possibly beat it, and
+    everything still queued is provably no closer.  When the invariant
+    would be violated by holding one more candidate, the first held object
+    is probed (after the optional reachability tightening) — fewer probes
+    than the order-sensitive variant, which must also fix the ordering.
+    """
+    queue = _MergedQueue(index.nearest_iter(q, exclude=exclude), q)
+    outcome = EvaluationResult(results=[])
+    confirmed: list[_Candidate] = []
+    held: list[_Candidate] = []
+
+    while len(confirmed) < k:
+        current = queue.pop()
+        if current is None:
+            break
+        still_held = []
+        for candidate in held:
+            if len(confirmed) < k and candidate.max_dist <= current.min_dist:
+                confirmed.append(candidate)
+            else:
+                still_held.append(candidate)
+        held = still_held
+        if len(confirmed) == k:
+            queue.push(current)
+            break
+        if len(confirmed) + len(held) < k:
+            if current.is_point:
+                confirmed.append(current)
+            else:
+                held.append(current)
+            continue
+        # No room to hold ``current``: resolve the first held candidate.
+        first = held[0]
+        if constrain is not None and not first.constrained:
+            held[0] = _constrain_candidate(first, q, constrain, outcome)
+            queue.push(current)
+            continue
+        position = probe(first.oid)
+        outcome.probed[first.oid] = position
+        outcome.shrunk.pop(first.oid, None)
+        queue.push(_Candidate(first.oid, position, q, constrained=True))
+        queue.push(current)
+        held.pop(0)
+
+    # Queue exhausted: remaining held candidates are the only options.
+    while held and len(confirmed) < k:
+        confirmed.append(held.pop(0))
+
+    confirmed.sort(key=lambda c: c.max_dist)
+    outcome.results = [candidate.oid for candidate in confirmed]
+    if len(confirmed) < k:
+        outcome.radius = _WORKSPACE_DIAMETER
+    else:
+        kth_max = confirmed[-1].max_dist
+        follower = queue.pop()
+        if follower is None:
+            outcome.radius = kth_max
+        else:
+            outcome.radius = (kth_max + max(follower.min_dist, kth_max)) / 2.0
+    return outcome

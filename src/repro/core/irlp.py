@@ -1,0 +1,390 @@
+"""Inscribed rectangles with the longest perimeter (*Ir-lp*, Section 5.2).
+
+The safe region of an object with respect to a kNN query is the inscribed
+rectangle with the longest perimeter (*Ir-lp*) of a disk, of the complement
+of a disk within the object's grid cell, or of a ring — always required to
+contain the object's current location ``p``.
+
+Deviations from the paper, both documented in DESIGN.md:
+
+* Proposition 5.4 (complement of a circle) states the perimeter
+  ``2(a - r sin θ) + 2(b - r cos θ)`` "has a maximum at π/4"; analytically
+  it has a *minimum* there (``sin θ + cos θ`` peaks at π/4), so the optimum
+  lies at a boundary of the valid θ range.  We evaluate both endpoints and
+  keep the longer perimeter, which also subsumes the paper's special
+  positions ① and ②.
+* Proposition 5.5 (ring) assumes an Ir-lp tangent to the inner circle with
+  two corners on the outer circle.  When ``p`` sits in the diagonal "corner
+  shadow" of the inner circle (|p.x - q.x| < r and |p.y - q.y| < r) neither
+  tangent layout can contain ``p``; we add a corner-anchored candidate
+  (near corner on the inner circle, far corner on the outer circle) so a
+  valid rectangle always exists.
+
+All functions accept an optional ``objective`` (a ``Rect -> float`` score,
+by default the perimeter).  With a custom objective — the weighted
+perimeter of Section 6.2 — the optimal θ has no closed form, and the
+paper's three-point elimination search is used instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.ring import Ring
+
+Objective = Callable[[Rect], float]
+
+#: Angle (from the y-axis) maximising ``4R sin θ + 2R cos θ`` (ring layout I).
+THETA_RING_HORIZONTAL = math.atan(2.0)
+#: Angle maximising ``2R sin θ + 4R cos θ`` (ring layout II).
+THETA_RING_VERTICAL = math.atan(0.5)
+
+_SEARCH_STEPS = 24
+
+
+def _perimeter(rect: Rect) -> float:
+    return rect.perimeter
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return min(max(value, lo), hi)
+
+
+def _clamped_asin(x: float) -> float:
+    return math.asin(_clamp(x, -1.0, 1.0))
+
+
+def _clamped_acos(x: float) -> float:
+    return math.acos(_clamp(x, -1.0, 1.0))
+
+
+def maximize_theta(
+    build: Callable[[float], Rect],
+    lo: float,
+    hi: float,
+    objective: Objective,
+    steps: int = _SEARCH_STEPS,
+) -> Rect:
+    """The paper's three-point elimination search for a sub-optimal θ.
+
+    Keeps a range ``[θ_b, θ_e]``; each step evaluates the objective at the
+    endpoints and the midpoint and drops whichever of the three scores
+    worst (Section 6.2).  Terminates early when the midpoint is the worst,
+    i.e. when the range cannot be narrowed further.
+    """
+    if hi < lo:
+        lo = hi
+    best_rect = build(lo)
+    best_score = objective(best_rect)
+    b, e = lo, hi
+    for _ in range(steps):
+        c = (b + e) / 2.0
+        scored = []
+        for theta in (b, c, e):
+            rect = build(theta)
+            score = objective(rect)
+            scored.append((score, theta, rect))
+            if score > best_score:
+                best_score = score
+                best_rect = rect
+        worst_theta = min(scored, key=lambda item: item[0])[1]
+        if worst_theta == b:
+            b = c
+        elif worst_theta == e:
+            e = c
+        else:
+            break
+        if e - b < 1e-9:
+            break
+    return best_rect
+
+
+#: Fraction of the valid θ range kept as margin on both sides.  The
+#: containment bounds of every Ir-lp family put the object exactly *on* a
+#: face of the rectangle when the optimal θ clamps to them — the object
+#: would step out immediately and trigger another update, and since the
+#: ring geometry does not change from such a hairline move, the scheme
+#: would storm updates.  Nudging θ strictly inside the valid range trades
+#: at most a few percent of perimeter for strictly-interior placement.
+_INTERIOR_MARGIN = 0.05
+
+
+def _nudged_bounds(lo: float, hi: float) -> tuple[float, float]:
+    """Shrink ``[lo, hi]`` symmetrically by the interior margin."""
+    span = hi - lo
+    if span <= 0.0:
+        return lo, lo
+    pad = _INTERIOR_MARGIN * span
+    return lo + pad, hi - pad
+
+
+_INTERIOR_EPS = 1e-9
+
+
+def interior_margin(rect: Rect, p: Point) -> float:
+    """Distance from ``p`` to the nearest face of ``rect`` (< 0: outside).
+
+    A safe region whose margin is zero has the object sitting exactly on
+    its boundary: the very next movement step can leave it, and when the
+    recomputed region pins the object again, the scheme storms updates.
+    Candidate selection therefore prefers any positive-margin rectangle
+    over every zero-margin one, regardless of perimeter.
+    """
+    return min(
+        p.x - rect.min_x,
+        rect.max_x - p.x,
+        p.y - rect.min_y,
+        rect.max_y - p.y,
+    )
+
+
+def _pick_best(candidates: list[Rect], objective: Objective, p: Point) -> Rect:
+    """Best-scoring candidate, preferring ones containing ``p`` strictly."""
+    return max(
+        candidates,
+        key=lambda rect: (
+            interior_margin(rect, p) > _INTERIOR_EPS,
+            objective(rect),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ir-lp of a circle (Proposition 5.2)
+# ---------------------------------------------------------------------------
+def irlp_circle(
+    circle: Circle, p: Point, objective: Objective | None = None
+) -> Rect:
+    """Longest-perimeter inscribed rectangle of a disk containing ``p``.
+
+    The rectangle is ``[q.x ± r sin θ] x [q.y ± r cos θ]`` with θ the angle
+    between the corner radius and the y-axis.  Containment of ``p`` bounds
+    θ to ``[arcsin(|dx|/r), arccos(|dy|/r)]``; the perimeter
+    ``4r (sin θ + cos θ)`` peaks at π/4, so the optimum is π/4 clamped into
+    the valid range (Proposition 5.2).
+
+    ``p`` must lie inside the (closed) disk; tiny numerical overshoot is
+    tolerated by clamping.
+    """
+    q, r = circle.center, circle.radius
+    if r <= 0.0:
+        return Rect.from_point(q)
+    dx = min(abs(p.x - q.x), r)
+    dy = min(abs(p.y - q.y), r)
+    theta_x = _clamped_asin(dx / r)
+    theta_y = _clamped_acos(dy / r)
+    if theta_y < theta_x:  # p numerically on/over the boundary
+        theta_y = theta_x
+    lo, hi = _nudged_bounds(theta_x, theta_y)
+
+    def build(theta: float) -> Rect:
+        return Rect.from_center(q, r * math.sin(theta), r * math.cos(theta))
+
+    if objective is None:
+        return build(_clamp(math.pi / 4.0, lo, hi))
+    return maximize_theta(build, lo, hi, objective)
+
+
+# ---------------------------------------------------------------------------
+# Ir-lp of the complement of a circle within a cell (Proposition 5.4)
+# ---------------------------------------------------------------------------
+def irlp_circle_complement(
+    circle: Circle,
+    p: Point,
+    cell: Rect,
+    objective: Objective | None = None,
+) -> Rect:
+    """Longest-perimeter rectangle inside ``cell`` avoiding the open disk.
+
+    ``p`` must be inside ``cell`` and outside the (open) disk.  Following
+    Lemma 5.3, one corner of the optimum is the cell corner of the quadrant
+    (relative to the disk centre) containing ``p``; the opposite corner
+    lies on the quarter circle at ``(r sin θ, r cos θ)`` in quadrant-local
+    coordinates.  The cell is enlarged by the caller to fully contain the
+    disk (Section 5.2).
+
+    The perimeter decreases towards θ = π/4 (see the module docstring), so
+    both endpoints of the valid θ range are evaluated.
+    """
+    q, r = circle.center, circle.radius
+    original_cell = cell
+    cell = cell.union(circle.bounding_rect())
+    if r <= 0.0:
+        return original_cell
+
+    sx = 1.0 if p.x >= q.x else -1.0
+    sy = 1.0 if p.y >= q.y else -1.0
+    dx = abs(p.x - q.x)
+    dy = abs(p.y - q.y)
+    a = (cell.max_x - q.x) if sx > 0 else (q.x - cell.min_x)
+    b = (cell.max_y - q.y) if sy > 0 else (q.y - cell.min_y)
+
+    # Valid θ range for p's containment (endpoints are the candidates).
+    theta_lo = _clamped_acos(min(dy, r) / r)
+    theta_hi = _clamped_asin(min(dx, r) / r)
+    if theta_hi < theta_lo:  # p numerically inside the disk
+        theta_hi = theta_lo
+    theta_lo, theta_hi = _nudged_bounds(theta_lo, theta_hi)
+
+    def build(theta: float) -> Rect:
+        x1 = min(r * math.sin(theta), dx, a)
+        y1 = min(r * math.cos(theta), dy, b)
+        xs = sorted((q.x + sx * x1, q.x + sx * a))
+        ys = sorted((q.y + sy * y1, q.y + sy * b))
+        return Rect(xs[0], ys[0], xs[1], ys[1])
+
+    if objective is None:
+        candidates = [build(theta_lo), build(theta_hi)]
+    else:
+        candidates = [maximize_theta(build, theta_lo, theta_hi, objective)]
+    # Radial candidate: the quarter-circle point along p's own direction.
+    # Its margins around p grow with p's clearance from the disk, avoiding
+    # sliver rectangles for mid-clearance objects.
+    d = math.hypot(dx, dy)
+    if d > 0.0:
+        candidates.append(build(math.atan2(dx, dy)))
+    best = _pick_best(candidates, objective or _perimeter, p)
+    return _shrink_into_cell(best, original_cell, p)
+
+
+# ---------------------------------------------------------------------------
+# Ir-lp of a ring (Proposition 5.5 + corner-anchored fallback)
+# ---------------------------------------------------------------------------
+def irlp_ring(
+    ring: Ring,
+    p: Point,
+    cell: Rect,
+    objective: Objective | None = None,
+) -> Rect:
+    """Longest-perimeter rectangle inside a ring (and ``cell``) containing ``p``.
+
+    Degenerate rings dispatch to the disk / disk-complement cases.  The
+    general case evaluates the paper's two tangent layouts (Proposition
+    5.5) plus a corner-anchored candidate covering the inner circle's
+    corner shadow; the best-scoring valid candidate wins, with a
+    point-degenerate rectangle at ``p`` as the last resort.
+    """
+    if ring.is_disk_complement:
+        return irlp_circle_complement(ring.inner_circle(), p, cell, objective)
+    if ring.is_disk:
+        return irlp_circle(ring.outer_circle(), p, objective)
+
+    score = objective if objective is not None else _perimeter
+    q, r, big_r = ring.center, ring.inner, ring.outer
+    dx = abs(p.x - q.x)
+    dy = abs(p.y - q.y)
+    sx = 1.0 if p.x >= q.x else -1.0
+    sy = 1.0 if p.y >= q.y else -1.0
+
+    theta_x = _clamped_asin(min(dx, big_r) / big_r)
+    theta_y = _clamped_acos(min(dy, big_r) / big_r)
+    if theta_y < theta_x:  # p numerically on/over the outer boundary
+        theta_y = theta_x
+
+    candidates: list[Rect] = []
+
+    # Layout I: side tangent to the inner circle horizontally, on p's side.
+    # Local frame: x symmetric in [-R sin θ, R sin θ], y in [r, R cos θ].
+    if dy >= r:
+        def build_horizontal(theta: float) -> Rect:
+            half_w = big_r * math.sin(theta)
+            top = max(big_r * math.cos(theta), min(dy, big_r))
+            ys = sorted((q.y + sy * r, q.y + sy * top))
+            return Rect(q.x - half_w, ys[0], q.x + half_w, ys[1])
+
+        lo = theta_x
+        hi = min(theta_y, _clamped_acos(r / big_r))
+        hi = max(hi, lo)
+        lo, hi = _nudged_bounds(lo, hi)
+        if objective is None:
+            candidates.append(
+                build_horizontal(_clamp(THETA_RING_HORIZONTAL, lo, hi))
+            )
+        else:
+            candidates.append(maximize_theta(build_horizontal, lo, hi, objective))
+
+    # Layout II: side tangent to the inner circle vertically, on p's side.
+    if dx >= r:
+        def build_vertical(theta: float) -> Rect:
+            half_h = big_r * math.cos(theta)
+            right = max(big_r * math.sin(theta), min(dx, big_r))
+            xs = sorted((q.x + sx * r, q.x + sx * right))
+            return Rect(xs[0], q.y - half_h, xs[1], q.y + half_h)
+
+        lo = max(theta_x, _clamped_asin(r / big_r))
+        hi = max(theta_y, lo)
+        lo, hi = _nudged_bounds(lo, hi)
+        if objective is None:
+            candidates.append(
+                build_vertical(_clamp(THETA_RING_VERTICAL, lo, hi))
+            )
+        else:
+            candidates.append(maximize_theta(build_vertical, lo, hi, objective))
+
+    # Corner-anchored candidate: near corner on the inner circle, far
+    # corner on the outer circle, inside p's quadrant.  Always applicable;
+    # essential when dx < r and dy < r (the corner shadow).
+    alpha_lo = _clamped_acos(min(dy, r) / r)
+    alpha_hi = _clamped_asin(min(dx, r) / r)
+    if alpha_hi < alpha_lo:
+        alpha_hi = alpha_lo
+    alpha_lo, alpha_hi = _nudged_bounds(alpha_lo, alpha_hi)
+    phi_lo, phi_hi = _nudged_bounds(theta_x, theta_y)
+    phi = _clamp(math.pi / 4.0, phi_lo, phi_hi)
+    far_x = max(big_r * math.sin(phi), min(dx, big_r))
+    far_y = max(big_r * math.cos(phi), min(dy, big_r))
+
+    def build_corner(alpha: float) -> Rect:
+        x1 = min(r * math.sin(alpha), dx)
+        y1 = min(r * math.cos(alpha), dy)
+        xs = sorted((q.x + sx * x1, q.x + sx * max(far_x, x1)))
+        ys = sorted((q.y + sy * y1, q.y + sy * max(far_y, y1)))
+        return Rect(xs[0], ys[0], xs[1], ys[1])
+
+    if objective is None:
+        candidates.append(build_corner(alpha_lo))
+        candidates.append(build_corner(alpha_hi))
+    else:
+        candidates.append(maximize_theta(build_corner, alpha_lo, alpha_hi, objective))
+
+    # Radial box: near and far corners on the two circles along p's own
+    # direction from q.  Always valid for p strictly inside the ring, with
+    # interior margins proportional to the radial slack on both sides —
+    # the tangent layouts and the corner family can all degenerate to
+    # slivers for mid-ring diagonal positions, this candidate cannot.
+    d = math.hypot(dx, dy)
+    if d > 0.0:
+        sin_g = dx / d
+        cos_g = dy / d
+        xs = sorted((q.x + sx * r * sin_g, q.x + sx * big_r * sin_g))
+        ys = sorted((q.y + sy * r * cos_g, q.y + sy * big_r * cos_g))
+        candidates.append(Rect(xs[0], ys[0], xs[1], ys[1]))
+
+    eps = 1e-9
+    valid = [
+        rect
+        for rect in candidates
+        if rect.contains_point(p, eps=eps) and _rect_in_ring(rect, ring, eps)
+    ]
+    valid = [_shrink_into_cell(rect, cell, p) for rect in valid]
+    valid.append(Rect.from_point(p))
+    return _pick_best(valid, score, p)
+
+
+def _rect_in_ring(rect: Rect, ring: Ring, eps: float) -> bool:
+    """Whether ``rect`` lies in the closed ring, with tolerance ``eps``."""
+    if rect.max_dist_to_point(ring.center) > ring.outer + eps:
+        return False
+    return rect.min_dist_to_point(ring.center) >= ring.inner - eps
+
+
+def _shrink_into_cell(rect: Rect, cell: Rect, p: Point) -> Rect:
+    """Clip ``rect`` to ``cell``; ``p`` (inside both) stays contained."""
+    clipped = rect.intersection(cell)
+    if clipped is None:  # numerically possible only when p is on an edge
+        return Rect.from_point(cell.clamp_point(p))
+    return clipped

@@ -1,0 +1,156 @@
+"""Continuous spatial queries and their quarantine areas (Section 3.3).
+
+The server stores, for each registered query, (1) its parameters, (2) the
+current result set, and (3) the *quarantine area*: a region such that while
+every result object stays inside it and every non-result object stays
+outside it, the result cannot change.  For a range query the quarantine
+area is the query rectangle itself; for a kNN query it is a circle centred
+at the query point whose radius lies strictly between ``Delta(q, o_k.sr)``
+and ``delta(q, o_{k+1}.sr)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+ObjectId = Hashable
+
+_query_counter = itertools.count(1)
+
+
+class Query:
+    """Base class for continuous queries monitored by the server.
+
+    Queries use identity semantics (each registered query is a distinct
+    monitoring session, even if the parameters coincide), so the default
+    ``hash`` / ``eq`` are intentionally kept.
+    """
+
+    __slots__ = ("query_id",)
+
+    def __init__(self, query_id: str | None = None) -> None:
+        self.query_id = query_id or f"q{next(_query_counter)}"
+
+    # -- grid-index interface -------------------------------------------------
+    def quarantine_bounding_rect(self) -> Rect:
+        """Bounding rectangle of the quarantine area."""
+        raise NotImplementedError
+
+    def quarantine_overlaps(self, rect: Rect) -> bool:
+        """Whether the quarantine area intersects ``rect``."""
+        raise NotImplementedError
+
+    def quarantine_contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside the quarantine area."""
+        raise NotImplementedError
+
+    # -- update filtering (Section 3.3) ---------------------------------------
+    def is_affected_by(self, p: Point, p_lst: Point | None) -> bool:
+        """Whether an update moving from ``p_lst`` to ``p`` may change results.
+
+        ``p_lst`` is ``None`` for an object the server sees for the first
+        time (treated as coming from outside every quarantine area).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"{type(self).__name__}({self.query_id})"
+
+
+class RangeQuery(Query):
+    """A continuous range query: report all objects inside ``rect``."""
+
+    __slots__ = ("rect", "results")
+
+    def __init__(self, rect: Rect, query_id: str | None = None) -> None:
+        super().__init__(query_id)
+        self.rect = rect
+        #: Current result set, maintained by the server.
+        self.results: set[ObjectId] = set()
+
+    def quarantine_bounding_rect(self) -> Rect:
+        return self.rect
+
+    def quarantine_overlaps(self, rect: Rect) -> bool:
+        return self.rect.intersects(rect)
+
+    def quarantine_contains(self, p: Point) -> bool:
+        return self.rect.contains_point(p)
+
+    def is_affected_by(self, p: Point, p_lst: Point | None) -> bool:
+        inside_new = self.rect.contains_point(p)
+        inside_old = p_lst is not None and self.rect.contains_point(p_lst)
+        return inside_new != inside_old
+
+    def result_snapshot(self) -> frozenset[ObjectId]:
+        """Immutable copy of the current result set."""
+        return frozenset(self.results)
+
+
+class KNNQuery(Query):
+    """A continuous k-nearest-neighbour query anchored at ``center``.
+
+    ``order_sensitive`` queries treat ``[a, b]`` and ``[b, a]`` as different
+    results; they are the default in the paper's workload (Section 7.1).
+    ``results`` is maintained in ascending distance order for the
+    order-sensitive variant; for the order-insensitive variant the order in
+    the list is incidental and comparisons use sets.
+    """
+
+    __slots__ = ("center", "k", "order_sensitive", "results", "radius")
+
+    def __init__(
+        self,
+        center: Point,
+        k: int,
+        order_sensitive: bool = True,
+        query_id: str | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        super().__init__(query_id)
+        self.center = center
+        self.k = k
+        self.order_sensitive = order_sensitive
+        #: Current result, nearest first; maintained by the server.
+        self.results: list[ObjectId] = []
+        #: Quarantine-circle radius; 0 until the query is first evaluated.
+        self.radius: float = 0.0
+
+    def quarantine_circle(self) -> Circle:
+        """The quarantine area (a circle centred at the query point)."""
+        return Circle(self.center, self.radius)
+
+    def quarantine_bounding_rect(self) -> Rect:
+        return self.quarantine_circle().bounding_rect()
+
+    def quarantine_overlaps(self, rect: Rect) -> bool:
+        return self.quarantine_circle().intersects_rect(rect)
+
+    def quarantine_contains(self, p: Point) -> bool:
+        return self.quarantine_circle().contains_point(p)
+
+    def is_affected_by(self, p: Point, p_lst: Point | None) -> bool:
+        inside_new = self.quarantine_contains(p)
+        inside_old = p_lst is not None and self.quarantine_contains(p_lst)
+        if self.order_sensitive:
+            # Order may change from movement *within* the quarantine area:
+            # unaffected only when both endpoints lie outside (Section 3.3).
+            return inside_new or inside_old
+        return inside_new != inside_old
+
+    def result_snapshot(self) -> tuple[ObjectId, ...] | frozenset[ObjectId]:
+        """Immutable copy of the current result.
+
+        A tuple (ordered) for order-sensitive queries, a frozenset for
+        order-insensitive ones — matching how equality of results is
+        defined for each variant.
+        """
+        if self.order_sensitive:
+            return tuple(self.results)
+        return frozenset(self.results)

@@ -1,0 +1,56 @@
+"""Result-change records reported to application servers (step 3, Fig 3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.geometry.rect import Rect
+
+ObjectId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class ResultChange:
+    """A delta of one query's result produced by one update or registration.
+
+    ``old`` / ``new`` are the query's ``result_snapshot()`` values before
+    and after the triggering event; application servers receive these.
+    """
+
+    query_id: str
+    old: object
+    new: object
+
+    @property
+    def changed(self) -> bool:
+        return self.old != self.new
+
+
+@dataclass(slots=True)
+class UpdateOutcome:
+    """Everything the server did in response to one location update.
+
+    * ``safe_region`` — the new safe region sent back to the updater
+      (step 5 of Figure 3.1); ``None`` for a deregistration-only call.
+    * ``probed`` — exact-position probes issued during reevaluation
+      (server-initiated updates), mapped to the fresh safe regions sent to
+      those objects.
+    * ``changes`` — per-query result deltas to push to application servers.
+    * ``queries_checked`` / ``queries_reevaluated`` — bookkeeping used by
+      the experiments (grid-index filtering effectiveness).
+    """
+
+    safe_region: Rect | None = None
+    probed: dict[ObjectId, Rect] = field(default_factory=dict)
+    changes: list[ResultChange] = field(default_factory=list)
+    queries_checked: int = 0
+    queries_reevaluated: int = 0
+
+    @property
+    def probe_count(self) -> int:
+        return len(self.probed)
+
+    def changed_queries(self) -> list[ResultChange]:
+        """Only the deltas whose result actually differs."""
+        return [change for change in self.changes if change.changed]

@@ -1,0 +1,661 @@
+"""The database server of the monitoring framework (Section 3, Algorithm 1).
+
+The server owns four components (Figure 3.1): the object index over safe
+regions (an R*-tree), the in-memory grid index over query quarantine
+areas, the query processor (evaluation / incremental reevaluation with
+lazy probes), and the location manager (safe-region computation).
+
+Exact object positions are obtained through ``position_oracle`` — the
+server-initiated probe channel.  In the simulator this callback charges
+the probe communication cost and synchronises the client; in standalone
+library use it is any function resolving an object id to its current
+position.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable
+
+from repro.core.enhancements import ReachabilityModel, weighted_perimeter_objective
+from repro.core.evaluation import evaluate_knn, evaluate_range
+from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.core.irlp import interior_margin
+from repro.core.reevaluation import (
+    ReevaluationOutcome,
+    reevaluate_knn,
+    reevaluate_range,
+    relieve_tight_safe_region,
+)
+from repro.core.results import ResultChange, UpdateOutcome
+from repro.core.safe_region import (
+    compute_safe_region,
+    knn_safe_region,
+    range_safe_region,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bulk import bulk_load
+from repro.index.grid import GridIndex
+from repro.index.rstar import RStarTree
+
+ObjectId = Hashable
+PositionOracle = Callable[[ObjectId], Point]
+
+UNIT_SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """Tunables of the database server.
+
+    * ``grid_m`` — resolution of the M x M query grid index (Section 3.3).
+    * ``space`` — the workspace; the paper uses the unit square.
+    * ``max_speed`` — enables the reachability-circle enhancement
+      (Section 6.1) when set to the objects' maximum speed.
+    * ``reachability_pushes`` — when True (default), every safe region
+      tightened by the reachability constraint during a *decision* is
+      installed and pushed to the client (downlink cost 0.5), keeping the
+      quarantine invariants exact.  When False the constraint is used the
+      way the paper describes — decide, don't install — which reproduces
+      the paper's 20-40% savings but silently allows stale results
+      whenever an object outruns a decision made on its constrained
+      region (EXPERIMENTS.md quantifies the accuracy cost).
+    * ``steadiness`` — the D parameter of the weighted-perimeter
+      enhancement (Section 6.2); 0 disables it.
+    * ``index_max_entries`` — R*-tree node capacity.
+    """
+
+    grid_m: int = 50
+    space: Rect = UNIT_SPACE
+    max_speed: float | None = None
+    reachability_pushes: bool = True
+    steadiness: float = 0.0
+    index_max_entries: int = 32
+    #: Ablation switch: compute the safe region for a batch of range
+    #: queries with the Section 5.3 algorithm (True) or by intersecting
+    #: per-query strips (False).
+    batch_range_regions: bool = True
+    #: The anti-storm relief pass (DESIGN.md §6).  Off by default: with
+    #: interior-preferring Ir-lp candidates, fair gap splitting, and
+    #: poll-paced clients, the residual pinch episodes cost less than the
+    #: relief's probes (see benchmarks/test_ablations.py).  Enable for
+    #: deployments with very fine position polling and no probe budget.
+    anti_storm_relief: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.steadiness <= 1.0:
+            raise ValueError("steadiness must be within [0, 1]")
+        if self.max_speed is not None and self.max_speed <= 0:
+            raise ValueError("max_speed must be positive when set")
+
+
+@dataclass(slots=True)
+class ObjectState:
+    """Per-object view maintained by the server."""
+
+    safe_region: Rect
+    p_lst: Point
+    last_update_time: float
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Operation counters and CPU accounting."""
+
+    location_updates: int = 0
+    probes: int = 0
+    safe_region_pushes: int = 0
+    queries_registered: int = 0
+    queries_checked: int = 0
+    queries_reevaluated: int = 0
+    result_changes: int = 0
+    cpu_seconds: float = 0.0
+
+
+class DatabaseServer:
+    """Safe-region-based monitoring server (the paper's SRB scheme)."""
+
+    def __init__(
+        self,
+        position_oracle: PositionOracle,
+        config: ServerConfig | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self._oracle = position_oracle
+        self._reachability = (
+            ReachabilityModel(self.config.max_speed)
+            if self.config.max_speed is not None
+            else None
+        )
+        self.object_index = RStarTree(max_entries=self.config.index_max_entries)
+        self.query_index = GridIndex(self.config.grid_m, self.config.space)
+        self._objects: dict[ObjectId, ObjectState] = {}
+        self.stats = ServerStats()
+        # Safe regions whose interior margin falls below this floor
+        # trigger the anti-storm relief (see relieve_tight_safe_region).
+        cell_extent = min(
+            self.config.space.width, self.config.space.height
+        ) / self.config.grid_m
+        self._margin_floor = 0.0005 * cell_extent
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._objects
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def query_count(self) -> int:
+        return len(self.query_index)
+
+    def safe_region_of(self, oid: ObjectId) -> Rect:
+        """The safe region currently installed for ``oid``."""
+        return self._objects[oid].safe_region
+
+    def queries(self) -> frozenset[Query]:
+        """All registered queries."""
+        return self.query_index.all_queries()
+
+    def validate(self) -> None:
+        """Check server-wide invariants (tests); see also ``RStarTree.validate``."""
+        self.object_index.validate()
+        for oid, state in self._objects.items():
+            indexed = self.object_index.rect_of(oid)
+            assert indexed == state.safe_region, f"index desync for {oid!r}"
+            assert state.safe_region.contains_point(
+                state.p_lst, eps=1e-9
+            ), f"safe region of {oid!r} lost its own location"
+
+    # ------------------------------------------------------------------
+    # Object population
+    # ------------------------------------------------------------------
+    def load_objects(
+        self, positions: Iterable[tuple[ObjectId, Point]], time: float = 0.0
+    ) -> dict[ObjectId, Rect]:
+        """Bulk-register objects before any query exists.
+
+        With no registered queries, every object's safe region is its full
+        grid cell — the largest region the framework ever grants.  Returns
+        the safe regions to hand to the clients.
+        """
+        if self.query_count:
+            raise RuntimeError("load_objects must run before query registration")
+        started = _time.perf_counter()
+        pairs = []
+        for oid, position in positions:
+            if oid in self._objects:
+                raise KeyError(f"object {oid!r} already loaded")
+            cell = self.query_index.cell_rect_of_point(position)
+            self._objects[oid] = ObjectState(cell, position, time)
+            pairs.append((oid, cell))
+        self.object_index = bulk_load(
+            pairs, max_entries=self.config.index_max_entries
+        )
+        self.stats.cpu_seconds += _time.perf_counter() - started
+        return {oid: rect for oid, rect in pairs}
+
+    def add_object(
+        self, oid: ObjectId, position: Point, time: float = 0.0
+    ) -> UpdateOutcome:
+        """Register one object dynamically, reevaluating affected queries."""
+        if oid in self._objects:
+            raise KeyError(f"object {oid!r} already loaded")
+        self._objects[oid] = ObjectState(Rect.from_point(position), position, time)
+        self.object_index.insert(oid, Rect.from_point(position))
+        return self._process_update(oid, position, None, time)
+
+    def remove_object(self, oid: ObjectId) -> None:
+        """Drop an object (its query memberships are *not* reevaluated)."""
+        del self._objects[oid]
+        self.object_index.delete(oid)
+
+    # ------------------------------------------------------------------
+    # Query registration (Algorithm 1, lines 2-7)
+    # ------------------------------------------------------------------
+    def register_query(self, query: Query, time: float = 0.0) -> UpdateOutcome:
+        """Evaluate a new query from scratch and start monitoring it.
+
+        Every object probed during evaluation is treated as having sent a
+        location report: its exact position may contradict *other*
+        registered queries (probes can catch an object that has drifted
+        past its safe region under finite client polling or message
+        delay), so those queries are reevaluated too.  All probed objects
+        then receive freshly recomputed safe regions.
+        """
+        started = _time.perf_counter()
+        probed: dict[ObjectId, Point] = {}
+        shrunk_only: dict[ObjectId, Rect] = {}
+        previous_positions: dict[ObjectId, Point] = {}
+        probe = self._make_probe(probed, time)
+        constrain = self._make_constrain(time)
+
+        if hasattr(query, "evaluate_over"):
+            # Extension query types (repro.core.extensions) bring their own
+            # evaluation routine over safe regions.
+            evaluation = query.evaluate_over(self.object_index, probe, constrain)
+            query.results = set(evaluation.results)
+        elif isinstance(query, RangeQuery):
+            evaluation = evaluate_range(
+                self.object_index, query.rect, probe, constrain
+            )
+            query.results = set(evaluation.results)
+        elif isinstance(query, KNNQuery):
+            evaluation = evaluate_knn(
+                self.object_index,
+                query.center,
+                query.k,
+                probe,
+                order_sensitive=query.order_sensitive,
+                constrain=constrain,
+            )
+            query.results = list(evaluation.results)
+            query.radius = evaluation.radius
+        else:
+            raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+        previous_positions.update(self._apply_probes(probed, time))
+        shrunk_only.update(self._apply_shrinks(evaluation.shrunk, probed))
+        self.query_index.insert(query)
+        self.stats.queries_registered += 1
+
+        outcome = UpdateOutcome()
+        outcome.changes.append(
+            ResultChange(query.query_id, None, _snapshot(query))
+        )
+        self._ingest_reports(
+            list(probed.items()), probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time,
+        )
+        self._location_manager_phase(
+            list(probed), {}, probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time, updater=None,
+        )
+        self.stats.cpu_seconds += _time.perf_counter() - started
+        return outcome
+
+    def deregister_query(self, query: Query) -> None:
+        """Stop monitoring ``query`` (Algorithm 1, lines 6-7).
+
+        Safe regions computed while the query was registered remain valid
+        (they are conservative), so no object needs to be contacted.
+        """
+        self.query_index.remove(query)
+
+    # ------------------------------------------------------------------
+    # Location updates (Algorithm 1, lines 8-15)
+    # ------------------------------------------------------------------
+    def handle_location_update(
+        self, oid: ObjectId, position: Point, time: float = 0.0
+    ) -> UpdateOutcome:
+        """Process a source-initiated location update from ``oid``.
+
+        Returns the new safe region for the updater (``safe_region``), new
+        safe regions for every probed object (``probed``), and the result
+        deltas to push to application servers (``changes``).
+        """
+        state = self._objects[oid]
+        previous = state.p_lst
+        return self._process_update(oid, position, previous, time)
+
+    def _process_update(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point | None,
+        time: float,
+    ) -> UpdateOutcome:
+        started = _time.perf_counter()
+        self.stats.location_updates += 1
+        state = self._objects[oid]
+        state.p_lst = position
+        state.last_update_time = time
+        self.object_index.update(oid, Rect.from_point(position))
+
+        probed: dict[ObjectId, Point] = {}
+        shrunk_only: dict[ObjectId, Rect] = {}
+        previous_positions: dict[ObjectId, Point] = {}
+        probe = self._make_probe(probed, time)
+        constrain = self._make_constrain(time)
+        outcome = UpdateOutcome()
+
+        self._ingest_reports(
+            [(oid, position)], probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time,
+            initial_previous={oid: previous},
+        )
+        outcome.queries_reevaluated = len(outcome.changes)
+
+        targets = [oid] + [target for target in probed if target != oid]
+        self._location_manager_phase(
+            targets, {oid: previous}, probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time, updater=oid,
+        )
+        self.stats.cpu_seconds += _time.perf_counter() - started
+        return outcome
+
+    def _ingest_reports(
+        self,
+        initial_reports: list[tuple[ObjectId, Point]],
+        probe,
+        probed: dict[ObjectId, Point],
+        previous_positions: dict[ObjectId, Point],
+        shrunk_only: dict[ObjectId, Rect],
+        constrain,
+        outcome: UpdateOutcome,
+        time: float,
+        initial_previous: dict[ObjectId, Point | None] | None = None,
+    ) -> None:
+        """Reevaluate queries for a cascade of position reports.
+
+        Every position report — a source-initiated update or a probed
+        position — goes through affected-query reevaluation.  A probe can
+        catch an object outside its safe region (clients detect crossings
+        at a finite polling rate, and messages are delayed), so the probed
+        position may contradict *other* queries' results; those queries
+        must be fixed now, or the error persists until the object happens
+        to report again.  Reevaluation may probe further objects, whose
+        reports join the queue; each object is ingested at most once.
+        """
+        initial_previous = initial_previous or {}
+        reports = list(initial_reports)
+        reported = {r_oid for r_oid, _ in reports}
+        while reports:
+            r_oid, r_pos = reports.pop(0)
+            r_prev = initial_previous.get(
+                r_oid, previous_positions.get(r_oid)
+            )
+            self._reevaluate_affected(
+                r_oid, r_pos, r_prev, probe, probed, previous_positions,
+                shrunk_only, constrain, outcome, time,
+            )
+            for target, target_pos in probed.items():
+                if target not in reported:
+                    reported.add(target)
+                    reports.append((target, target_pos))
+
+    def _location_manager_phase(
+        self,
+        targets: list[ObjectId],
+        initial_previous: dict[ObjectId, Point | None],
+        probe,
+        probed: dict[ObjectId, Point],
+        previous_positions: dict[ObjectId, Point],
+        shrunk_only: dict[ObjectId, Rect],
+        constrain,
+        outcome: UpdateOutcome,
+        time: float,
+        updater: ObjectId | None,
+    ) -> None:
+        """Recompute safe regions for every object that reported (§5).
+
+        Processed as a worklist: when a freshly computed region has
+        (near-)zero room, the anti-storm relief may probe further objects,
+        whose positions are then ingested like any other report and whose
+        safe regions are recomputed in turn.
+        """
+        def prev_lookup(target):
+            if target in initial_previous:
+                return initial_previous[target]
+            return previous_positions.get(target)
+
+        queue: list[ObjectId] = list(targets)
+        queued = set(queue)
+        completed: set[ObjectId] = set()
+        while queue:
+            target = queue.pop(0)
+            queued.discard(target)
+            target_pos = self._objects[target].p_lst
+            region = self._full_safe_region(
+                target, target_pos, prev_lookup(target)
+            )
+            cell = self.query_index.cell_rect_of_point(target_pos)
+            if (
+                self.config.anti_storm_relief
+                and interior_margin(region, target_pos) < self._margin_floor
+                and interior_margin(cell, target_pos) >= self._margin_floor
+            ):
+                # Tight for a query-related reason (an object hugging its
+                # own grid-cell edge resolves itself at the next crossing).
+                relieved, fresh = self._relieve(
+                    target, target_pos, probe, probed, previous_positions,
+                    time,
+                )
+                # Relief probes are position reports too: fix any query
+                # their exact positions contradict, then queue their
+                # safe-region recomputation.
+                for other, other_pos in fresh.items():
+                    self._reevaluate_affected(
+                        other, other_pos, previous_positions.get(other),
+                        probe, probed, previous_positions, shrunk_only,
+                        constrain, outcome, time,
+                    )
+                    if other not in queued and other != target:
+                        completed.discard(other)
+                        queued.add(other)
+                        queue.append(other)
+                if relieved:
+                    region = self._full_safe_region(
+                        target, target_pos, prev_lookup(target)
+                    )
+            shrunk_only.pop(target, None)
+            self._install_safe_region(target, region)
+            completed.add(target)
+            if target == updater:
+                outcome.safe_region = region
+            else:
+                outcome.probed[target] = region
+        for target, region in shrunk_only.items():
+            outcome.probed[target] = region
+
+    def _relieve(
+        self,
+        target: ObjectId,
+        position: Point,
+        probe,
+        probed: dict[ObjectId, Point],
+        previous_positions: dict[ObjectId, Point],
+        time: float,
+    ) -> tuple[bool, dict[ObjectId, Point]]:
+        """Anti-storm relief: widen the slack around a pinched object.
+
+        Returns ``(changed, fresh)``: whether anything changed (so the
+        caller must recompute the region) and the positions of any objects
+        the relief probed.  Quarantine-radius adjustments are applied to
+        the queries directly.
+        """
+        all_fresh: dict[ObjectId, Point] = {}
+        changed_radius = False
+        for query in sorted(
+            self.query_index.queries_at(position), key=lambda q: q.query_id
+        ):
+            if not isinstance(query, KNNQuery):
+                continue
+            # Only relieve the queries whose own constraint is the pinch;
+            # probing neighbours of a query with ample slack is waste.
+            piece = knn_safe_region(
+                query, target, position,
+                self.query_index.cell_rect_of_point(position),
+                self.object_index.rect_of,
+            )
+            if interior_margin(piece, position) >= self._margin_floor:
+                continue
+            probes_before = set(probed)
+            relief = relieve_tight_safe_region(
+                query, target, position, self.object_index, probe,
+                already_probed=frozenset(probed),
+                min_gain=self._margin_floor,
+            )
+            fresh = {
+                other: pos
+                for other, pos in probed.items()
+                if other not in probes_before
+            }
+            if fresh:
+                previous_positions.update(self._apply_probes(fresh, time))
+                all_fresh.update(fresh)
+            if relief.quarantine_changed:
+                changed_radius = True
+                self.query_index.update(query)
+        return (changed_radius or bool(all_fresh), all_fresh)
+
+    def _reevaluate_affected(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point | None,
+        probe,
+        probed: dict[ObjectId, Point],
+        previous_positions: dict[ObjectId, Point],
+        shrunk_only: dict[ObjectId, Rect],
+        constrain,
+        outcome: UpdateOutcome,
+        time: float,
+    ) -> None:
+        """Reevaluate every query affected by one position report."""
+        candidates = self.query_index.candidate_queries(position, previous)
+        outcome.queries_checked += len(candidates)
+        self.stats.queries_checked += len(candidates)
+        affected = sorted(
+            (q for q in candidates if q.is_affected_by(position, previous)),
+            key=lambda q: q.query_id,
+        )
+        for query in affected:
+            before = _snapshot(query)
+            probes_before = set(probed)
+            if hasattr(query, "reevaluate_for"):
+                reevaluation = query.reevaluate_for(
+                    oid, position, self.object_index, probe, constrain
+                )
+            elif isinstance(query, RangeQuery):
+                reevaluation = reevaluate_range(query, oid, position)
+            else:
+                reevaluation = reevaluate_knn(
+                    query,
+                    oid,
+                    position,
+                    previous,
+                    self.object_index,
+                    probe,
+                    self.object_index.rect_of,
+                    constrain,
+                )
+            fresh = {
+                target: pos
+                for target, pos in probed.items()
+                if target not in probes_before
+            }
+            previous_positions.update(self._apply_probes(fresh, time))
+            shrunk_only.update(
+                self._apply_shrinks(reevaluation.shrunk, probed)
+            )
+            if reevaluation.quarantine_changed:
+                self.query_index.update(query)
+            after = _snapshot(query)
+            outcome.changes.append(ResultChange(query.query_id, before, after))
+            if before != after:
+                self.stats.result_changes += 1
+            self.stats.queries_reevaluated += 1
+
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_probe(self, probed: dict[ObjectId, Point], time: float):
+        def probe(target: ObjectId) -> Point:
+            position = self._oracle(target)
+            probed[target] = position
+            self.stats.probes += 1
+            return position
+
+        return probe
+
+    def _make_constrain(self, time: float):
+        if self._reachability is None:
+            return None
+
+        def constrain(target: ObjectId, region: Rect) -> Rect:
+            state = self._objects[target]
+            return self._reachability.constrain(
+                region, state.p_lst, state.last_update_time, time
+            )
+
+        return constrain
+
+    def _apply_probes(
+        self, probed: dict[ObjectId, Point], time: float
+    ) -> dict[ObjectId, Point]:
+        """Collapse probed objects' index entries to their exact points.
+
+        Returns each probed object's *previous* reported position (needed
+        as the movement direction for the weighted-perimeter objective).
+        """
+        previous_positions = {}
+        for target, position in probed.items():
+            state = self._objects[target]
+            previous_positions[target] = state.p_lst
+            state.p_lst = position
+            state.last_update_time = time
+            self.object_index.update(target, Rect.from_point(position))
+        return previous_positions
+
+    def _apply_shrinks(
+        self, shrunk: dict[ObjectId, Rect], probed: dict[ObjectId, Point]
+    ) -> dict[ObjectId, Rect]:
+        """Install reachability-tightened safe regions (Section 6.1).
+
+        Objects that were eventually probed anyway are skipped — the probe
+        supersedes the shrink.  Each installed shrink is pushed to the
+        client over the downlink and counted in ``safe_region_pushes``.
+        With ``reachability_pushes`` disabled (the paper's semantics),
+        nothing is installed and constrained decisions may go stale.
+        """
+        if not self.config.reachability_pushes:
+            return {}
+        applied = {}
+        for target, region in shrunk.items():
+            if target in probed:
+                continue
+            state = self._objects[target]
+            state.safe_region = region
+            self.object_index.update(target, region)
+            self.stats.safe_region_pushes += 1
+            applied[target] = region
+        return applied
+
+    def _install_safe_region(self, oid: ObjectId, region: Rect) -> None:
+        self._objects[oid].safe_region = region
+        self.object_index.update(oid, region)
+
+    def _objective(self, position: Point, previous: Point | None):
+        return weighted_perimeter_objective(
+            position, previous, self.config.steadiness
+        )
+
+    def _full_safe_region(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point | None,
+    ) -> Rect:
+        """Recompute an object's safe region against all relevant queries."""
+        cell = self.query_index.cell_rect_of_point(position)
+        relevant = self.query_index.queries_at(position)
+        return compute_safe_region(
+            oid,
+            position,
+            sorted(relevant, key=lambda q: q.query_id),
+            cell,
+            self.object_index.rect_of,
+            self._objective(position, previous),
+            use_batch=self.config.batch_range_regions,
+        )
+
+
+def _snapshot(query: Query):
+    return query.result_snapshot()

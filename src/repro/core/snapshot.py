@@ -1,0 +1,151 @@
+"""Snapshot / restore of the monitoring server's state.
+
+A monitoring server is long-running; being able to persist its view —
+object safe regions, query results, quarantine radii — and resume after a
+restart without re-probing the whole fleet is table stakes for a real
+deployment.  The snapshot is plain JSON: every value it stores is either
+a primitive, a point, or a rectangle.
+
+Restoring reconstructs the object index (bulk-loaded over the stored safe
+regions), the grid query index, and the per-object state; the restored
+server continues exactly where the old one stopped, as the round-trip
+tests assert.
+
+Only the built-in query types (:class:`RangeQuery`, :class:`KNNQuery`)
+are serialised; extension queries should be re-registered by the
+application after restore (they may hold application references).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Hashable
+
+from repro.core.queries import KNNQuery, RangeQuery
+from repro.core.server import DatabaseServer, ObjectState, ServerConfig
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bulk import bulk_load
+
+ObjectId = Hashable
+
+FORMAT_VERSION = 1
+
+
+def _rect_to_list(rect: Rect) -> list[float]:
+    return [rect.min_x, rect.min_y, rect.max_x, rect.max_y]
+
+
+def _rect_from_list(values) -> Rect:
+    return Rect(*values)
+
+
+def snapshot_server(server: DatabaseServer) -> dict:
+    """Serialise a server's complete monitoring state to a JSON-able dict."""
+    queries = []
+    for query in sorted(server.queries(), key=lambda q: q.query_id):
+        if isinstance(query, RangeQuery):
+            queries.append(
+                {
+                    "type": "range",
+                    "query_id": query.query_id,
+                    "rect": _rect_to_list(query.rect),
+                    "results": sorted(query.results, key=repr),
+                }
+            )
+        elif isinstance(query, KNNQuery):
+            queries.append(
+                {
+                    "type": "knn",
+                    "query_id": query.query_id,
+                    "center": [query.center.x, query.center.y],
+                    "k": query.k,
+                    "order_sensitive": query.order_sensitive,
+                    "results": list(query.results),
+                    "radius": query.radius,
+                }
+            )
+        else:
+            raise TypeError(
+                f"cannot snapshot extension query {type(query).__name__}; "
+                "re-register it after restore"
+            )
+    objects = {}
+    for oid in sorted(server._objects, key=repr):
+        state = server._objects[oid]
+        objects[json.dumps(oid)] = {
+            "safe_region": _rect_to_list(state.safe_region),
+            "p_lst": [state.p_lst.x, state.p_lst.y],
+            "last_update_time": state.last_update_time,
+        }
+    return {
+        "version": FORMAT_VERSION,
+        "config": {
+            "grid_m": server.config.grid_m,
+            "space": _rect_to_list(server.config.space),
+            "max_speed": server.config.max_speed,
+            "reachability_pushes": server.config.reachability_pushes,
+            "steadiness": server.config.steadiness,
+            "index_max_entries": server.config.index_max_entries,
+            "batch_range_regions": server.config.batch_range_regions,
+            "anti_storm_relief": server.config.anti_storm_relief,
+        },
+        "queries": queries,
+        "objects": objects,
+    }
+
+
+def restore_server(payload: dict, position_oracle) -> DatabaseServer:
+    """Rebuild a server from a snapshot dict and a fresh probe channel."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported snapshot version: {version!r}")
+    config_data = dict(payload["config"])
+    config_data["space"] = _rect_from_list(config_data["space"])
+    server = DatabaseServer(
+        position_oracle=position_oracle, config=ServerConfig(**config_data)
+    )
+
+    pairs = []
+    for key, data in payload["objects"].items():
+        oid = json.loads(key)
+        region = _rect_from_list(data["safe_region"])
+        server._objects[oid] = ObjectState(
+            safe_region=region,
+            p_lst=Point(*data["p_lst"]),
+            last_update_time=data["last_update_time"],
+        )
+        pairs.append((oid, region))
+    server.object_index = bulk_load(
+        pairs, max_entries=server.config.index_max_entries
+    )
+
+    for entry in payload["queries"]:
+        if entry["type"] == "range":
+            query = RangeQuery(
+                _rect_from_list(entry["rect"]), query_id=entry["query_id"]
+            )
+            query.results = set(entry["results"])
+        elif entry["type"] == "knn":
+            query = KNNQuery(
+                Point(*entry["center"]),
+                entry["k"],
+                order_sensitive=entry["order_sensitive"],
+                query_id=entry["query_id"],
+            )
+            query.results = list(entry["results"])
+            query.radius = entry["radius"]
+        else:
+            raise ValueError(f"unknown query type {entry['type']!r}")
+        server.query_index.insert(query)
+    return server
+
+
+def dump_server(server: DatabaseServer, handle: IO[str]) -> None:
+    """Write a snapshot as JSON to an open text handle."""
+    json.dump(snapshot_server(server), handle)
+
+
+def load_server(handle: IO[str], position_oracle) -> DatabaseServer:
+    """Read a snapshot from an open text handle and rebuild the server."""
+    return restore_server(json.load(handle), position_oracle)

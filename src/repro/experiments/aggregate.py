@@ -1,0 +1,118 @@
+"""Multi-seed aggregation for experiment results.
+
+Single-seed series are reproducible but carry sampling noise; the paper
+averages long runs instead.  This module reruns any scheme set over
+several seeds and reports mean and standard deviation per metric — the
+responsible way to quote a number from this harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.experiments.runner import SchemeName, run_schemes
+from repro.simulation.scenario import Scenario
+
+#: Metrics aggregated from each report (all are plain floats).
+DEFAULT_METRICS: tuple[str, ...] = (
+    "accuracy",
+    "comm_cost",
+    "cpu_seconds_per_time",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """Mean and spread of one metric over seeds."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    samples: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g}"
+
+
+@dataclass(slots=True)
+class AggregateResult:
+    """Per-scheme metric summaries over a seed set."""
+
+    scheme: str
+    seeds: tuple[int, ...]
+    metrics: dict[str, MetricSummary]
+
+    def row(self) -> dict:
+        flat: dict = {"scheme": self.scheme, "seeds": len(self.seeds)}
+        for name, summary in self.metrics.items():
+            flat[name] = summary.mean
+            flat[f"{name}_std"] = summary.std
+        return flat
+
+
+def summarise(values: Sequence[float]) -> MetricSummary:
+    """Mean / sample std / extrema of a non-empty value list."""
+    if not values:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    else:
+        variance = 0.0
+    return MetricSummary(
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+        samples=n,
+    )
+
+
+def aggregate_over_seeds(
+    base: Scenario,
+    seeds: Iterable[int],
+    schemes: Iterable[SchemeName] = ("SRB", "OPT"),
+    metrics: Sequence[str] = DEFAULT_METRICS,
+) -> list[AggregateResult]:
+    """Run ``schemes`` for every seed and summarise each metric.
+
+    Each seed regenerates the world (trajectories and workload), so the
+    spread reflects scenario-level randomness, not measurement noise.
+    """
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    schemes = tuple(schemes)
+    collected: dict[str, dict[str, list[float]]] = {
+        scheme: {metric: [] for metric in metrics} for scheme in schemes
+    }
+    for seed in seeds:
+        reports = run_schemes(base.with_overrides(seed=seed), schemes)
+        for scheme, report in reports.items():
+            for metric in metrics:
+                collected[scheme][metric].append(
+                    float(getattr(report, metric))
+                )
+    return [
+        AggregateResult(
+            scheme=scheme,
+            seeds=seeds,
+            metrics={
+                metric: summarise(values)
+                for metric, values in by_metric.items()
+            },
+        )
+        for scheme, by_metric in collected.items()
+    ]
+
+
+def relative_spread(result: AggregateResult, metric: str) -> float:
+    """Coefficient of variation (std / mean) of a metric; 0 for zero mean."""
+    summary = result.metrics[metric]
+    if summary.mean == 0:
+        return 0.0
+    return summary.std / abs(summary.mean)

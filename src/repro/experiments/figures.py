@@ -1,0 +1,270 @@
+"""One function per figure of the paper's evaluation (Section 7).
+
+Table 7.1 gives the paper's defaults at testbed scale (100,000 objects,
+5,000 time units, two dedicated PCs); :data:`PAPER_DEFAULTS` records them
+verbatim.  :data:`BENCH_BASE` is the laptop-scale base scenario used by the
+benchmark suite — densities (objects per query range, objects per grid
+cell) are preserved so every reported *shape* survives the scaling; see
+DESIGN.md §3 and EXPERIMENTS.md for the mapping and the measured numbers.
+
+Every ``figure_*`` function returns a :class:`FigureResult` whose rows are
+the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import build_truth, sweep
+from repro.simulation.engine import SRBSimulation
+from repro.simulation.scenario import Scenario
+from repro.workloads.generator import generate_queries
+
+#: Table 7.1 of the paper, verbatim.
+PAPER_DEFAULTS = {
+    "N": 100_000,
+    "W": 1_000,
+    "v_mean": 0.01,
+    "t_v_mean": 0.005,
+    "q_len": 0.005,
+    "k_max": 10,
+    "t_prd": (1.0, 0.1),
+    "M": 50,
+    "duration": 5_000.0,
+}
+
+#: Laptop-scale base scenario for the benchmark suite (density-preserving).
+BENCH_BASE = Scenario(
+    num_objects=1200,
+    num_queries=40,
+    mean_speed=0.01,
+    mean_period=0.1,
+    q_len=0.045,
+    k_max=3,
+    grid_m=15,
+    delay=0.0,
+    duration=5.0,
+    sample_interval=0.05,
+    client_poll_interval=5e-3,
+    seed=1,
+)
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """Rows of one reproduced figure plus its rendering."""
+
+    figure_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+
+    def table(self) -> str:
+        return format_table(self.rows, title=f"{self.figure_id}: {self.title}")
+
+
+def _scheme_rows(results, parameter: str, metrics: Sequence[str]) -> list[dict]:
+    rows = []
+    for value, reports in results:
+        for name, report in reports.items():
+            row = {parameter: value, "scheme": name}
+            for metric in metrics:
+                row[metric] = getattr(report, metric)
+            rows.append(row)
+    return rows
+
+
+def figure_7_1(base: Scenario = BENCH_BASE, delays=(0.0, 0.05, 0.1, 0.2, 0.5)) -> FigureResult:
+    """Figure 7.1: impact of communication delay tau.
+
+    (a) monitoring accuracy and (b) communication cost of SRB / OPT /
+    PRD(1) / PRD(0.1) as the one-way delay grows.  Expected shape: SRB is
+    100% accurate at tau = 0 and degrades slowly; PRD lives at 80-90%;
+    costs are flat in tau with OPT < SRB << PRD(1) < PRD(0.1).
+    """
+    results = sweep(base, "delay", delays)
+    rows = _scheme_rows(results, "delay", ("accuracy", "comm_cost"))
+    return FigureResult("Fig 7.1", "accuracy & communication cost vs delay", rows)
+
+
+def figure_7_2(base: Scenario = BENCH_BASE, query_counts=(10, 20, 40, 80)) -> FigureResult:
+    """Figure 7.2: scalability with the number of queries W.
+
+    Expected shape: SRB CPU grows sublinearly in W (grid filtering), PRD
+    CPU linearly; SRB communication cost grows sublinearly and stays close
+    to OPT.
+    """
+    results = sweep(base, "num_queries", query_counts)
+    rows = _scheme_rows(
+        results, "W", ("cpu_seconds_per_time", "comm_cost", "accuracy")
+    )
+    return FigureResult("Fig 7.2", "CPU time & communication cost vs W", rows)
+
+
+def figure_7_3(base: Scenario = BENCH_BASE, object_counts=(300, 600, 1200, 2400)) -> FigureResult:
+    """Figure 7.3: scalability with the number of objects N.
+
+    Expected shape: SRB CPU sublinear in N (incrementally maintained
+    R*-tree) while PRD rebuilds everything per period; SRB communication
+    cost per client grows sublinearly (denser objects shrink kNN safe
+    regions) and stays close to OPT.
+    """
+    results = sweep(base, "num_objects", object_counts)
+    rows = _scheme_rows(
+        results, "N", ("cpu_seconds_per_time", "comm_cost", "accuracy")
+    )
+    return FigureResult("Fig 7.3", "CPU time & communication cost vs N", rows)
+
+
+def figure_7_4a(base: Scenario = BENCH_BASE, speeds=(0.01, 0.02, 0.05, 0.1, 0.2)) -> FigureResult:
+    """Figure 7.4(a): SRB communication cost vs average speed v-bar.
+
+    Expected shape: cost per client-time grows with speed; cost per
+    *distance unit travelled* flattens towards a constant — geometric
+    boundary crossings depend on path length, not on how fast it is
+    traversed.  (At bench scale a speed-independent component — contention
+    knots rate-capped by the client polling interval — makes the
+    per-distance curve fall towards that plateau instead of being exactly
+    flat; see EXPERIMENTS.md.)
+    """
+    rows = []
+    for value, reports in sweep(base, "mean_speed", speeds, schemes=("SRB",)):
+        report = reports["SRB"]
+        rows.append(
+            {
+                "v_mean": value,
+                "comm_cost": report.comm_cost,
+                "comm_cost_per_distance": report.comm_cost_per_distance,
+            }
+        )
+    return FigureResult("Fig 7.4a", "communication cost vs average speed", rows)
+
+
+def figure_7_4b(base: Scenario = BENCH_BASE, periods=(0.05, 0.1, 0.2, 0.5, 1.0)) -> FigureResult:
+    """Figure 7.4(b): SRB communication cost vs movement period t_v-bar.
+
+    Expected shape: essentially flat — SRB is robust to how often objects
+    change direction.
+    """
+    rows = []
+    for value, reports in sweep(base, "mean_period", periods, schemes=("SRB",)):
+        report = reports["SRB"]
+        rows.append({"t_v_mean": value, "comm_cost": report.comm_cost})
+    return FigureResult("Fig 7.4b", "communication cost vs movement period", rows)
+
+
+def figure_7_5(base: Scenario = BENCH_BASE, grid_sizes=(5, 10, 15, 30, 60, 150)) -> FigureResult:
+    """Figure 7.5: SRB performance vs grid partitioning M.
+
+    Expected shape: the cost curve has two regimes.  With very coarse
+    grids every query overlapping an object's huge cell is "relevant" and
+    must be dodged, shrinking safe regions (the paper notes the regions
+    "are determined more by the relevant queries than by the grid cell");
+    with very fine grids the cell itself caps the regions and cost rises
+    sharply (the paper's M = 50 -> 100 jump).  CPU time falls with M
+    (fewer relevant queries per safe-region computation).  At the paper's
+    density only the rising branch is visible; at bench density the full
+    U-shape appears.  EXPERIMENTS.md discusses the mapping.
+    """
+    rows = []
+    for value, reports in sweep(base, "grid_m", grid_sizes, schemes=("SRB",)):
+        report = reports["SRB"]
+        rows.append(
+            {
+                "M": value,
+                "comm_cost": report.comm_cost,
+                "cpu_seconds_per_time": report.cpu_seconds_per_time,
+            }
+        )
+    return FigureResult("Fig 7.5", "communication cost & CPU time vs M", rows)
+
+
+def figure_7_6a(base: Scenario = BENCH_BASE, query_counts=(10, 20, 40, 80)) -> FigureResult:
+    """Figure 7.6(a): the reachability-circle enhancement vs W.
+
+    Two variants are reported per W.  Under the *paper's* semantics (the
+    reachability circle resolves decisions but tightened regions are not
+    installed) the enhancement cuts communication cost by the paper's
+    20-40% — at a monitoring-accuracy cost the paper never reports,
+    because a decision made on a constrained region can go stale the
+    moment the object outruns it.  The *exact* variant installs and
+    pushes every decisive tightening (0.5 per downlink push), keeping
+    accuracy intact; its net savings are smaller and fade as W grows.
+    EXPERIMENTS.md discusses this reproduction finding in detail.
+    """
+    rows = []
+    for w in query_counts:
+        plain = base.with_overrides(num_queries=w, use_reachability=False)
+        exact = plain.with_overrides(use_reachability=True)
+        paper = exact.with_overrides(reachability_pushes=False)
+        truth = build_truth(plain)
+        report_plain = _run_srb(plain, truth)
+        report_exact = _run_srb(exact, truth)
+        report_paper = _run_srb(paper, truth)
+        rows.append(
+            {
+                "W": w,
+                "comm_cost_srb": report_plain.comm_cost,
+                "comm_reach_exact": report_exact.comm_cost,
+                "improve_exact_pct": _improvement(report_plain, report_exact),
+                "comm_reach_paper": report_paper.comm_cost,
+                "improve_paper_pct": _improvement(report_plain, report_paper),
+                "acc_srb": report_plain.accuracy,
+                "acc_exact": report_exact.accuracy,
+                "acc_paper": report_paper.accuracy,
+            }
+        )
+    return FigureResult("Fig 7.6a", "reachability-circle enhancement vs W", rows)
+
+
+def figure_7_6b(
+    base: Scenario = BENCH_BASE,
+    periods=(0.05, 0.1, 0.2, 0.5, 1.0),
+    steadiness: float = 0.5,
+) -> FigureResult:
+    """Figure 7.6(b): the weighted-perimeter enhancement vs t_v-bar (D=0.5).
+
+    Expected shape: slightly harmful when direction changes constantly
+    (tiny periods), 5-15% cheaper once movement is steady.
+    """
+    rows = []
+    for period in periods:
+        plain = base.with_overrides(mean_period=period, steadiness=0.0)
+        enhanced = plain.with_overrides(steadiness=steadiness)
+        truth = build_truth(plain)
+        report_plain = _run_srb(plain, truth)
+        report_enhanced = _run_srb(enhanced, truth)
+        improvement = _improvement(report_plain, report_enhanced)
+        rows.append(
+            {
+                "t_v_mean": period,
+                "comm_cost_srb": report_plain.comm_cost,
+                "comm_cost_weighted": report_enhanced.comm_cost,
+                "improvement_pct": improvement,
+            }
+        )
+    return FigureResult("Fig 7.6b", "weighted-perimeter enhancement vs t_v", rows)
+
+
+def _run_srb(scenario: Scenario, truth):
+    fresh = generate_queries(scenario.workload(), seed=scenario.seed)
+    return SRBSimulation(scenario, queries=fresh, truth=truth).run()
+
+
+def _improvement(plain, enhanced) -> float:
+    if plain.comm_cost == 0:
+        return 0.0
+    return 100.0 * (plain.comm_cost - enhanced.comm_cost) / plain.comm_cost
+
+
+ALL_FIGURES = {
+    "7.1": figure_7_1,
+    "7.2": figure_7_2,
+    "7.3": figure_7_3,
+    "7.4a": figure_7_4a,
+    "7.4b": figure_7_4b,
+    "7.5": figure_7_5,
+    "7.6a": figure_7_6a,
+    "7.6b": figure_7_6b,
+}

@@ -1,0 +1,42 @@
+"""Plain-text tables for experiment output (the repo's "figures")."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_table(rows: Iterable[Mapping], title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table (insertion-ordered keys)."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [
+        {column: _fmt(row.get(column, "")) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rendered:
+        lines.append(
+            " | ".join(row[column].ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.5g}"
+    return str(value)

@@ -1,0 +1,43 @@
+"""Geometry kernel: points, rectangles, circles, rings, and motion helpers.
+
+These primitives implement the distance notation of the paper: ``d(s, t)``
+is the distance between two points, ``delta(S, T)`` the minimum distance
+between areas (or points) ``S`` and ``T``, and ``Delta(S, T)`` the maximum
+distance.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.circle import Circle
+from repro.geometry.ring import Ring
+from repro.geometry.distances import (
+    delta,
+    Delta,
+    min_dist_point_rect,
+    max_dist_point_rect,
+    min_dist_rect_rect,
+    max_dist_rect_rect,
+)
+from repro.geometry.motion import (
+    LinearMotion,
+    exit_time_from_rect,
+    exit_time_from_circle,
+    position_at,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "Circle",
+    "Ring",
+    "delta",
+    "Delta",
+    "min_dist_point_rect",
+    "max_dist_point_rect",
+    "min_dist_rect_rect",
+    "max_dist_rect_rect",
+    "LinearMotion",
+    "exit_time_from_rect",
+    "exit_time_from_circle",
+    "position_at",
+]

@@ -1,0 +1,47 @@
+"""An immutable 2-D point."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the unit square workspace.
+
+    Coordinates are plain floats; the class is hashable so points can be
+    used as dictionary keys (e.g. memoising safe-region computations).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance ``d(self, other)``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt when comparing)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def dominates(self, other: "Point") -> bool:
+        """Strict dominance as used by Proposition 5.6 of the paper.
+
+        Point ``a`` dominates point ``b`` iff ``a.x > b.x and a.y > b.y``.
+        """
+        return self.x > other.x and self.y > other.y
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y

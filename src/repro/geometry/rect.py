@@ -1,0 +1,215 @@
+"""Axis-aligned rectangles (the paper's safe regions, query ranges, MBRs)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    The rectangle is closed: boundary points are contained.  Degenerate
+    rectangles (zero width and/or height) are allowed — a freshly updated
+    object has a point-sized safe region until the server recomputes it.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"malformed rectangle: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, a: Point, b: Point) -> "Rect":
+        """Smallest rectangle containing both points."""
+        return cls(
+            min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y)
+        )
+
+    @classmethod
+    def from_point(cls, p: Point) -> "Rect":
+        """Degenerate (point-sized) rectangle."""
+        return cls(p.x, p.y, p.x, p.y)
+
+    @classmethod
+    def from_center(cls, center: Point, half_width: float, half_height: float) -> "Rect":
+        """Rectangle centred at ``center`` with the given half extents."""
+        if half_width < 0 or half_height < 0:
+            raise ValueError("half extents must be non-negative")
+        return cls(
+            center.x - half_width,
+            center.y - half_height,
+            center.x + half_width,
+            center.y + half_height,
+        )
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        """Perimeter — the quantity Theorem 5.1 says to maximise."""
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def margin(self) -> float:
+        """Half perimeter (R*-tree literature calls this the margin)."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True if the rectangle has zero area."""
+        return self.width == 0.0 or self.height == 0.0
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool:
+        """Whether ``p`` lies in the (closed) rectangle, within ``eps``."""
+        return (
+            self.min_x - eps <= p.x <= self.max_x + eps
+            and self.min_y - eps <= p.y <= self.max_y + eps
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` is fully inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """Whether the closed rectangles share at least one point."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def intersects_open(self, other: "Rect") -> bool:
+        """Whether the rectangles overlap with positive area."""
+        return (
+            self.min_x < other.max_x
+            and other.min_x < self.max_x
+            and self.min_y < other.max_y
+            and other.min_y < self.max_y
+        )
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or ``None`` when disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both (MBR union)."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, amount: float) -> "Rect":
+        """Rectangle grown by ``amount`` on every side (clamped to valid)."""
+        if amount < 0:
+            half_w = min(-amount, self.width / 2.0)
+            half_h = min(-amount, self.height / 2.0)
+            return Rect(
+                self.min_x + half_w,
+                self.min_y + half_h,
+                self.max_x - half_w,
+                self.max_y - half_h,
+            )
+        return Rect(
+            self.min_x - amount,
+            self.min_y - amount,
+            self.max_x + amount,
+            self.max_y + amount,
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this MBR to also cover ``other``."""
+        return self.union(other).area - self.area
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the intersection (0 when disjoint)."""
+        w = min(self.max_x, other.max_x) - max(self.min_x, other.min_x)
+        h = min(self.max_y, other.max_y) - max(self.min_y, other.min_y)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    # ------------------------------------------------------------------
+    # Distances (delta / Delta of the paper for point-vs-rect)
+    # ------------------------------------------------------------------
+    def min_dist_to_point(self, p: Point) -> float:
+        """``delta(p, self)``: 0 when ``p`` is inside."""
+        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
+        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        return math.hypot(dx, dy)
+
+    def max_dist_to_point(self, p: Point) -> float:
+        """``Delta(p, self)``: distance to the farthest corner."""
+        dx = max(p.x - self.min_x, self.max_x - p.x)
+        dy = max(p.y - self.min_y, self.max_y - p.y)
+        return math.hypot(dx, dy)
+
+    def clamp_point(self, p: Point) -> Point:
+        """Closest point of the rectangle to ``p``."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(min_x, min_y, max_x, max_y)``."""
+        return (self.min_x, self.min_y, self.max_x, self.max_y)

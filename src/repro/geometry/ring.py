@@ -1,0 +1,64 @@
+"""Rings (annuli) — safe-region constraint for an i-th nearest neighbour.
+
+Section 5.2 of the paper: for an order-sensitive kNN query, the i-th NN must
+stay inside the ring centred at the query point with inner radius
+``Delta(q, o_{i-1}.sr)`` and outer radius ``delta(q, o_{i+1}.sr)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class Ring:
+    """A closed annulus: points ``p`` with ``inner <= d(center, p) <= outer``.
+
+    ``inner == 0`` degrades the ring to a disk; ``outer == inf`` degrades it
+    to the complement of a disk (the paper's i = 1 and i = k corner cases).
+    """
+
+    center: Point
+    inner: float
+    outer: float
+
+    def __post_init__(self) -> None:
+        if self.inner < 0:
+            raise ValueError(f"negative inner radius: {self.inner}")
+        if self.outer < self.inner:
+            raise ValueError(
+                f"outer radius {self.outer} smaller than inner {self.inner}"
+            )
+
+    @property
+    def is_disk(self) -> bool:
+        """True when the ring is just a disk (``inner == 0``)."""
+        return self.inner == 0.0
+
+    @property
+    def is_disk_complement(self) -> bool:
+        """True when the ring is the complement of a disk (unbounded)."""
+        return self.outer == float("inf")
+
+    def inner_circle(self) -> Circle:
+        return Circle(self.center, self.inner)
+
+    def outer_circle(self) -> Circle:
+        if self.is_disk_complement:
+            raise ValueError("unbounded ring has no outer circle")
+        return Circle(self.center, self.outer)
+
+    def contains_point(self, p: Point, eps: float = 0.0) -> bool:
+        """Whether ``p`` lies in the closed annulus (within ``eps``)."""
+        d = self.center.distance_to(p)
+        return self.inner - eps <= d <= self.outer + eps
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Whether the whole rectangle lies inside the annulus."""
+        if rect.max_dist_to_point(self.center) > self.outer:
+            return False
+        return rect.min_dist_to_point(self.center) >= self.inner

@@ -1,0 +1,17 @@
+"""Spatial index substrates.
+
+* :mod:`repro.index.rstar` — a dynamic R*-tree (Beckmann et al., SIGMOD 1990)
+  with bottom-up update support (Lee et al., VLDB 2003), the paper's object
+  index (Section 3.2).
+* :mod:`repro.index.bulk` — Sort-Tile-Recursive bulk loading.
+* :mod:`repro.index.grid` — the grid-based in-memory query index
+  (Section 3.3).
+* :mod:`repro.index.brute` — a brute-force reference index used as the
+  oracle in tests and by the PRD / OPT baselines at small scale.
+"""
+
+from repro.index.rstar import RStarTree
+from repro.index.grid import GridIndex
+from repro.index.brute import BruteForceIndex
+
+__all__ = ["RStarTree", "GridIndex", "BruteForceIndex"]

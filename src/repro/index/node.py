@@ -1,0 +1,92 @@
+"""Nodes and entries of the R*-tree."""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.geometry.rect import Rect
+
+ObjectId = Hashable
+
+
+class Entry:
+    """A single slot of an R-tree node.
+
+    In a leaf node, ``child`` is ``None`` and ``oid`` identifies the object
+    whose bounding rectangle (safe region in the paper) is ``rect``.  In an
+    internal node, ``child`` points to the covered node and ``oid`` is
+    ``None``.
+    """
+
+    __slots__ = ("rect", "oid", "child")
+
+    def __init__(
+        self,
+        rect: Rect,
+        oid: ObjectId = None,
+        child: Optional["Node"] = None,
+    ) -> None:
+        self.rect = rect
+        self.oid = oid
+        self.child = child
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.child is None
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        kind = f"oid={self.oid!r}" if self.child is None else "child"
+        return f"Entry({kind}, rect={self.rect.as_tuple()})"
+
+
+class Node:
+    """An R-tree node holding up to ``max_entries`` entries."""
+
+    __slots__ = ("entries", "is_leaf", "parent", "level")
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        level: int,
+        parent: Optional["Node"] = None,
+    ) -> None:
+        self.entries: list[Entry] = []
+        self.is_leaf = is_leaf
+        self.parent = parent
+        # Leaf nodes are level 0; the root has the greatest level.
+        self.level = level
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries.
+
+        Must not be called on an empty node (only the empty root is ever
+        empty, and callers special-case it).
+        """
+        entries = self.entries
+        rect = entries[0].rect
+        min_x, min_y, max_x, max_y = rect.min_x, rect.min_y, rect.max_x, rect.max_y
+        for entry in entries[1:]:
+            r = entry.rect
+            if r.min_x < min_x:
+                min_x = r.min_x
+            if r.min_y < min_y:
+                min_y = r.min_y
+            if r.max_x > max_x:
+                max_x = r.max_x
+            if r.max_y > max_y:
+                max_y = r.max_y
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def entry_for_child(self, child: "Node") -> Entry:
+        """The entry of this node that points at ``child``."""
+        for entry in self.entries:
+            if entry.child is child:
+                return entry
+        raise KeyError("child entry not found — tree corrupted")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        kind = "leaf" if self.is_leaf else "inner"
+        return f"Node({kind}, level={self.level}, n={len(self.entries)})"

@@ -1,0 +1,430 @@
+"""A dynamic R*-tree with bottom-up update support.
+
+This is the paper's *object index* (Section 3.2): it stores the current
+safe region of every moving object.  The insertion strategy follows the
+R*-tree (Beckmann, Kriegel, Schneider, Seeger — SIGMOD 1990): choose-subtree
+by overlap/area enlargement, forced reinsertion on first overflow per level,
+and the margin-driven topological split.  Frequent location updates go
+through :meth:`RStarTree.update`, which applies the bottom-up technique of
+Lee et al. (VLDB 2003): when the new rectangle still fits in the leaf's
+parent entry, the leaf entry is patched in place without any root-to-leaf
+descent or MBR propagation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable, Iterable, Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.node import Entry, Node, ObjectId
+
+
+class RStarTree:
+    """An in-memory R*-tree over ``(object id, rectangle)`` pairs.
+
+    Each object id appears at most once.  Rectangles may be degenerate
+    (points).  The tree keeps a direct-access table from object id to the
+    leaf holding it, enabling O(1)-descent updates and deletions.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        min_fill: float = 0.4,
+        reinsert_fraction: float = 0.3,
+    ) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        if not 0.0 < min_fill <= 0.5:
+            raise ValueError("min_fill must be in (0, 0.5]")
+        self.max_entries = max_entries
+        self.min_entries = max(2, int(math.floor(max_entries * min_fill)))
+        self.reinsert_count = max(1, int(max_entries * reinsert_fraction))
+        self.root: Node = Node(is_leaf=True, level=0)
+        self._leaf_of: dict[ObjectId, Node] = {}
+        self._rect_of: dict[ObjectId, Rect] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rect_of)
+
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._rect_of
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a single leaf root has height 1)."""
+        return self.root.level + 1
+
+    def rect_of(self, oid: ObjectId) -> Rect:
+        """Current rectangle stored for ``oid`` (KeyError when absent)."""
+        return self._rect_of[oid]
+
+    def insert(self, oid: ObjectId, rect: Rect) -> None:
+        """Insert a new object.  Raises ``KeyError`` if already present."""
+        if oid in self._rect_of:
+            raise KeyError(f"object {oid!r} already indexed")
+        self._rect_of[oid] = rect
+        self._insert_entry(Entry(rect, oid=oid), level=0)
+
+    def delete(self, oid: ObjectId) -> None:
+        """Remove an object.  Raises ``KeyError`` when absent."""
+        leaf = self._leaf_of.pop(oid)
+        del self._rect_of[oid]
+        for i, entry in enumerate(leaf.entries):
+            if entry.oid == oid:
+                del leaf.entries[i]
+                break
+        else:  # pragma: no cover — direct-access table desynchronised
+            raise RuntimeError("leaf table inconsistent with tree")
+        self._condense(leaf)
+
+    def update(self, oid: ObjectId, rect: Rect) -> bool:
+        """Move ``oid`` to a new rectangle.
+
+        Returns ``True`` when the bottom-up fast path applied (the new
+        rectangle fits inside the leaf's recorded MBR so only the leaf
+        entry is patched), ``False`` when a full delete + insert ran.
+        """
+        leaf = self._leaf_of[oid]
+        bound = self._leaf_bound(leaf)
+        if bound is None or bound.contains_rect(rect):
+            for entry in leaf.entries:
+                if entry.oid == oid:
+                    entry.rect = rect
+                    self._rect_of[oid] = rect
+                    return True
+            raise RuntimeError(  # pragma: no cover
+                "leaf table inconsistent with tree"
+            )
+        self.delete(oid)
+        self.insert(oid, rect)
+        return False
+
+    def search(self, rect: Rect) -> list[ObjectId]:
+        """Ids of all objects whose rectangle intersects ``rect``."""
+        return [oid for oid, _ in self.search_entries(rect)]
+
+    def search_entries(self, rect: Rect) -> Iterator[tuple[ObjectId, Rect]]:
+        """Yield ``(oid, stored rect)`` for rectangles intersecting ``rect``."""
+        if not self.root.entries:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    if entry.rect.intersects(rect):
+                        yield entry.oid, entry.rect
+            else:
+                for entry in node.entries:
+                    if entry.rect.intersects(rect):
+                        stack.append(entry.child)
+
+    def nearest_iter(
+        self,
+        q: Point,
+        exclude: Callable[[ObjectId], bool] | None = None,
+    ) -> Iterator[tuple[ObjectId, Rect, float]]:
+        """Incremental best-first nearest-neighbour iterator.
+
+        Yields ``(oid, rect, delta(q, rect))`` in non-decreasing order of
+        minimum distance to ``q`` (Hjaltason & Samet distance browsing).
+        ``exclude`` filters objects (used when reevaluation must skip the
+        current result set, Section 4.3 case 1).
+        """
+        if not self.root.entries:
+            return
+        counter = itertools.count()
+        heap: list[tuple[float, int, Node | Entry]] = [
+            (0.0, next(counter), self.root)
+        ]
+        while heap:
+            dist, _, item = heapq.heappop(heap)
+            if isinstance(item, Node):
+                for entry in item.entries:
+                    d = entry.rect.min_dist_to_point(q)
+                    target = entry if item.is_leaf else entry.child
+                    heapq.heappush(heap, (d, next(counter), target))
+            else:
+                if exclude is not None and exclude(item.oid):
+                    continue
+                yield item.oid, item.rect, dist
+
+    def all_entries(self) -> Iterator[tuple[ObjectId, Rect]]:
+        """Yield every ``(oid, rect)`` pair in the tree."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.oid, entry.rect
+            else:
+                stack.extend(entry.child for entry in node.entries)
+
+    # ------------------------------------------------------------------
+    # Insertion machinery
+    # ------------------------------------------------------------------
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        """Insert ``entry`` at ``level``, with one forced-reinsert pass."""
+        self._insert_at(entry, level, reinserted_levels=set())
+
+    def _insert_at(
+        self, entry: Entry, level: int, reinserted_levels: set[int]
+    ) -> None:
+        node = self._choose_subtree(entry.rect, level)
+        node.entries.append(entry)
+        if entry.child is not None:
+            entry.child.parent = node
+        elif node.is_leaf:
+            self._leaf_of[entry.oid] = node
+        self._extend_upward(node, entry.rect)
+        if len(node.entries) > self.max_entries:
+            self._overflow(node, reinserted_levels)
+
+    def _choose_subtree(self, rect: Rect, level: int) -> Node:
+        """Descend from the root to the best node at ``level``."""
+        node = self.root
+        while node.level > level:
+            if node.level == level + 1 and node.entries[0].child.is_leaf:
+                best = self._pick_min_overlap_child(node, rect)
+            else:
+                best = self._pick_min_enlargement_child(node, rect)
+            node = best.child
+        return node
+
+    @staticmethod
+    def _pick_min_enlargement_child(node: Node, rect: Rect) -> Entry:
+        """Child whose MBR needs least area enlargement (ties: least area)."""
+        best = None
+        best_key = (math.inf, math.inf)
+        for entry in node.entries:
+            key = (entry.rect.enlargement(rect), entry.rect.area)
+            if key < best_key:
+                best_key = key
+                best = entry
+        return best
+
+    @staticmethod
+    def _pick_min_overlap_child(node: Node, rect: Rect) -> Entry:
+        """Child needing least overlap enlargement (R* leaf-parent rule)."""
+        entries = node.entries
+        best = None
+        best_key = (math.inf, math.inf, math.inf)
+        for entry in entries:
+            enlarged = entry.rect.union(rect)
+            overlap_delta = 0.0
+            for other in entries:
+                if other is entry:
+                    continue
+                overlap_delta += enlarged.overlap_area(other.rect)
+                overlap_delta -= entry.rect.overlap_area(other.rect)
+            key = (overlap_delta, entry.rect.enlargement(rect), entry.rect.area)
+            if key < best_key:
+                best_key = key
+                best = entry
+        return best
+
+    def _overflow(self, node: Node, reinserted_levels: set[int]) -> None:
+        """R* overflow treatment: forced reinsert once per level, else split."""
+        if node is not self.root and node.level not in reinserted_levels:
+            reinserted_levels.add(node.level)
+            self._forced_reinsert(node, reinserted_levels)
+        else:
+            self._split(node, reinserted_levels)
+
+    def _forced_reinsert(self, node: Node, reinserted_levels: set[int]) -> None:
+        """Remove the farthest entries and re-insert them (R* §4.3)."""
+        center = node.mbr().center
+        node.entries.sort(
+            key=lambda e: e.rect.center.squared_distance_to(center),
+            reverse=True,
+        )
+        evicted = node.entries[: self.reinsert_count]
+        node.entries = node.entries[self.reinsert_count :]
+        self._shrink_upward(node)
+        # Close reinsert: the entry nearest the old centre goes back first.
+        for entry in reversed(evicted):
+            if entry.child is None and node.is_leaf:
+                # Drop stale table entry; re-registration happens on insert.
+                self._leaf_of.pop(entry.oid, None)
+            self._insert_at(entry, node.level, reinserted_levels)
+
+    def _split(self, node: Node, reinserted_levels: set[int]) -> None:
+        """Split an overflowing node with the R* topological split."""
+        group_a, group_b = self._choose_split(node.entries)
+        node.entries = group_a
+        sibling = Node(is_leaf=node.is_leaf, level=node.level)
+        sibling.entries = group_b
+        self._adopt_entries(sibling)
+        self._adopt_entries(node)
+
+        if node is self.root:
+            new_root = Node(is_leaf=False, level=node.level + 1)
+            new_root.entries.append(Entry(node.mbr(), child=node))
+            new_root.entries.append(Entry(sibling.mbr(), child=sibling))
+            node.parent = new_root
+            sibling.parent = new_root
+            self.root = new_root
+            return
+
+        parent = node.parent
+        parent.entry_for_child(node).rect = node.mbr()
+        parent.entries.append(Entry(sibling.mbr(), child=sibling))
+        sibling.parent = parent
+        self._shrink_upward(parent)
+        if len(parent.entries) > self.max_entries:
+            self._overflow(parent, reinserted_levels)
+
+    def _choose_split(
+        self, entries: list[Entry]
+    ) -> tuple[list[Entry], list[Entry]]:
+        """R* split: axis by minimum margin sum, index by overlap/area."""
+        m = self.min_entries
+        best_axis_entries = None
+        best_margin = math.inf
+        for axis_sorts in (
+            sorted(entries, key=lambda e: (e.rect.min_x, e.rect.max_x)),
+            sorted(entries, key=lambda e: (e.rect.min_y, e.rect.max_y)),
+        ):
+            margin_sum = 0.0
+            for k in range(m, len(axis_sorts) - m + 1):
+                left = _mbr_of(axis_sorts[:k])
+                right = _mbr_of(axis_sorts[k:])
+                margin_sum += left.margin + right.margin
+            if margin_sum < best_margin:
+                best_margin = margin_sum
+                best_axis_entries = axis_sorts
+
+        best_key = (math.inf, math.inf)
+        best_k = m
+        for k in range(m, len(best_axis_entries) - m + 1):
+            left = _mbr_of(best_axis_entries[:k])
+            right = _mbr_of(best_axis_entries[k:])
+            key = (left.overlap_area(right), left.area + right.area)
+            if key < best_key:
+                best_key = key
+                best_k = k
+        return best_axis_entries[:best_k], list(best_axis_entries[best_k:])
+
+    def _adopt_entries(self, node: Node) -> None:
+        """Point children / leaf-table entries of ``node`` back at it."""
+        if node.is_leaf:
+            for entry in node.entries:
+                self._leaf_of[entry.oid] = node
+        else:
+            for entry in node.entries:
+                entry.child.parent = node
+
+    # ------------------------------------------------------------------
+    # Deletion machinery
+    # ------------------------------------------------------------------
+    def _condense(self, node: Node) -> None:
+        """Handle a possibly-underflowing node after an entry removal."""
+        orphans: list[tuple[Entry, int]] = []
+        while node is not self.root:
+            parent = node.parent
+            if len(node.entries) < self.min_entries:
+                parent_entry = parent.entry_for_child(node)
+                parent.entries.remove(parent_entry)
+                level = node.level
+                orphans.extend((entry, level) for entry in node.entries)
+                if node.is_leaf:
+                    for entry in node.entries:
+                        self._leaf_of.pop(entry.oid, None)
+            else:
+                parent.entry_for_child(node).rect = node.mbr()
+            node = parent
+        # Shrink the root when it lost all but one child.
+        if not self.root.is_leaf and len(self.root.entries) == 1:
+            self.root = self.root.entries[0].child
+            self.root.parent = None
+        if not self.root.entries and not self.root.is_leaf:  # pragma: no cover
+            self.root = Node(is_leaf=True, level=0)
+        for entry, level in orphans:
+            self._insert_at(entry, level, reinserted_levels=set())
+
+    # ------------------------------------------------------------------
+    # MBR maintenance
+    # ------------------------------------------------------------------
+    def _leaf_bound(self, leaf: Node) -> Rect | None:
+        """The rectangle recorded for ``leaf`` in its parent (None for root)."""
+        if leaf.parent is None:
+            return None
+        return leaf.parent.entry_for_child(leaf).rect
+
+    def _extend_upward(self, node: Node, rect: Rect) -> None:
+        """Grow ancestor entry MBRs so they cover a newly added ``rect``."""
+        while node.parent is not None:
+            entry = node.parent.entry_for_child(node)
+            if entry.rect.contains_rect(rect):
+                break
+            entry.rect = entry.rect.union(rect)
+            node = node.parent
+
+    def _shrink_upward(self, node: Node) -> None:
+        """Recompute ancestor entry MBRs after entries were removed."""
+        while node.parent is not None:
+            entry = node.parent.entry_for_child(node)
+            mbr = node.mbr()
+            if entry.rect == mbr:
+                break
+            entry.rect = mbr
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises ``AssertionError`` on damage.
+
+        Intended for tests: containment of child MBRs, level consistency,
+        fill factors, parent pointers, and direct-access table coherence.
+        """
+        seen: dict[ObjectId, Rect] = {}
+        self._validate_node(self.root, None, seen)
+        assert seen == self._rect_of, "rect table out of sync with tree"
+        for oid, leaf in self._leaf_of.items():
+            assert any(
+                entry.oid == oid for entry in leaf.entries
+            ), f"leaf table points {oid!r} at the wrong leaf"
+        assert set(self._leaf_of) == set(self._rect_of)
+
+    def _validate_node(
+        self, node: Node, bound: Rect | None, seen: dict[ObjectId, Rect]
+    ) -> None:
+        assert len(node.entries) <= self.max_entries
+        if node is not self.root:
+            assert len(node.entries) >= self.min_entries, "underfull node"
+        if node.is_leaf:
+            assert node.level == 0
+            for entry in node.entries:
+                assert entry.child is None
+                assert entry.oid not in seen, "duplicate object"
+                seen[entry.oid] = entry.rect
+                if bound is not None:
+                    assert bound.contains_rect(entry.rect), "MBR violation"
+        else:
+            assert node.entries, "empty internal node"
+            for entry in node.entries:
+                child = entry.child
+                assert child is not None and entry.oid is None
+                assert child.parent is node, "broken parent pointer"
+                assert child.level == node.level - 1, "level skew"
+                assert entry.rect.contains_rect(child.mbr()), "loose child MBR"
+                self._validate_node(child, entry.rect, seen)
+
+
+def _mbr_of(entries: Iterable[Entry]) -> Rect:
+    """MBR of a non-empty collection of entries."""
+    it = iter(entries)
+    rect = next(it).rect
+    for entry in it:
+        rect = rect.union(entry.rect)
+    return rect

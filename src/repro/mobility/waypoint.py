@@ -1,0 +1,203 @@
+"""The random waypoint mobility model (Section 7.1).
+
+Each object repeatedly chooses a uniform destination in the workspace and
+moves towards it at a speed drawn from ``U(0, 2 v_mean)``; it re-plans upon
+arrival or when its *constant movement period* (drawn from
+``U(0, 2 t_v_mean)``) expires.  Trajectories are piecewise linear, generated
+lazily and deterministically from a per-object seed, so the exact position
+at any time — and the exact moment a safe region is exited — can be
+computed analytically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+_MIN_SEGMENT = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One linear leg of a trajectory: valid for ``start_time <= t <= end_time``."""
+
+    start_time: float
+    end_time: float
+    start: Point
+    velocity_x: float
+    velocity_y: float
+
+    def position_at(self, t: float) -> Point:
+        dt = min(max(t, self.start_time), self.end_time) - self.start_time
+        return Point(
+            self.start.x + self.velocity_x * dt,
+            self.start.y + self.velocity_y * dt,
+        )
+
+    @property
+    def speed(self) -> float:
+        return math.hypot(self.velocity_x, self.velocity_y)
+
+
+class Trajectory:
+    """Lazily generated piecewise-linear random-waypoint trajectory."""
+
+    def __init__(
+        self,
+        start: Point,
+        mean_speed: float,
+        mean_period: float,
+        space: Rect,
+        rng: np.random.Generator,
+    ) -> None:
+        if mean_speed <= 0:
+            raise ValueError("mean speed must be positive")
+        if mean_period <= 0:
+            raise ValueError("mean movement period must be positive")
+        self._mean_speed = mean_speed
+        self._mean_period = mean_period
+        self._space = space
+        self._rng = rng
+        self._segments: list[Segment] = []
+        self._cursor = start
+        self._cursor_time = 0.0
+        self._search_from = 0
+
+    @property
+    def max_speed(self) -> float:
+        """Upper bound on this trajectory's speed (``2 v_mean``)."""
+        return 2.0 * self._mean_speed
+
+    def _extend_to(self, t: float) -> None:
+        while self._cursor_time <= t:
+            self._segments.append(self._next_segment())
+
+    def _next_segment(self) -> Segment:
+        """Draw the next waypoint leg from the per-object RNG."""
+        origin = self._cursor
+        destination = Point(
+            self._rng.uniform(self._space.min_x, self._space.max_x),
+            self._rng.uniform(self._space.min_y, self._space.max_y),
+        )
+        speed = self._rng.uniform(0.0, 2.0 * self._mean_speed)
+        period = self._rng.uniform(0.0, 2.0 * self._mean_period)
+        period = max(period, _MIN_SEGMENT)
+
+        distance = origin.distance_to(destination)
+        if speed <= 0.0 or distance == 0.0:
+            duration = period
+            vx = vy = 0.0
+        else:
+            travel_time = distance / speed
+            duration = min(travel_time, period)
+            vx = (destination.x - origin.x) / distance * speed
+            vy = (destination.y - origin.y) / distance * speed
+
+        start_time = self._cursor_time
+        end_time = start_time + duration
+        segment = Segment(start_time, end_time, origin, vx, vy)
+        self._cursor = segment.position_at(end_time)
+        self._cursor_time = end_time
+        return segment
+
+    def segment_at(self, t: float) -> Segment:
+        """The segment active at time ``t`` (generated on demand)."""
+        if t < 0:
+            raise ValueError(f"time must be non-negative: {t}")
+        self._extend_to(t)
+        # Segments are visited in (almost always) increasing time order;
+        # remember the last hit to amortise the scan.
+        i = self._search_from
+        segments = self._segments
+        if segments[i].start_time > t:
+            i = 0
+        while segments[i].end_time < t:
+            i += 1
+        self._search_from = i
+        return segments[i]
+
+    def position_at(self, t: float) -> Point:
+        """Exact position at time ``t``."""
+        return self.segment_at(t).position_at(t)
+
+    def distance_travelled(self, t0: float, t1: float) -> float:
+        """Path length covered between ``t0`` and ``t1``."""
+        if t1 <= t0:
+            return 0.0
+        self._extend_to(t1)
+        total = 0.0
+        for segment in self._segments:
+            if segment.end_time <= t0:
+                continue
+            if segment.start_time >= t1:
+                break
+            overlap = min(segment.end_time, t1) - max(segment.start_time, t0)
+            total += segment.speed * overlap
+        return total
+
+    def exit_time_from_rect(self, rect: Rect, t: float, horizon: float) -> float:
+        """First time in ``[t, horizon]`` the trajectory leaves ``rect``.
+
+        Walks segments from ``t`` forward, solving each leg analytically.
+        Returns ``inf`` when the object stays inside until ``horizon``.
+        """
+        current = t
+        while current <= horizon:
+            segment = self.segment_at(current)
+            position = segment.position_at(current)
+            if not rect.contains_point(position, eps=1e-12):
+                return current
+            if segment.velocity_x != 0.0 or segment.velocity_y != 0.0:
+                exit_at = current + _segment_exit(position, segment, rect)
+                if exit_at <= segment.end_time:
+                    return exit_at if exit_at <= horizon else math.inf
+            # Hop just past the segment boundary so the successor is picked.
+            current = math.nextafter(max(segment.end_time, current), math.inf)
+        return math.inf
+
+
+def _segment_exit(position: Point, segment: Segment, rect: Rect) -> float:
+    """Time (relative) until a segment's motion leaves ``rect``."""
+    t_exit = math.inf
+    vx, vy = segment.velocity_x, segment.velocity_y
+    if vx > 0.0:
+        t_exit = min(t_exit, (rect.max_x - position.x) / vx)
+    elif vx < 0.0:
+        t_exit = min(t_exit, (rect.min_x - position.x) / vx)
+    if vy > 0.0:
+        t_exit = min(t_exit, (rect.max_y - position.y) / vy)
+    elif vy < 0.0:
+        t_exit = min(t_exit, (rect.min_y - position.y) / vy)
+    return max(t_exit, 0.0)
+
+
+class RandomWaypointModel:
+    """Factory producing deterministic per-object trajectories."""
+
+    def __init__(
+        self,
+        mean_speed: float,
+        mean_period: float,
+        space: Rect | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.mean_speed = mean_speed
+        self.mean_period = mean_period
+        self.space = space if space is not None else Rect(0.0, 0.0, 1.0, 1.0)
+        self._seed = seed
+
+    def create(self, oid: int) -> Trajectory:
+        """Trajectory for object ``oid`` (reproducible per (seed, oid))."""
+        rng = np.random.default_rng((self._seed, int(oid)))
+        start = Point(
+            rng.uniform(self.space.min_x, self.space.max_x),
+            rng.uniform(self.space.min_y, self.space.max_y),
+        )
+        return Trajectory(
+            start, self.mean_speed, self.mean_period, self.space, rng
+        )

@@ -1,0 +1,23 @@
+"""Discrete event simulation of the monitoring system (Section 7).
+
+* :class:`~repro.simulation.scenario.Scenario` — one experiment's
+  parameters (Table 7.1, scaled to laptop size by default).
+* :class:`~repro.simulation.truth.GroundTruth` — exact sampled query
+  results, the yardstick for accuracy and the OPT baseline.
+* :class:`~repro.simulation.engine.SRBSimulation` — the event-driven
+  safe-region scheme with communication delay.
+* :mod:`~repro.simulation.metrics` — cost accounting and reports.
+"""
+
+from repro.simulation.scenario import Scenario
+from repro.simulation.truth import GroundTruth
+from repro.simulation.metrics import CommunicationCosts, SchemeReport
+from repro.simulation.engine import SRBSimulation
+
+__all__ = [
+    "Scenario",
+    "GroundTruth",
+    "CommunicationCosts",
+    "SchemeReport",
+    "SRBSimulation",
+]

@@ -1,0 +1,262 @@
+"""Event-driven simulation of the SRB scheme (Section 7).
+
+The simulator is exact: safe-region exits are computed analytically from
+the piecewise-linear trajectories, so location updates fire at the precise
+boundary-crossing instants — there is no polling and no time step.  The
+one-way propagation delay ``tau`` applies to both directions: the server
+receives an update ``tau`` after the client sends it, and the client
+installs its new safe region ``tau`` after the server computes it.
+
+Event kinds, in processing priority at equal timestamps:
+
+1. ``exit``         — a client crosses its safe-region boundary (sends).
+2. ``recv_update``  — the server receives a source-initiated update.
+3. ``recv_region``  — a client installs a safe region from the server.
+4. ``sample``       — an accuracy checkpoint is taken.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+from repro.core.queries import Query
+from repro.core.server import DatabaseServer, ServerConfig
+from repro.mobility.client import MobileClient
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.simulation.metrics import (
+    AccuracyAccumulator,
+    CommunicationCosts,
+    SchemeReport,
+)
+from repro.simulation.scenario import Scenario
+from repro.simulation.truth import GroundTruth
+from repro.workloads.generator import generate_queries
+
+_PRIO_EXIT = 0
+_PRIO_RECV_UPDATE = 1
+_PRIO_RECV_REGION = 2
+_PRIO_SAMPLE = 3
+
+
+
+
+class SRBSimulation:
+    """One run of the safe-region-based monitoring scheme."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        queries: list[Query] | None = None,
+        truth: GroundTruth | None = None,
+    ) -> None:
+        self.scenario = scenario
+        if truth is not None:
+            if queries is None:
+                queries = truth.queries
+            self.queries = queries
+            self.truth = truth
+            self.clients = {
+                oid: MobileClient(oid, trajectory)
+                for oid, trajectory in truth.trajectories().items()
+            }
+        else:
+            model = RandomWaypointModel(
+                scenario.mean_speed,
+                scenario.mean_period,
+                scenario.space,
+                seed=scenario.seed,
+            )
+            self.clients = {
+                oid: MobileClient(oid, model.create(oid))
+                for oid in range(scenario.num_objects)
+            }
+            if queries is None:
+                queries = generate_queries(
+                    scenario.workload(), seed=scenario.seed
+                )
+            self.queries = queries
+            self.truth = GroundTruth(
+                {oid: client.trajectory for oid, client in self.clients.items()},
+                queries,
+            )
+        self.server = DatabaseServer(
+            position_oracle=self._probe_oracle,
+            config=ServerConfig(
+                grid_m=scenario.grid_m,
+                space=scenario.space,
+                max_speed=(
+                    scenario.max_speed if scenario.use_reachability else None
+                ),
+                reachability_pushes=scenario.reachability_pushes,
+                steadiness=scenario.steadiness,
+                batch_range_regions=scenario.batch_range_regions,
+                anti_storm_relief=scenario.anti_storm_relief,
+            ),
+        )
+        self.costs = CommunicationCosts()
+        self.accuracy = AccuracyAccumulator()
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _schedule(self, t: float, priority: int, kind: str, payload) -> None:
+        heapq.heappush(self._heap, (t, priority, next(self._seq), kind, payload))
+
+    def _probe_oracle(self, oid):
+        """Server-initiated probe: the client's exact current position."""
+        return self.clients[oid].position_at(self._now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        """Load objects, register queries, and hand out initial regions.
+
+        Bootstrap is instantaneous (no propagation delay): the paper's
+        monitoring period starts with a consistent, fully set-up system.
+        """
+        self._now = 0.0
+        self.server.load_objects(
+            (oid, client.position_at(0.0)) for oid, client in self.clients.items()
+        )
+        for query in self.queries:
+            self.server.register_query(query, time=0.0)
+        horizon = self.scenario.duration
+        for oid, client in self.clients.items():
+            client.install_safe_region(self.server.safe_region_of(oid), 0.0)
+            exit_at = max(
+                client.next_exit_time(0.0, horizon),
+                self.scenario.client_poll_interval,
+            )
+            if exit_at <= horizon:
+                self._schedule(exit_at, _PRIO_EXIT, "exit", (oid, client.epoch))
+        for t in self.scenario.sample_times():
+            self._schedule(t, _PRIO_SAMPLE, "sample", None)
+
+    def run(self) -> SchemeReport:
+        """Execute the full scenario and return the report."""
+        self._bootstrap()
+        scenario = self.scenario
+        while self._heap:
+            t, _, _, kind, payload = heapq.heappop(self._heap)
+            if t > scenario.duration:
+                break
+            self._now = t
+            if kind == "exit":
+                self._on_exit(*payload)
+            elif kind == "retry":
+                self._on_retry(*payload)
+            elif kind == "recv_update":
+                self._on_recv_update(*payload)
+            elif kind == "recv_region":
+                self._on_recv_region(*payload)
+            else:
+                self._on_sample()
+        total_distance = sum(
+            client.trajectory.distance_travelled(0.0, scenario.duration)
+            for client in self.clients.values()
+        )
+        self.costs.probes = self.server.stats.probes
+        self.costs.pushes = self.server.stats.safe_region_pushes
+        return SchemeReport(
+            scheme="SRB",
+            num_objects=scenario.num_objects,
+            num_queries=len(self.queries),
+            duration=scenario.duration,
+            accuracy=self.accuracy.value,
+            costs=self.costs,
+            cpu_seconds=self.server.stats.cpu_seconds,
+            total_distance=total_distance,
+            extras={
+                "reevaluations": self.server.stats.queries_reevaluated,
+                "result_changes": self.server.stats.result_changes,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _send_update(self, client: MobileClient) -> None:
+        position = client.position_at(self._now)
+        client.begin_update()
+        self.costs.updates += 1
+        self._schedule(
+            self._now + self.scenario.delay,
+            _PRIO_RECV_UPDATE,
+            "recv_update",
+            (client.oid, position),
+        )
+
+    def _on_exit(self, oid, epoch: int) -> None:
+        client = self.clients[oid]
+        if epoch != client.epoch or client.awaiting:
+            return  # a newer safe region superseded this crossing
+        self._send_update(client)
+
+    def _on_retry(self, oid, epoch: int) -> None:
+        """Poll-paced recheck after installing an already-left region.
+
+        If the client wandered back inside in the meantime, monitoring
+        resumes without a message; otherwise it reports now.
+        """
+        client = self.clients[oid]
+        if epoch != client.epoch or client.awaiting:
+            return
+        position = client.position_at(self._now)
+        region = client.safe_region
+        if region is not None and region.contains_point(position, eps=1e-12):
+            horizon = self.scenario.duration
+            exit_at = max(
+                client.next_exit_time(self._now, horizon),
+                self._now + self.scenario.client_poll_interval,
+            )
+            if exit_at <= horizon and not math.isinf(exit_at):
+                self._schedule(exit_at, _PRIO_EXIT, "exit", (oid, client.epoch))
+            return
+        self._send_update(client)
+
+    def _on_recv_update(self, oid, position) -> None:
+        outcome = self.server.handle_location_update(oid, position, self._now)
+        deliver_at = self._now + self.scenario.delay
+        self._schedule(
+            deliver_at, _PRIO_RECV_REGION, "recv_region", (oid, outcome.safe_region)
+        )
+        for target, region in outcome.probed.items():
+            self._schedule(
+                deliver_at, _PRIO_RECV_REGION, "recv_region", (target, region)
+            )
+
+    def _on_recv_region(self, oid, region) -> None:
+        client = self.clients[oid]
+        if client.install_safe_region(region, self._now):
+            horizon = self.scenario.duration
+            exit_at = client.next_exit_time(self._now, horizon)
+            # Clients poll their position at a finite granularity; a fresh
+            # safe region is therefore observed for at least one interval.
+            exit_at = max(
+                exit_at, self._now + self.scenario.client_poll_interval
+            )
+            if exit_at <= horizon and not math.isinf(exit_at):
+                self._schedule(exit_at, _PRIO_EXIT, "exit", (oid, client.epoch))
+        else:
+            # Already outside the freshly installed region (communication
+            # delay).  The client notices at its next position poll and
+            # reports again — an immediate resend would ping-pong with the
+            # server under moderate delay, roughly doubling the cost.
+            retry_at = self._now + self.scenario.client_poll_interval
+            if retry_at <= self.scenario.duration:
+                self._schedule(
+                    retry_at, _PRIO_EXIT, "retry", (oid, client.epoch)
+                )
+
+    def _on_sample(self) -> None:
+        true_results = self.truth.evaluate_at(self._now)
+        for query in self.queries:
+            self.accuracy.record(
+                query.result_snapshot() == true_results[query.query_id]
+            )

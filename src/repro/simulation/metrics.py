@@ -1,0 +1,104 @@
+"""Cost accounting and per-scheme reports (Section 7.1 metrics).
+
+The uplink is twice as costly as the downlink: a source-initiated update
+costs ``C_l = 1``; a server-initiated probe-plus-update costs
+``C_p = 1.5`` (0.5 downlink request + 1 uplink response).  Safe-region
+shrink pushes introduced by the reachability enhancement are downlink-only
+messages, costing 0.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+C_UPDATE = 1.0
+C_PROBE = 1.5
+C_PUSH = 0.5
+
+
+@dataclass(slots=True)
+class CommunicationCosts:
+    """Message counters and their weighted total."""
+
+    updates: int = 0
+    probes: int = 0
+    pushes: int = 0
+
+    @property
+    def total(self) -> float:
+        return (
+            C_UPDATE * self.updates
+            + C_PROBE * self.probes
+            + C_PUSH * self.pushes
+        )
+
+    def per_client_per_time(self, num_objects: int, duration: float) -> float:
+        """The paper's wireless-communication-cost metric."""
+        return self.total / (num_objects * duration)
+
+
+@dataclass(slots=True)
+class AccuracyAccumulator:
+    """Mean of the per-query exact-match indicator over checkpoints."""
+
+    matches: int = 0
+    comparisons: int = 0
+
+    def record(self, matched: bool) -> None:
+        self.comparisons += 1
+        if matched:
+            self.matches += 1
+
+    @property
+    def value(self) -> float:
+        if self.comparisons == 0:
+            return 1.0
+        return self.matches / self.comparisons
+
+
+@dataclass(slots=True)
+class SchemeReport:
+    """Everything one simulated scheme reports for one scenario."""
+
+    scheme: str
+    num_objects: int
+    num_queries: int
+    duration: float
+    accuracy: float
+    costs: CommunicationCosts
+    cpu_seconds: float
+    #: Total distance travelled by all objects (for cost-per-distance).
+    total_distance: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def comm_cost(self) -> float:
+        """Communication cost per client per time unit."""
+        return self.costs.per_client_per_time(self.num_objects, self.duration)
+
+    @property
+    def comm_cost_per_distance(self) -> float:
+        """Communication cost per distance unit travelled (Figure 7.4a)."""
+        if self.total_distance == 0.0:
+            return 0.0
+        return self.costs.total / self.total_distance
+
+    @property
+    def cpu_seconds_per_time(self) -> float:
+        """Server CPU seconds per simulated time unit (scalability metric)."""
+        return self.cpu_seconds / self.duration
+
+    def row(self) -> dict:
+        """Flat dictionary for tabular reporting."""
+        return {
+            "scheme": self.scheme,
+            "N": self.num_objects,
+            "W": self.num_queries,
+            "accuracy": round(self.accuracy, 4),
+            "comm_cost": round(self.comm_cost, 5),
+            "cpu_s_per_time": round(self.cpu_seconds_per_time, 5),
+            "updates": self.costs.updates,
+            "probes": self.costs.probes,
+            "pushes": self.costs.pushes,
+            **self.extras,
+        }

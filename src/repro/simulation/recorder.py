@@ -1,0 +1,144 @@
+"""Event-trace recording for the SRB simulator.
+
+Wraps an :class:`~repro.simulation.engine.SRBSimulation` so every
+protocol event — boundary crossings, server receptions, probes, region
+installs, accuracy samples — is appended to an in-memory trace and
+optionally streamed to a JSON-lines file.  Traces make protocol bugs
+visible (who re-reported, how often, triggered by what) and feed the
+per-object statistics used when tuning scenarios.
+
+::
+
+    sim = SRBSimulation(scenario)
+    trace = attach_recorder(sim)
+    report = sim.run()
+    print(trace.summary())
+    trace.dump("run.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.simulation.engine import SRBSimulation
+
+ObjectId = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time: float
+    kind: str
+    oid: ObjectId | None
+    detail: dict = field(default_factory=dict)
+
+    def as_json(self) -> str:
+        payload = {"t": self.time, "kind": self.kind}
+        if self.oid is not None:
+            payload["oid"] = self.oid
+        if self.detail:
+            payload.update(self.detail)
+        return json.dumps(payload, default=str)
+
+
+class Trace:
+    """The recorded event stream plus convenience analytics."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def append(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def updates_per_object(self) -> Counter:
+        """Source-initiated update counts keyed by object id."""
+        counts: Counter = Counter()
+        for event in self.events:
+            if event.kind == "update_sent":
+                counts[event.oid] += 1
+        return counts
+
+    def hottest_objects(self, top: int = 5) -> list[tuple[ObjectId, int]]:
+        """The objects reporting most often — storm / contention suspects."""
+        return self.updates_per_object().most_common(top)
+
+    def summary(self) -> str:
+        """Human-readable one-screen digest of the run."""
+        kinds = Counter(event.kind for event in self.events)
+        lines = [f"{len(self.events)} events"]
+        for kind, count in sorted(kinds.items()):
+            lines.append(f"  {kind:16s} {count}")
+        hot = self.hottest_objects(3)
+        if hot:
+            rendered = ", ".join(f"{oid}x{count}" for oid, count in hot)
+            lines.append(f"  hottest reporters: {rendered}")
+        return "\n".join(lines)
+
+    def dump(self, path) -> int:
+        """Write the trace as JSON lines; returns the event count."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(event.as_json())
+                handle.write("\n")
+        return len(self.events)
+
+
+def attach_recorder(simulation: SRBSimulation) -> Trace:
+    """Instrument a simulation (before ``run()``); returns the live trace."""
+    trace = Trace()
+
+    original_send = simulation._send_update
+    original_recv_update = simulation._on_recv_update
+    original_recv_region = simulation._on_recv_region
+    original_sample = simulation._on_sample
+    original_oracle = simulation._probe_oracle
+
+    def send_update(client):
+        trace.append(TraceEvent(simulation._now, "update_sent", client.oid))
+        original_send(client)
+
+    def on_recv_update(oid, position):
+        trace.append(
+            TraceEvent(
+                simulation._now, "server_received", oid,
+                {"x": position.x, "y": position.y},
+            )
+        )
+        original_recv_update(oid, position)
+
+    def on_recv_region(oid, region):
+        trace.append(
+            TraceEvent(
+                simulation._now, "region_installed", oid,
+                {"w": region.width, "h": region.height},
+            )
+        )
+        original_recv_region(oid, region)
+
+    def on_sample():
+        trace.append(TraceEvent(simulation._now, "sample", None))
+        original_sample()
+
+    def probe_oracle(oid):
+        trace.append(TraceEvent(simulation._now, "probe", oid))
+        return original_oracle(oid)
+
+    simulation._send_update = send_update
+    simulation._on_recv_update = on_recv_update
+    simulation._on_recv_region = on_recv_region
+    simulation._on_sample = on_sample
+    simulation._probe_oracle = probe_oracle
+    # The server holds a reference to the original oracle; re-point it.
+    simulation.server._oracle = probe_oracle
+    return trace

@@ -1,0 +1,110 @@
+"""Experiment scenarios (Table 7.1, scaled for laptop execution).
+
+The paper simulates N = 100,000 objects for 5,000 logical time units on two
+dedicated PCs.  The defaults here preserve the *densities* that drive the
+algorithms' behaviour while remaining minutes-scale on one machine:
+
+* ``q_len`` is scaled so a range query covers a few objects in expectation
+  (the paper: 0.005² x 100k ≈ 2.5 objects per query).
+* ``grid_m`` is scaled so a cell holds a handful of objects, as M = 50
+  does at paper scale.
+
+Every figure-reproduction bench can override any field; running at full
+paper scale is only a matter of passing the Table 7.1 values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.geometry.rect import Rect
+from repro.workloads.generator import WorkloadConfig
+
+UNIT_SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """All knobs of one simulation run."""
+
+    num_objects: int = 2000
+    num_queries: int = 100
+    mean_speed: float = 0.01          # paper's v-bar
+    mean_period: float = 0.1          # paper's t_v-bar (scaled; see module doc)
+    q_len: float = 0.035              # selectivity-preserving (paper: 0.005)
+    k_max: int = 5
+    grid_m: int = 20                  # cell-density-preserving (paper: 50)
+    delay: float = 0.0                # tau, one-way propagation delay
+    duration: float = 10.0            # paper: 5000 time units
+    sample_interval: float = 0.05     # accuracy checkpoint spacing
+    #: Minimum time between a client installing a safe region and its next
+    #: boundary-crossing report — the client's position-polling (GPS)
+    #: granularity.  Bounds the worst-case update rate of an object pinned
+    #: against a quarantine boundary by a genuinely adjacent competitor.
+    client_poll_interval: float = 1e-3
+    #: Checkpoint spacing for counting OPT's result-change events.  Must be
+    #: finer than ``sample_interval``: rank flips oscillate, and two coarse
+    #: snapshots that happen to agree hide every crossing in between,
+    #: flattering OPT.  ``None`` derives ``sample_interval / 5``.
+    opt_sample_interval: float | None = None
+    seed: int = 0
+    order_sensitive: bool = True
+    use_reachability: bool = False    # Section 6.1 enhancement
+    #: Keep quarantine invariants exact under the reachability constraint
+    #: (install + push tightened regions).  False = the paper's semantics.
+    reachability_pushes: bool = True
+    steadiness: float = 0.0           # Section 6.2 enhancement (D)
+    #: Ablation switches (DESIGN.md §6 and Section 5.3).
+    batch_range_regions: bool = True
+    anti_storm_relief: bool = False
+    space: Rect = UNIT_SPACE
+
+    def __post_init__(self) -> None:
+        if self.num_objects < 1:
+            raise ValueError("need at least one object")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        if self.client_poll_interval <= 0:
+            raise ValueError("client_poll_interval must be positive")
+
+    @property
+    def max_speed(self) -> float:
+        """Hard speed bound of the waypoint model (``2 v_mean``)."""
+        return 2.0 * self.mean_speed
+
+    def workload(self) -> WorkloadConfig:
+        """Query-mix parameters derived from this scenario."""
+        return WorkloadConfig(
+            num_queries=self.num_queries,
+            q_len=self.q_len,
+            k_max=self.k_max,
+            order_sensitive=self.order_sensitive,
+            space=self.space,
+        )
+
+    def sample_times(self) -> list[float]:
+        """Accuracy checkpoints: multiples of ``sample_interval``."""
+        count = int(math.floor(self.duration / self.sample_interval))
+        return [round(i * self.sample_interval, 9) for i in range(1, count + 1)]
+
+    def opt_sample_times(self) -> list[float]:
+        """Finer checkpoints for counting OPT's result-change events."""
+        interval = self.opt_sample_interval
+        if interval is None:
+            interval = self.sample_interval / 5.0
+        count = int(math.floor(self.duration / interval))
+        return [round(i * interval, 9) for i in range(1, count + 1)]
+
+    def with_overrides(self, **kwargs) -> "Scenario":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def scaled_q_len(num_objects: int, objects_per_query: float = 2.5) -> float:
+    """Query side length putting ``objects_per_query`` in a range query."""
+    return math.sqrt(objects_per_query / num_objects)

@@ -1,0 +1,5 @@
+"""Query workload generation (Section 7.1)."""
+
+from repro.workloads.generator import WorkloadConfig, generate_queries
+
+__all__ = ["WorkloadConfig", "generate_queries"]

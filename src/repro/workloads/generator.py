@@ -1,0 +1,74 @@
+"""The paper's mixed query workload (Section 7.1).
+
+``W`` queries, half continuous range queries and half order-sensitive kNN
+queries.  Range rectangles are squares with side length uniform in
+``[0.5 q_len, 1.5 q_len]``; kNN query points are uniform in the workspace
+with ``k`` uniform in ``{1, ..., k_max}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+UNIT_SPACE = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """Parameters of the query mix (defaults: Table 7.1)."""
+
+    num_queries: int = 1000
+    q_len: float = 0.005
+    k_max: int = 10
+    order_sensitive: bool = True
+    range_fraction: float = 0.5
+    space: Rect = UNIT_SPACE
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        if self.q_len <= 0:
+            raise ValueError("q_len must be positive")
+        if self.k_max < 1:
+            raise ValueError("k_max must be at least 1")
+        if not 0.0 <= self.range_fraction <= 1.0:
+            raise ValueError("range_fraction must be within [0, 1]")
+
+
+def generate_queries(config: WorkloadConfig, seed: int = 0) -> list[Query]:
+    """Generate the query workload deterministically from ``seed``."""
+    rng = np.random.default_rng(seed)
+    space = config.space
+    num_range = round(config.num_queries * config.range_fraction)
+    queries: list[Query] = []
+
+    for i in range(num_range):
+        side = rng.uniform(0.5 * config.q_len, 1.5 * config.q_len)
+        side = min(side, space.width, space.height)
+        x = rng.uniform(space.min_x, space.max_x - side)
+        y = rng.uniform(space.min_y, space.max_y - side)
+        queries.append(
+            RangeQuery(Rect(x, y, x + side, y + side), query_id=f"range-{i}")
+        )
+
+    for i in range(config.num_queries - num_range):
+        center = Point(
+            rng.uniform(space.min_x, space.max_x),
+            rng.uniform(space.min_y, space.max_y),
+        )
+        k = int(rng.integers(1, config.k_max + 1))
+        queries.append(
+            KNNQuery(
+                center,
+                k,
+                order_sensitive=config.order_sensitive,
+                query_id=f"knn-{i}",
+            )
+        )
+    return queries

@@ -1,0 +1,84 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.experiments.aggregate import (
+    AggregateResult,
+    MetricSummary,
+    aggregate_over_seeds,
+    relative_spread,
+    summarise,
+)
+from repro.simulation import Scenario
+
+FAST = Scenario(
+    num_objects=70,
+    num_queries=5,
+    mean_speed=0.02,
+    mean_period=0.1,
+    q_len=0.1,
+    k_max=2,
+    grid_m=5,
+    duration=0.8,
+    sample_interval=0.1,
+)
+
+
+class TestSummarise:
+    def test_basic_stats(self):
+        summary = summarise([1.0, 2.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.std == pytest.approx(1.0)
+        assert summary.minimum == 1.0 and summary.maximum == 3.0
+        assert summary.samples == 3
+
+    def test_single_sample_zero_std(self):
+        summary = summarise([5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+    def test_render(self):
+        assert "±" in str(summarise([1.0, 2.0]))
+
+
+class TestAggregateOverSeeds:
+    def test_runs_multiple_seeds(self):
+        results = aggregate_over_seeds(FAST, seeds=(0, 1, 2), schemes=("SRB",))
+        assert len(results) == 1
+        result = results[0]
+        assert result.scheme == "SRB"
+        assert result.seeds == (0, 1, 2)
+        assert result.metrics["accuracy"].samples == 3
+        assert 0.0 <= result.metrics["accuracy"].mean <= 1.0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            aggregate_over_seeds(FAST, seeds=())
+
+    def test_row_flattening(self):
+        results = aggregate_over_seeds(FAST, seeds=(0, 1), schemes=("OPT",))
+        row = results[0].row()
+        assert row["scheme"] == "OPT"
+        assert row["seeds"] == 2
+        assert "comm_cost" in row and "comm_cost_std" in row
+
+    def test_opt_accuracy_has_zero_spread(self):
+        results = aggregate_over_seeds(FAST, seeds=(0, 1, 2), schemes=("OPT",))
+        summary = results[0].metrics["accuracy"]
+        assert summary.mean == 1.0 and summary.std == 0.0
+
+    def test_relative_spread(self):
+        result = AggregateResult(
+            scheme="X", seeds=(0,), metrics={"m": summarise([2.0, 4.0])}
+        )
+        assert relative_spread(result, "m") == pytest.approx(
+            summarise([2.0, 4.0]).std / 3.0
+        )
+        zero = AggregateResult(
+            scheme="X", seeds=(0,), metrics={"m": summarise([0.0, 0.0])}
+        )
+        assert relative_spread(zero, "m") == 0.0

@@ -1,0 +1,120 @@
+"""Tests validating Theorem 5.1 and the steady-movement analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    expected_escape_time,
+    simulate_escape_time,
+    theorem_5_1_cost,
+    weighted_escape_time,
+)
+from repro.geometry import Point, Rect
+
+
+class TestClosedForms:
+    def test_expected_escape_time_formula(self):
+        region = Rect(0, 0, 2, 1)  # perimeter 6
+        assert expected_escape_time(region, speed=1.0) == pytest.approx(
+            6 / (2 * math.pi)
+        )
+
+    def test_cost_is_inverse_of_escape_time(self):
+        region = Rect(0, 0, 1, 1)
+        cost = theorem_5_1_cost(region, speed=0.5, c_l=2.0)
+        assert cost == pytest.approx(2.0 / expected_escape_time(region, 0.5))
+
+    def test_speed_validation(self):
+        with pytest.raises(ValueError):
+            expected_escape_time(Rect(0, 0, 1, 1), 0.0)
+        with pytest.raises(ValueError):
+            simulate_escape_time(Rect(0, 0, 1, 1), Point(0.5, 0.5), -1.0)
+
+    def test_longer_perimeter_cheaper(self):
+        """The theorem's design implication: maximise the perimeter."""
+        small = Rect(0, 0, 0.1, 0.1)
+        large = Rect(0, 0, 0.4, 0.05)  # same area, longer perimeter
+        assert theorem_5_1_cost(large, 1.0) < theorem_5_1_cost(small, 1.0)
+
+
+class TestMonteCarloAgreement:
+    """Theorem 5.1's formula vs the exact escape time (see module docs).
+
+    Reproduction finding: the paper's identity only holds for a circle
+    about its centre; for rectangles the formula overestimates and the
+    true value depends on the start point.
+    """
+
+    @pytest.mark.parametrize(
+        "start",
+        [Point(0.5, 0.25), Point(0.1, 0.1), Point(0.9, 0.25), Point(0.01, 0.49)],
+    )
+    def test_paper_formula_is_an_upper_bound(self, start):
+        region = Rect(0, 0, 1, 0.5)
+        simulated = simulate_escape_time(region, start, speed=1.0, samples=200_000)
+        paper = expected_escape_time(region, 1.0)
+        assert simulated <= paper * 1.001
+        # ... and within the same order of magnitude (the design heuristic
+        # "maximise perimeter" stays meaningful).
+        assert simulated > 0.25 * paper
+
+    def test_escape_time_depends_on_start_point(self):
+        """Directly contradicts the theorem's position independence."""
+        region = Rect(0, 0, 1, 0.5)
+        center = simulate_escape_time(region, Point(0.5, 0.25), 1.0)
+        corner = simulate_escape_time(region, Point(0.02, 0.02), 1.0)
+        assert corner < 0.9 * center
+
+    def test_exact_for_circle_center_analogue(self):
+        """For a square's centre the ray integral is 4 ln(1 + sqrt 2)."""
+        region = Rect(0, 0, 1, 1)
+        simulated = simulate_escape_time(
+            region, Point(0.5, 0.5), 1.0, samples=400_000
+        )
+        exact = 4 * math.log(1 + math.sqrt(2)) / (2 * math.pi)
+        assert simulated == pytest.approx(exact, rel=0.01)
+
+    def test_scales_inversely_with_speed(self):
+        region = Rect(0, 0, 1, 1)
+        slow = simulate_escape_time(region, Point(0.3, 0.7), speed=0.5)
+        fast = simulate_escape_time(region, Point(0.3, 0.7), speed=2.0)
+        assert slow == pytest.approx(4 * fast, rel=0.01)
+
+    def test_start_outside_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_escape_time(Rect(0, 0, 1, 1), Point(2, 2), 1.0)
+
+
+class TestWeightedEscapeTime:
+    def test_zero_steadiness_matches_uniform(self):
+        region = Rect(0, 0, 1, 0.5)
+        p, p_lst = Point(0.5, 0.25), Point(0.4, 0.25)
+        weighted = weighted_escape_time(region, p, p_lst, 1.0, steadiness=0.0)
+        uniform = simulate_escape_time(region, p, 1.0)
+        assert weighted == pytest.approx(uniform, rel=0.02)
+
+    def test_forward_room_rewards_steady_movers(self):
+        """A region extending ahead of the motion yields a longer dwell
+        under the steady density than under the uniform one — the premise
+        of the Section 6.2 objective."""
+        p, p_lst = Point(0.2, 0.5), Point(0.1, 0.5)  # moving +x
+        forward_room = Rect(0.1, 0.3, 1.2, 0.7)      # long runway ahead
+        steady = weighted_escape_time(forward_room, p, p_lst, 1.0, 0.9)
+        uniform = simulate_escape_time(forward_room, p, 1.0)
+        assert steady > uniform
+
+    def test_backward_room_punishes_steady_movers(self):
+        p, p_lst = Point(1.1, 0.5), Point(1.2, 0.5)  # moving -x
+        forward_room = Rect(0.1, 0.3, 1.2, 0.7)      # runway is behind now?
+        # Moving -x with room to the left: runway IS ahead; flip motion.
+        p, p_lst = Point(0.2, 0.5), Point(0.3, 0.5)  # moving -x, room behind
+        steady = weighted_escape_time(forward_room, p, p_lst, 1.0, 0.9)
+        uniform = simulate_escape_time(forward_room, p, 1.0)
+        assert steady < uniform
+
+    def test_steadiness_validation(self):
+        with pytest.raises(ValueError):
+            weighted_escape_time(
+                Rect(0, 0, 1, 1), Point(0.5, 0.5), Point(0.4, 0.5), 1.0, 1.5
+            )

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_value, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.command == "compare"
+        assert args.schemes == "SRB,OPT,PRD(1),PRD(0.1)"
+
+    def test_figure_id(self):
+        args = build_parser().parse_args(["figure", "7.5"])
+        assert args.id == "7.5"
+
+    def test_value_parsing(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("0.5") == 0.5
+        assert _parse_value("abc") == "abc"
+
+
+class TestCommands:
+    def test_theorem(self, capsys):
+        assert main(["theorem", "--samples", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 5.1 says" in out
+        assert "Monte Carlo says" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--objects", "80", "--queries", "5",
+            "--duration", "0.8", "--schemes", "SRB,OPT",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SRB" in out and "OPT" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "9.9"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_sweep_small(self, capsys):
+        code = main([
+            "sweep", "delay", "0,0.1",
+            "--objects", "60", "--queries", "4", "--duration", "0.6",
+            "--schemes", "SRB",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep over delay" in out
+
+    def test_figure_small(self, capsys):
+        code = main([
+            "figure", "7.4b",
+            "--objects", "60", "--queries", "4", "--duration", "0.6",
+        ])
+        assert code == 0
+        assert "Fig 7.4b" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Property-based end-to-end tests: monitoring is exact on random worlds.
+
+Hypothesis drives small random worlds — random object placements, random
+query mixes, random movement scripts — through the server, asserting
+after every processed update that each query's monitored result equals
+brute-force ground truth.  This is the strongest single statement about
+the system: the safe-region machinery never misses a result change.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.core.extensions import CircleRangeQuery
+from repro.geometry import Point, Rect
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def worlds(draw):
+    n = draw(st.integers(min_value=6, max_value=24))
+    positions = {
+        i: Point(draw(unit), draw(unit)) for i in range(n)
+    }
+    queries = []
+    for i in range(draw(st.integers(min_value=1, max_value=3))):
+        x, y = draw(unit) * 0.8, draw(unit) * 0.8
+        size = 0.05 + draw(unit) * 0.3
+        queries.append(
+            RangeQuery(
+                Rect(x, y, min(x + size, 1.0), min(y + size, 1.0)),
+                query_id=f"r{i}",
+            )
+        )
+    for i in range(draw(st.integers(min_value=0, max_value=2))):
+        queries.append(
+            KNNQuery(
+                Point(draw(unit), draw(unit)),
+                k=draw(st.integers(min_value=1, max_value=3)),
+                order_sensitive=draw(st.booleans()),
+                query_id=f"k{i}",
+            )
+        )
+    for i in range(draw(st.integers(min_value=0, max_value=1))):
+        queries.append(
+            CircleRangeQuery(
+                Point(draw(unit), draw(unit)),
+                radius=0.05 + draw(unit) * 0.2,
+                query_id=f"c{i}",
+            )
+        )
+    moves = draw(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=n - 1), unit, unit),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    grid_m = draw(st.sampled_from([3, 5, 8]))
+    return positions, queries, moves, grid_m
+
+
+def check_exact(queries, positions):
+    for query in queries:
+        if isinstance(query, RangeQuery):
+            expected = {
+                o for o, p in positions.items() if query.rect.contains_point(p)
+            }
+            assert query.results == expected, query.query_id
+        elif isinstance(query, KNNQuery):
+            ranked = sorted(
+                positions, key=lambda o: query.center.distance_to(positions[o])
+            )[: query.k]
+            if query.order_sensitive:
+                # Distance ties permit either order; compare distances.
+                got = [query.center.distance_to(positions[o]) for o in query.results]
+                want = [query.center.distance_to(positions[o]) for o in ranked]
+                assert got == pytest.approx(want), query.query_id
+            else:
+                assert set(query.results) == set(ranked), query.query_id
+        else:  # CircleRangeQuery
+            expected = {
+                o for o, p in positions.items()
+                if query.center.distance_to(p) <= query.radius
+            }
+            assert query.results == expected, query.query_id
+
+
+@settings(max_examples=60, deadline=None)
+@given(worlds())
+def test_monitoring_never_misses_a_change(world):
+    positions, queries, moves, grid_m = world
+    positions = dict(positions)
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        config=ServerConfig(grid_m=grid_m),
+    )
+    server.load_objects(positions.items())
+    for query in queries:
+        server.register_query(query)
+    check_exact(queries, positions)
+
+    t = 0.0
+    for oid, x, y in moves:
+        t += 0.01
+        positions[oid] = Point(x, y)
+        if not server.safe_region_of(oid).contains_point(positions[oid]):
+            server.handle_location_update(oid, positions[oid], t)
+        check_exact(queries, positions)
+    server.validate()
+
+
+@settings(max_examples=25, deadline=None)
+@given(worlds(), st.booleans())
+def test_enhancements_preserve_exactness(world, use_steadiness):
+    positions, queries, moves, grid_m = world
+    positions = dict(positions)
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        config=ServerConfig(
+            grid_m=grid_m,
+            max_speed=5.0,  # teleport-tolerant bound for arbitrary moves
+            steadiness=0.5 if use_steadiness else 0.0,
+        ),
+    )
+    server.load_objects(positions.items())
+    for query in queries:
+        server.register_query(query)
+    t = 0.0
+    for oid, x, y in moves:
+        t += 1.0  # generous reachability window per step
+        positions[oid] = Point(x, y)
+        if not server.safe_region_of(oid).contains_point(positions[oid]):
+            server.handle_location_update(oid, positions[oid], t)
+        check_exact(queries, positions)

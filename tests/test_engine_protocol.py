@@ -1,0 +1,137 @@
+"""Protocol-level tests of the event-driven SRB engine."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.simulation import Scenario, SRBSimulation
+from repro.simulation.recorder import attach_recorder
+
+BASE = Scenario(
+    num_objects=80,
+    num_queries=6,
+    mean_speed=0.02,
+    mean_period=0.1,
+    q_len=0.1,
+    k_max=2,
+    grid_m=5,
+    duration=1.0,
+    sample_interval=0.1,
+    seed=6,
+)
+
+
+class TestBootstrap:
+    def test_all_clients_get_initial_regions(self):
+        simulation = SRBSimulation(BASE)
+        simulation._bootstrap()
+        for oid, client in simulation.clients.items():
+            assert client.safe_region is not None
+            assert client.safe_region.contains_point(
+                client.position_at(0.0), eps=1e-9
+            )
+
+    def test_queries_registered_and_exact(self):
+        simulation = SRBSimulation(BASE)
+        simulation._bootstrap()
+        truth = simulation.truth.evaluate_at(0.0)
+        # Sampling at t=0 is not part of the schedule, but results must
+        # already be exact right after bootstrap.
+        for query in simulation.queries:
+            assert query.result_snapshot() == truth[query.query_id]
+
+    def test_sample_schedule_matches_scenario(self):
+        simulation = SRBSimulation(BASE)
+        simulation._bootstrap()
+        samples = [
+            item for item in simulation._heap if item[3] == "sample"
+        ]
+        assert len(samples) == len(BASE.sample_times())
+
+
+class TestPollPacing:
+    def test_no_client_exceeds_poll_rate(self):
+        scenario = BASE.with_overrides(duration=2.0, client_poll_interval=0.01)
+        simulation = SRBSimulation(scenario)
+        trace = attach_recorder(simulation)
+        simulation.run()
+        ceiling = scenario.duration / scenario.client_poll_interval
+        for oid, count in trace.updates_per_object().items():
+            assert count <= ceiling + 1, oid
+
+    def test_larger_poll_interval_fewer_updates(self):
+        fine = SRBSimulation(
+            BASE.with_overrides(client_poll_interval=1e-3)
+        ).run()
+        coarse = SRBSimulation(
+            BASE.with_overrides(client_poll_interval=2e-2)
+        ).run()
+        assert coarse.costs.updates <= fine.costs.updates
+
+
+class TestDelayProtocol:
+    def test_awaiting_clients_have_one_outstanding_update(self):
+        """Between send and response a client must not send again."""
+        scenario = BASE.with_overrides(delay=0.2, duration=2.0)
+        simulation = SRBSimulation(scenario)
+        trace = attach_recorder(simulation)
+        simulation.run()
+        # Reconstruct per-client alternation: sends and installs must
+        # interleave (no two sends without an install between them).
+        last_event: dict = {}
+        for event in trace.events:
+            if event.kind == "update_sent":
+                assert last_event.get(event.oid) != "update_sent", (
+                    f"client {event.oid} sent twice without a response"
+                )
+                last_event[event.oid] = "update_sent"
+            elif event.kind == "region_installed":
+                last_event[event.oid] = "region_installed"
+
+    def test_server_sees_updates_after_delay(self):
+        scenario = BASE.with_overrides(delay=0.15, duration=1.5)
+        simulation = SRBSimulation(scenario)
+        trace = attach_recorder(simulation)
+        simulation.run()
+        sends = {
+            (e.oid, round(e.time, 9)) for e in trace.of_kind("update_sent")
+        }
+        for event in trace.of_kind("server_received"):
+            sent_at = round(event.time - scenario.delay, 9)
+            assert (event.oid, sent_at) in sends
+
+    def test_zero_delay_means_instant_processing(self):
+        simulation = SRBSimulation(BASE)
+        trace = attach_recorder(simulation)
+        simulation.run()
+        for send, recv in zip(
+            trace.of_kind("update_sent"), trace.of_kind("server_received")
+        ):
+            assert recv.time == pytest.approx(send.time)
+
+
+class TestReportIntegrity:
+    def test_costs_match_trace(self):
+        simulation = SRBSimulation(BASE)
+        trace = attach_recorder(simulation)
+        report = simulation.run()
+        assert report.costs.updates == len(trace.of_kind("update_sent"))
+        assert report.costs.probes == len(trace.of_kind("probe"))
+
+    def test_total_distance_positive_and_bounded(self):
+        report = SRBSimulation(BASE).run()
+        ceiling = BASE.num_objects * BASE.max_speed * BASE.duration
+        assert 0 < report.total_distance <= ceiling + 1e-9
+
+    def test_extras_present(self):
+        report = SRBSimulation(BASE).run()
+        assert "reevaluations" in report.extras
+        assert report.extras["reevaluations"] >= 0
+
+    def test_row_serialisation(self):
+        report = SRBSimulation(BASE).run()
+        row = report.row()
+        assert row["scheme"] == "SRB"
+        assert row["N"] == BASE.num_objects
+        assert 0 <= row["accuracy"] <= 1

@@ -1,0 +1,138 @@
+"""Tests for the Section 6 enhancements."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.enhancements import (
+    ReachabilityModel,
+    weighted_perimeter,
+    weighted_perimeter_objective,
+)
+from repro.geometry import Point, Rect
+
+
+class TestReachabilityModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReachabilityModel(0.0)
+        with pytest.raises(ValueError):
+            ReachabilityModel(-1.0)
+
+    def test_circle_grows_with_time(self):
+        model = ReachabilityModel(2.0)
+        p = Point(0.5, 0.5)
+        assert model.circle(p, 1.0, 1.0).radius == 0.0
+        assert model.circle(p, 1.0, 1.5).radius == pytest.approx(1.0)
+
+    def test_circle_clamps_clock_skew(self):
+        model = ReachabilityModel(2.0)
+        assert model.circle(Point(0, 0), 2.0, 1.0).radius == 0.0
+
+    def test_constrain_intersects_bbox(self):
+        model = ReachabilityModel(1.0)
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        constrained = model.constrain(region, Point(0.5, 0.5), 0.0, 0.1)
+        assert constrained == Rect(0.4, 0.4, 0.6, 0.6)
+
+    def test_constrain_is_conservative(self):
+        """The constrained region always contains the true position set."""
+        model = ReachabilityModel(1.0)
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        p_lst = Point(0.2, 0.2)
+        constrained = model.constrain(region, p_lst, 0.0, 0.05)
+        # Any point within distance 0.05 of p_lst that is inside region
+        # must remain inside the constrained rect.
+        for angle in range(0, 360, 30):
+            candidate = Point(
+                p_lst.x + 0.05 * math.cos(math.radians(angle)),
+                p_lst.y + 0.05 * math.sin(math.radians(angle)),
+            )
+            if region.contains_point(candidate):
+                assert constrained.contains_point(candidate, eps=1e-12)
+
+    def test_constrain_disjoint_falls_back(self):
+        model = ReachabilityModel(1.0)
+        region = Rect(0.0, 0.0, 1.0, 1.0)
+        constrained = model.constrain(region, Point(5.0, 5.0), 0.0, 0.01)
+        assert region.contains_rect(constrained)
+
+
+class TestWeightedPerimeter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_perimeter(Rect(0, 0, 1, 1), Point(0, 0), Point(1, 1), 1.5)
+
+    def test_zero_steadiness_is_plain_perimeter(self):
+        rect = Rect(0, 0, 2, 1)
+        assert weighted_perimeter(rect, Point(0.5, 0.5), Point(0, 0.5), 0.0) == 6.0
+
+    def test_no_direction_is_plain_perimeter(self):
+        rect = Rect(0, 0, 2, 1)
+        p = Point(0.5, 0.5)
+        assert weighted_perimeter(rect, p, p, 0.9) == rect.perimeter
+
+    def test_centered_rect_equals_plain(self):
+        """When p is at the rectangle centre, lambda_w == lambda."""
+        rect = Rect(0, 0, 2, 2)
+        value = weighted_perimeter(rect, Point(1, 1), Point(0, 1), 0.5)
+        assert value == pytest.approx(rect.perimeter)
+
+    def test_forward_rect_scores_higher(self):
+        """A rectangle extending ahead of the motion beats one behind."""
+        p, p_lst = Point(0.5, 0.5), Point(0.4, 0.5)  # moving +x
+        ahead = Rect(0.45, 0.4, 0.85, 0.6)
+        behind = Rect(0.15, 0.4, 0.55, 0.6)
+        d = 0.5
+        assert weighted_perimeter(ahead, p, p_lst, d) > weighted_perimeter(
+            behind, p, p_lst, d
+        )
+        assert ahead.perimeter == pytest.approx(behind.perimeter)
+
+    def test_bounded_by_extremes(self):
+        """lambda_w stays within [(1-D) lambda, (1+D) lambda]."""
+        p, p_lst, d = Point(0.5, 0.5), Point(0.3, 0.3), 0.7
+        for rect in (
+            Rect(0.5, 0.5, 0.9, 0.9),
+            Rect(0.1, 0.1, 0.5, 0.5),
+            Rect(0.2, 0.4, 0.8, 0.9),
+        ):
+            lam = rect.perimeter
+            value = weighted_perimeter(rect, p, p_lst, d)
+            assert (1 - d) * lam - 1e-9 <= value <= (1 + d) * lam + 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_bounds(self, steadiness, half, cx, cy):
+        rect = Rect.from_center(Point(cx, cy), half, half)
+        p = Point(0.5, 0.5)
+        value = weighted_perimeter(rect, p, Point(0.4, 0.45), steadiness)
+        lam = rect.perimeter
+        assert (1 - steadiness) * lam - 1e-9 <= value <= (1 + steadiness) * lam + 1e-9
+
+    def test_zero_perimeter(self):
+        rect = Rect.from_point(Point(0.5, 0.5))
+        assert weighted_perimeter(rect, Point(0.5, 0.5), Point(0.4, 0.4), 0.5) == 0.0
+
+
+class TestObjectiveFactory:
+    def test_disabled_cases_return_none(self):
+        p = Point(0.5, 0.5)
+        assert weighted_perimeter_objective(p, Point(0.4, 0.4), 0.0) is None
+        assert weighted_perimeter_objective(p, None, 0.5) is None
+        assert weighted_perimeter_objective(p, p, 0.5) is None
+
+    def test_enabled_returns_callable(self):
+        objective = weighted_perimeter_objective(
+            Point(0.5, 0.5), Point(0.4, 0.5), 0.5
+        )
+        assert objective is not None
+        rect = Rect(0.45, 0.4, 0.85, 0.6)
+        assert objective(rect) == weighted_perimeter(
+            rect, Point(0.5, 0.5), Point(0.4, 0.5), 0.5
+        )

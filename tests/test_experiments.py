@@ -1,0 +1,116 @@
+"""Tests for the experiment runner and figure harness."""
+
+import pytest
+
+from repro.experiments import figures, format_table, run_schemes, sweep
+from repro.experiments.runner import build_truth
+from repro.simulation import Scenario
+
+FAST = Scenario(
+    num_objects=80,
+    num_queries=6,
+    mean_speed=0.02,
+    mean_period=0.1,
+    q_len=0.1,
+    k_max=3,
+    grid_m=5,
+    duration=1.0,
+    sample_interval=0.1,
+    seed=2,
+)
+
+
+class TestRunner:
+    def test_run_all_schemes(self):
+        reports = run_schemes(FAST)
+        assert set(reports) == {"SRB", "OPT", "PRD(1)", "PRD(0.1)"}
+        assert reports["OPT"].accuracy == 1.0
+        assert reports["SRB"].accuracy > reports["PRD(1)"].accuracy
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            run_schemes(FAST, schemes=("BOGUS",))
+
+    def test_prd_scheme_parsing(self):
+        reports = run_schemes(FAST, schemes=("PRD(0.5)",))
+        assert reports["PRD(0.5)"].scheme == "PRD(0.5)"
+
+    def test_shared_truth(self):
+        truth = build_truth(FAST)
+        reports = run_schemes(FAST, schemes=("SRB", "OPT"), truth=truth)
+        assert reports["SRB"].num_objects == FAST.num_objects
+
+    def test_sweep_delay_shares_truth(self):
+        results = sweep(FAST, "delay", [0.0, 0.2], schemes=("SRB",))
+        assert len(results) == 2
+        assert results[0][0] == 0.0
+        assert results[0][1]["SRB"].accuracy >= results[1][1]["SRB"].accuracy
+
+    def test_sweep_other_parameter(self):
+        results = sweep(FAST, "num_objects", [40, 80], schemes=("OPT",))
+        assert [value for value, _ in results] == [40, 80]
+        assert results[0][1]["OPT"].num_objects == 40
+
+
+class TestFigures:
+    def test_figure_7_1_rows(self):
+        result = figures.figure_7_1(FAST, delays=(0.0, 0.2))
+        assert result.figure_id == "Fig 7.1"
+        assert len(result.rows) == 2 * 4  # two delays, four schemes
+        srb_zero = next(
+            r for r in result.rows if r["scheme"] == "SRB" and r["delay"] == 0.0
+        )
+        assert srb_zero["accuracy"] > 0.9
+        assert "Fig 7.1" in result.table()
+
+    def test_figure_7_4a_per_distance_flat(self):
+        result = figures.figure_7_4a(FAST, speeds=(0.01, 0.04))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row["comm_cost_per_distance"] >= 0
+
+    def test_figure_7_5_rows(self):
+        result = figures.figure_7_5(FAST, grid_sizes=(4, 8))
+        assert [row["M"] for row in result.rows] == [4, 8]
+
+    def test_figure_7_6a_improvement(self):
+        result = figures.figure_7_6a(FAST, query_counts=(6,))
+        row = result.rows[0]
+        assert {
+            "comm_cost_srb",
+            "comm_reach_exact",
+            "improve_exact_pct",
+            "comm_reach_paper",
+            "improve_paper_pct",
+        } <= set(row)
+        # The paper-semantics variant never costs more than plain SRB.
+        assert row["comm_reach_paper"] <= row["comm_cost_srb"] * 1.05
+
+    def test_all_figures_registry(self):
+        assert set(figures.ALL_FIGURES) == {
+            "7.1", "7.2", "7.3", "7.4a", "7.4b", "7.5", "7.6a", "7.6b"
+        }
+
+    def test_paper_defaults_table(self):
+        assert figures.PAPER_DEFAULTS["N"] == 100_000
+        assert figures.PAPER_DEFAULTS["M"] == 50
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [
+            {"a": 1, "b": "x"},
+            {"a": 22, "b": "yy", "c": 3.14159},
+        ]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "c" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_empty(self):
+        assert "(no data)" in format_table([], title="T")
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456789}])
+        assert "0.12346" in text

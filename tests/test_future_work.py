@@ -1,0 +1,255 @@
+"""Tests for the Section 8 future-work query types.
+
+The paper closes with "we plan to incorporate other types of queries into
+the framework, such as spatial joins and aggregate queries" — these tests
+exercise exactly those: :class:`ThresholdRangeQuery` (aggregate) and
+:class:`ProximityPairQuery` (the distance-join primitive with a moving
+anchor).
+"""
+
+import random
+
+import pytest
+
+from repro.core import DatabaseServer, ServerConfig
+from repro.core.extensions import ProximityPairQuery, ThresholdRangeQuery
+from repro.geometry import Point, Rect
+
+
+def build_world(seed=0, n=150, grid_m=8):
+    rng = random.Random(seed)
+    positions = {oid: Point(rng.random(), rng.random()) for oid in range(n)}
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        config=ServerConfig(grid_m=grid_m),
+    )
+    server.load_objects(positions.items())
+    return rng, positions, server
+
+
+def drive(rng, positions, server, steps=300, max_step=0.04):
+    t = 0.0
+    for _ in range(steps):
+        t += 0.01
+        oid = rng.randrange(len(positions))
+        p = positions[oid]
+        positions[oid] = Point(
+            min(max(p.x + rng.uniform(-max_step, max_step), 0), 1),
+            min(max(p.y + rng.uniform(-max_step, max_step), 0), 1),
+        )
+        if not server.safe_region_of(oid).contains_point(positions[oid]):
+            server.handle_location_update(oid, positions[oid], t)
+
+
+class TestThresholdRangeQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdRangeQuery(Rect(0, 0, 1, 1), threshold=0)
+
+    def test_snapshot_is_alert_and_count(self):
+        query = ThresholdRangeQuery(Rect(0.4, 0.4, 0.6, 0.6), threshold=2)
+        assert query.result_snapshot() == (False, 0)
+        query.members = {"a", "b", "c"}
+        assert query.result_snapshot() == (True, 3)
+
+    def test_registration_counts(self):
+        rng, positions, server = build_world(seed=1)
+        query = ThresholdRangeQuery(Rect(0.3, 0.3, 0.7, 0.7), 5, query_id="agg")
+        server.register_query(query)
+        expected = {
+            oid for oid, p in positions.items()
+            if query.rect.contains_point(p)
+        }
+        assert query.members == expected
+        assert query.count == len(expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_monitoring_keeps_count_exact(self, seed):
+        rng, positions, server = build_world(seed=seed)
+        query = ThresholdRangeQuery(Rect(0.35, 0.35, 0.65, 0.65), 4, query_id="agg")
+        server.register_query(query)
+        drive(rng, positions, server)
+        expected = {
+            oid for oid, p in positions.items()
+            if query.rect.contains_point(p)
+        }
+        assert query.members == expected
+        assert query.alerting == (len(expected) >= 4)
+        server.validate()
+
+    def test_alert_transitions_reported(self):
+        rng, positions, server = build_world(seed=4, n=60)
+        query = ThresholdRangeQuery(Rect(0.4, 0.4, 0.6, 0.6), 1, query_id="agg")
+        server.register_query(query)
+        transitions = []
+        t, previous = 0.0, query.result_snapshot()
+        for _ in range(400):
+            t += 0.01
+            oid = rng.randrange(60)
+            p = positions[oid]
+            positions[oid] = Point(
+                min(max(p.x + rng.uniform(-0.05, 0.05), 0), 1),
+                min(max(p.y + rng.uniform(-0.05, 0.05), 0), 1),
+            )
+            if not server.safe_region_of(oid).contains_point(positions[oid]):
+                outcome = server.handle_location_update(oid, positions[oid], t)
+                for change in outcome.changed_queries():
+                    if change.query_id == "agg":
+                        transitions.append(change)
+        # The monitored state is current regardless of reported deltas.
+        expected = {
+            oid for oid, p in positions.items()
+            if query.rect.contains_point(p)
+        }
+        assert query.members == expected
+
+
+class TestProximityPairQuery:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProximityPairQuery("f", radius=0.0)
+
+    def test_registration_finds_neighbours(self):
+        rng, positions, server = build_world(seed=5)
+        query = ProximityPairQuery(0, 0.15, query_id="pair")
+        server.register_query(query)
+        focal = positions[0]
+        expected = {
+            oid for oid, p in positions.items()
+            if oid != 0 and focal.distance_to(p) <= 0.15
+        }
+        assert query.results == expected
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monitoring_with_moving_anchor(self, seed):
+        """The focal moves like everything else; pairs stay exact."""
+        rng, positions, server = build_world(seed=seed, n=100)
+        query = ProximityPairQuery(0, 0.18, query_id="pair")
+        server.register_query(query)
+        drive(rng, positions, server, steps=350)
+        focal = positions[0]
+        expected = {
+            oid for oid, p in positions.items()
+            if oid != 0 and focal.distance_to(p) <= 0.18
+        }
+        assert query.results == expected, (
+            f"pairs drifted: extra={query.results - expected} "
+            f"missing={expected - query.results}"
+        )
+        server.validate()
+
+    def test_focal_never_in_results(self):
+        rng, positions, server = build_world(seed=9, n=50)
+        query = ProximityPairQuery(3, 0.25, query_id="pair")
+        server.register_query(query)
+        drive(rng, positions, server, steps=200)
+        assert 3 not in query.results
+
+    def test_mixes_with_other_queries(self):
+        from repro.core import KNNQuery, RangeQuery
+
+        rng, positions, server = build_world(seed=11, n=120)
+        pair = ProximityPairQuery(7, 0.2, query_id="pair")
+        box = RangeQuery(Rect(0.2, 0.2, 0.45, 0.45), query_id="box")
+        knn = KNNQuery(Point(0.7, 0.7), 3, query_id="knn")
+        for query in (pair, box, knn):
+            server.register_query(query)
+        drive(rng, positions, server, steps=300)
+        focal = positions[7]
+        assert pair.results == {
+            oid for oid, p in positions.items()
+            if oid != 7 and focal.distance_to(p) <= 0.2
+        }
+        assert box.results == {
+            oid for oid, p in positions.items() if box.rect.contains_point(p)
+        }
+        ranked = sorted(
+            positions, key=lambda o: knn.center.distance_to(positions[o])
+        )
+        assert knn.results == ranked[:3]
+
+    def test_probe_economy(self):
+        """Pair maintenance probes the focal, not the whole population."""
+        rng, positions, server = build_world(seed=13, n=300)
+        query = ProximityPairQuery(0, 0.1, query_id="pair")
+        server.register_query(query)
+        probes_after_registration = server.stats.probes
+        assert probes_after_registration < 100
+
+
+class TestMovingKNNQuery:
+    def test_validation(self):
+        from repro.core.extensions import MovingKNNQuery
+
+        with pytest.raises(ValueError):
+            MovingKNNQuery("f", k=0)
+
+    def test_registration_finds_neighbours(self):
+        from repro.core.extensions import MovingKNNQuery
+
+        rng, positions, server = build_world(seed=21, n=100)
+        query = MovingKNNQuery(0, k=3, query_id="mknn")
+        server.register_query(query)
+        focal = positions[0]
+        expected = set(sorted(
+            (oid for oid in positions if oid != 0),
+            key=lambda o: focal.distance_to(positions[o]),
+        )[:3])
+        assert query.results == expected
+        assert query.radius > 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_monitoring_with_moving_anchor(self, seed):
+        from repro.core.extensions import MovingKNNQuery
+
+        rng, positions, server = build_world(seed=seed + 40, n=80)
+        query = MovingKNNQuery(0, k=3, query_id="mknn")
+        server.register_query(query)
+        drive(rng, positions, server, steps=300, max_step=0.03)
+        focal = positions[0]
+        expected = set(sorted(
+            (oid for oid in positions if oid != 0),
+            key=lambda o: focal.distance_to(positions[o]),
+        )[:3])
+        assert query.results == expected, (
+            f"kNN drifted: got={sorted(query.results)} want={sorted(expected)}"
+        )
+        server.validate()
+
+    def test_focal_excluded(self):
+        from repro.core.extensions import MovingKNNQuery
+
+        rng, positions, server = build_world(seed=50, n=40)
+        query = MovingKNNQuery(5, k=2, query_id="mknn")
+        server.register_query(query)
+        drive(rng, positions, server, steps=150)
+        assert 5 not in query.results
+
+    def test_underflow_population(self):
+        from repro.core.extensions import MovingKNNQuery
+
+        rng, positions, server = build_world(seed=51, n=3)
+        query = MovingKNNQuery(0, k=5, query_id="mknn")
+        server.register_query(query)
+        assert query.results == {1, 2}
+
+    def test_coexists_with_pair_query(self):
+        from repro.core.extensions import MovingKNNQuery
+
+        rng, positions, server = build_world(seed=52, n=90)
+        mknn = MovingKNNQuery(1, k=2, query_id="mknn")
+        pair = ProximityPairQuery(2, 0.15, query_id="pair")
+        server.register_query(mknn)
+        server.register_query(pair)
+        drive(rng, positions, server, steps=250)
+        focal1, focal2 = positions[1], positions[2]
+        expected_knn = set(sorted(
+            (oid for oid in positions if oid != 1),
+            key=lambda o: focal1.distance_to(positions[o]),
+        )[:2])
+        expected_pair = {
+            oid for oid, p in positions.items()
+            if oid != 2 and focal2.distance_to(p) <= 0.15
+        }
+        assert mknn.results == expected_knn
+        assert pair.results == expected_pair

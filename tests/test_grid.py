@@ -1,0 +1,138 @@
+"""Tests for the grid-based query index (Section 3.3)."""
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery
+from repro.geometry import Point, Rect
+from repro.index import GridIndex
+
+
+def make_range(x, y, size=0.1, qid=None):
+    return RangeQuery(Rect(x, y, x + size, y + size), query_id=qid)
+
+
+class TestCellArithmetic:
+    def setup_method(self):
+        self.grid = GridIndex(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridIndex(0)
+        with pytest.raises(ValueError):
+            GridIndex(5, Rect(0, 0, 0, 1))
+
+    def test_cell_of_interior(self):
+        assert self.grid.cell_of(Point(0.05, 0.05)) == (0, 0)
+        assert self.grid.cell_of(Point(0.95, 0.15)) == (9, 1)
+
+    def test_cell_of_clamps_outside(self):
+        assert self.grid.cell_of(Point(-1, 2)) == (0, 9)
+        assert self.grid.cell_of(Point(1.0, 1.0)) == (9, 9)
+
+    def test_cell_rect(self):
+        rect = self.grid.cell_rect((2, 3))
+        assert rect.as_tuple() == pytest.approx((0.2, 0.3, 0.3, 0.4))
+        with pytest.raises(IndexError):
+            self.grid.cell_rect((10, 0))
+
+    def test_cell_rect_of_point_contains_point(self):
+        p = Point(0.42, 0.77)
+        assert self.grid.cell_rect_of_point(p).contains_point(p)
+
+    def test_cells_overlapping(self):
+        cells = set(self.grid.cells_overlapping(Rect(0.05, 0.05, 0.25, 0.15)))
+        assert cells == {(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)}
+
+    def test_nonuniform_space(self):
+        grid = GridIndex(4, Rect(0, 0, 2, 1))
+        assert grid.cell_rect((0, 0)) == Rect(0, 0, 0.5, 0.25)
+        assert grid.cell_of(Point(1.9, 0.9)) == (3, 3)
+
+
+class TestRegistration:
+    def setup_method(self):
+        self.grid = GridIndex(10)
+
+    def test_insert_and_lookup(self):
+        query = make_range(0.42, 0.42, 0.05)
+        self.grid.insert(query)
+        assert query in self.grid
+        assert len(self.grid) == 1
+        assert query in self.grid.queries_at(Point(0.44, 0.44))
+        assert query not in self.grid.queries_at(Point(0.1, 0.1))
+
+    def test_duplicate_insert_rejected(self):
+        query = make_range(0.1, 0.1)
+        self.grid.insert(query)
+        with pytest.raises(KeyError):
+            self.grid.insert(query)
+
+    def test_remove(self):
+        query = make_range(0.1, 0.1)
+        self.grid.insert(query)
+        self.grid.remove(query)
+        assert query not in self.grid
+        assert not self.grid.queries_at(Point(0.15, 0.15))
+        with pytest.raises(KeyError):
+            self.grid.remove(query)
+
+    def test_query_spanning_cells(self):
+        query = make_range(0.05, 0.05, 0.2)
+        self.grid.insert(query)
+        for p in (Point(0.06, 0.06), Point(0.2, 0.2), Point(0.24, 0.06)):
+            assert query in self.grid.queries_at(p)
+
+    def test_knn_circle_precision(self):
+        """Buckets are filtered by the true circle, not its bounding box."""
+        query = KNNQuery(Point(0.55, 0.55), k=1)
+        query.radius = 0.049
+        self.grid.insert(query)
+        # Cell (6, 6) overlaps the bounding box corner but not the circle.
+        assert query not in self.grid.queries_in_cell((6, 6))
+        assert query in self.grid.queries_in_cell((5, 5))
+
+    def test_update_after_quarantine_change(self):
+        query = KNNQuery(Point(0.35, 0.35), k=1)
+        query.radius = 0.01
+        self.grid.insert(query)
+        assert query not in self.grid.queries_at(Point(0.65, 0.35))
+        query.radius = 0.35
+        self.grid.update(query)
+        assert query in self.grid.queries_at(Point(0.65, 0.35))
+
+    def test_update_unregistered_raises(self):
+        with pytest.raises(KeyError):
+            self.grid.update(make_range(0.1, 0.1))
+
+    def test_update_without_movement_is_noop(self):
+        query = make_range(0.3, 0.3, 0.05)
+        self.grid.insert(query)
+        self.grid.update(query)
+        assert query in self.grid.queries_at(Point(0.32, 0.32))
+
+
+class TestCandidateQueries:
+    def setup_method(self):
+        self.grid = GridIndex(10)
+        self.q_a = make_range(0.11, 0.11, 0.05, "a")
+        self.q_b = make_range(0.81, 0.81, 0.05, "b")
+        self.grid.insert(self.q_a)
+        self.grid.insert(self.q_b)
+
+    def test_same_cell_move(self):
+        found = self.grid.candidate_queries(Point(0.12, 0.12), Point(0.13, 0.13))
+        assert self.q_a in found and self.q_b not in found
+
+    def test_cross_cell_move_unions_buckets(self):
+        found = self.grid.candidate_queries(Point(0.12, 0.12), Point(0.82, 0.82))
+        assert {self.q_a, self.q_b} <= set(found)
+
+    def test_new_object(self):
+        found = self.grid.candidate_queries(Point(0.85, 0.85), None)
+        assert self.q_b in found and self.q_a not in found
+
+    def test_all_queries(self):
+        assert self.grid.all_queries() == frozenset({self.q_a, self.q_b})
+
+    def test_size_accounting(self):
+        assert self.grid.approximate_size_bytes() > 0

@@ -1,0 +1,158 @@
+"""Edge-case and stress tests for the index substrates."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index import BruteForceIndex, RStarTree
+from repro.index.bulk import bulk_load
+
+
+class TestDegenerateRectangles:
+    """Point-sized rectangles are the common case (fresh updates)."""
+
+    def test_all_points_tree(self):
+        rng = random.Random(0)
+        tree = RStarTree(max_entries=6)
+        points = {}
+        for oid in range(300):
+            p = Point(rng.random(), rng.random())
+            points[oid] = p
+            tree.insert(oid, Rect.from_point(p))
+        tree.validate()
+        probe = Rect(0.25, 0.25, 0.75, 0.75)
+        expected = sorted(
+            oid for oid, p in points.items() if probe.contains_point(p)
+        )
+        assert sorted(tree.search(probe)) == expected
+
+    def test_identical_rectangles(self):
+        tree = RStarTree(max_entries=4)
+        same = Rect(0.5, 0.5, 0.5, 0.5)
+        for oid in range(50):
+            tree.insert(oid, same)
+        tree.validate()
+        assert sorted(tree.search(same)) == list(range(50))
+        for oid in range(0, 50, 2):
+            tree.delete(oid)
+        tree.validate()
+        assert len(tree) == 25
+
+    def test_collinear_rectangles(self):
+        tree = RStarTree(max_entries=5)
+        for oid in range(100):
+            x = oid / 100
+            tree.insert(oid, Rect(x, 0.5, x, 0.5))
+        tree.validate()
+        found = tree.search(Rect(0.25, 0.4, 0.5, 0.6))
+        assert sorted(found) == list(range(25, 51))
+
+
+class TestExtremeShapes:
+    def test_long_thin_rectangles(self):
+        rng = random.Random(1)
+        tree = RStarTree(max_entries=8)
+        oracle = BruteForceIndex()
+        for oid in range(200):
+            if oid % 2:
+                y = rng.random() * 0.999
+                rect = Rect(rng.random() * 0.5, y, 1.0, y + 1e-4)  # wide
+            else:
+                x = rng.random() * 0.999
+                rect = Rect(x, 0.0, x + 1e-4, 1.0)  # tall
+            tree.insert(oid, rect)
+            oracle.insert(oid, rect)
+        tree.validate()
+        probe = Rect(0.4, 0.4, 0.6, 0.6)
+        assert sorted(tree.search(probe)) == sorted(oracle.search(probe))
+
+    def test_nested_rectangles(self):
+        tree = RStarTree(max_entries=4)
+        for oid in range(60):
+            margin = oid / 130
+            tree.insert(oid, Rect(margin, margin, 1 - margin, 1 - margin))
+        tree.validate()
+        inner_probe = Rect.from_point(Point(0.5, 0.5))
+        assert len(tree.search(inner_probe)) == 60
+
+
+class TestUpdateChurn:
+    def test_oscillating_updates(self):
+        """Objects bouncing between two spots — the monitoring hot path."""
+        tree = RStarTree(max_entries=6)
+        a = Rect(0.1, 0.1, 0.12, 0.12)
+        b = Rect(0.8, 0.8, 0.82, 0.82)
+        for oid in range(40):
+            tree.insert(oid, a)
+        for round_ in range(10):
+            target = b if round_ % 2 == 0 else a
+            for oid in range(40):
+                tree.update(oid, target)
+            tree.validate()
+        # Ten rounds: the final round (index 9) moved everything back to a.
+        assert sorted(tree.search(a)) == list(range(40))
+        assert sorted(tree.search(b)) == []
+
+    def test_grow_shrink_cycles(self):
+        tree = RStarTree(max_entries=5)
+        rng = random.Random(2)
+        live = set()
+        for cycle in range(6):
+            for oid in range(cycle * 50, cycle * 50 + 50):
+                x, y = rng.random() * 0.9, rng.random() * 0.9
+                tree.insert(oid, Rect(x, y, x + 0.05, y + 0.05))
+                live.add(oid)
+            victims = rng.sample(sorted(live), 30)
+            for oid in victims:
+                tree.delete(oid)
+                live.discard(oid)
+            tree.validate()
+        assert len(tree) == len(live)
+
+
+class TestBulkLoadEdges:
+    def test_single_item(self):
+        tree = bulk_load([("only", Rect(0.5, 0.5, 0.6, 0.6))])
+        assert len(tree) == 1
+        tree.validate()
+
+    def test_exact_capacity_boundary(self):
+        """Sizes around node-capacity multiples exercise the rebalancer."""
+        for n in (28, 29, 30, 31, 32, 57, 58, 59):
+            pairs = [
+                (i, Rect(i / 100, i / 100, i / 100 + 0.01, i / 100 + 0.01))
+                for i in range(n)
+            ]
+            tree = bulk_load(pairs, max_entries=8)
+            tree.validate()
+            assert len(tree) == n
+
+    def test_large_load_and_query(self):
+        rng = random.Random(3)
+        pairs = [
+            (i, Rect.from_point(Point(rng.random(), rng.random())))
+            for i in range(5000)
+        ]
+        tree = bulk_load(pairs, max_entries=32)
+        tree.validate()
+        found = tree.search(Rect(0.0, 0.0, 0.1, 0.1))
+        oracle = [
+            oid for oid, rect in pairs
+            if Rect(0.0, 0.0, 0.1, 0.1).contains_point(rect.center)
+        ]
+        assert sorted(found) == sorted(oracle)
+
+    def test_nn_on_bulk_tree(self):
+        rng = random.Random(4)
+        pairs = [
+            (i, Rect.from_point(Point(rng.random(), rng.random())))
+            for i in range(800)
+        ]
+        tree = bulk_load(pairs, max_entries=16)
+        q = Point(0.37, 0.62)
+        got = [oid for oid, _, _ in tree.nearest_iter(q)][:10]
+        expected = sorted(
+            (q.distance_to(rect.center), oid) for oid, rect in pairs
+        )[:10]
+        assert got == [oid for _, oid in expected]

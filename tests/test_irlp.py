@@ -1,0 +1,259 @@
+"""Tests for the Ir-lp constructions of Section 5.2."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.irlp import (
+    interior_margin,
+    irlp_circle,
+    irlp_circle_complement,
+    irlp_ring,
+    maximize_theta,
+)
+from repro.geometry import Circle, Point, Rect, Ring
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+unit_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+angles = st.floats(min_value=0.0, max_value=2 * math.pi, allow_nan=False)
+
+
+def rect_in_circle(rect: Rect, circle: Circle, eps=1e-9) -> bool:
+    return rect.max_dist_to_point(circle.center) <= circle.radius + eps
+
+
+def rect_avoids_circle(rect: Rect, circle: Circle, eps=1e-9) -> bool:
+    return rect.min_dist_to_point(circle.center) >= circle.radius - eps
+
+
+class TestIrlpCircle:
+    def test_centered_point_gives_square(self):
+        circle = Circle(Point(0.5, 0.5), 0.2)
+        rect = irlp_circle(circle, Point(0.5, 0.5))
+        # Unconstrained optimum is the inscribed square (theta = pi/4).
+        assert rect.width == pytest.approx(rect.height, rel=1e-6)
+        assert rect.perimeter == pytest.approx(8 * 0.2 / math.sqrt(2), rel=1e-6)
+
+    def test_zero_radius(self):
+        circle = Circle(Point(0.3, 0.3), 0.0)
+        assert irlp_circle(circle, Point(0.3, 0.3)) == Rect.from_point(Point(0.3, 0.3))
+
+    def test_contains_p_and_inscribed(self):
+        circle = Circle(Point(0.5, 0.5), 0.25)
+        p = Point(0.62, 0.41)
+        rect = irlp_circle(circle, p)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect_in_circle(rect, circle)
+
+    def test_interior_margin_positive_for_interior_p(self):
+        circle = Circle(Point(0.5, 0.5), 0.25)
+        p = Point(0.6, 0.55)
+        rect = irlp_circle(circle, p)
+        assert interior_margin(rect, p) > 0
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.4),
+        st.floats(min_value=0.0, max_value=0.99),
+        angles,
+    )
+    def test_property_contains_and_inscribed(self, radius, rho, phi):
+        circle = Circle(Point(0.5, 0.5), radius)
+        p = Point(
+            0.5 + rho * radius * math.cos(phi),
+            0.5 + rho * radius * math.sin(phi),
+        )
+        rect = irlp_circle(circle, p)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect_in_circle(rect, circle)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.4),
+        st.floats(min_value=0.0, max_value=0.7),
+        angles,
+    )
+    def test_property_margin_scales_with_clearance(self, radius, rho, phi):
+        """For p well inside the disk the rectangle holds p strictly."""
+        circle = Circle(Point(0.5, 0.5), radius)
+        p = Point(
+            0.5 + rho * radius * math.cos(phi),
+            0.5 + rho * radius * math.sin(phi),
+        )
+        rect = irlp_circle(circle, p)
+        assert interior_margin(rect, p) > 0.0
+
+    def test_near_optimal_perimeter(self):
+        """The closed form is within the nudge factor of the true optimum."""
+        circle = Circle(Point(0.5, 0.5), 0.2)
+        p = Point(0.58, 0.43)
+        rect = irlp_circle(circle, p)
+        best = 0.0
+        r = circle.radius
+        for i in range(2000):
+            theta = (i + 0.5) / 2000 * (math.pi / 2)
+            cand = Rect.from_center(
+                circle.center, r * math.sin(theta), r * math.cos(theta)
+            )
+            if cand.contains_point(p):
+                best = max(best, cand.perimeter)
+        assert rect.perimeter >= 0.85 * best
+
+
+class TestIrlpComplement:
+    def test_p_far_from_circle_gets_large_rect(self):
+        circle = Circle(Point(0.2, 0.2), 0.1)
+        p = Point(0.8, 0.8)
+        rect = irlp_circle_complement(circle, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect_avoids_circle(rect, circle)
+        assert rect.perimeter > 1.0  # most of the cell
+
+    def test_zero_radius_returns_cell(self):
+        circle = Circle(Point(0.5, 0.5), 0.0)
+        assert irlp_circle_complement(circle, Point(0.7, 0.7), UNIT) == UNIT
+
+    def test_result_clipped_to_cell(self):
+        circle = Circle(Point(0.5, 0.5), 0.3)
+        cell = Rect(0.0, 0.0, 0.5, 0.5)
+        p = Point(0.1, 0.1)
+        rect = irlp_circle_complement(circle, p, cell)
+        assert cell.contains_rect(rect)
+        assert rect.contains_point(p, eps=1e-9)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.3),
+        st.floats(min_value=1.001, max_value=3.0),
+        angles,
+        unit_floats,
+        unit_floats,
+    )
+    @settings(max_examples=200)
+    def test_property_contains_avoids(self, radius, rho, phi, cx, cy):
+        center = Point(0.2 + 0.6 * cx, 0.2 + 0.6 * cy)
+        circle = Circle(center, radius)
+        p = Point(
+            center.x + rho * radius * math.cos(phi),
+            center.y + rho * radius * math.sin(phi),
+        )
+        assume(UNIT.contains_point(p))
+        rect = irlp_circle_complement(circle, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect_avoids_circle(rect, circle)
+        assert UNIT.contains_rect(rect)
+
+    def test_strict_interior_for_clear_p(self):
+        circle = Circle(Point(0.3, 0.3), 0.1)
+        p = Point(0.5, 0.5)
+        rect = irlp_circle_complement(circle, p, UNIT)
+        assert interior_margin(rect, p) > 0.01
+
+
+class TestIrlpRing:
+    def test_dispatch_disk(self):
+        ring = Ring(Point(0.5, 0.5), 0.0, 0.2)
+        p = Point(0.55, 0.5)
+        rect = irlp_ring(ring, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect_in_circle(rect, ring.outer_circle())
+
+    def test_dispatch_complement(self):
+        ring = Ring(Point(0.5, 0.5), 0.2, float("inf"))
+        p = Point(0.9, 0.9)
+        rect = irlp_ring(ring, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect_avoids_circle(rect, ring.inner_circle())
+
+    def test_axis_position_uses_tangent_layout(self):
+        """p straight above the centre: the wide tangent layout applies."""
+        ring = Ring(Point(0.5, 0.5), 0.1, 0.3)
+        p = Point(0.5, 0.75)
+        rect = irlp_ring(ring, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.width > 0.15  # tangentially wide
+
+    def test_corner_shadow_position(self):
+        """Diagonal p inside the inner circle's bounding box corner region."""
+        ring = Ring(Point(0.5, 0.5), 0.2, 0.3)
+        d = 0.22 / math.sqrt(2)
+        p = Point(0.5 + d, 0.5 + d)
+        assert ring.contains_point(p)
+        rect = irlp_ring(ring, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.min_dist_to_point(ring.center) >= ring.inner - 1e-9
+        assert rect.max_dist_to_point(ring.center) <= ring.outer + 1e-9
+
+    def test_mid_ring_margin_scales_with_slack(self):
+        """An object mid-ring must not get a sliver (storm regression)."""
+        ring = Ring(Point(0.0, 0.0), 0.2, 0.26)
+        d = 0.23
+        p = Point(d * math.sin(0.65), d * math.cos(0.65))
+        rect = irlp_ring(ring, p, Rect(-1, -1, 1, 1))
+        # Radial slack is 0.03 both ways; the chosen rectangle may trade
+        # margin for perimeter (Theorem 5.1), but must never be a sliver.
+        assert interior_margin(rect, p) > 0.001
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.25),
+        st.floats(min_value=0.01, max_value=0.2),
+        st.floats(min_value=0.001, max_value=0.999),
+        angles,
+    )
+    @settings(max_examples=200)
+    def test_property_valid_ring_rect(self, inner, width, frac, phi):
+        ring = Ring(Point(0.5, 0.5), inner, inner + width)
+        d = inner + frac * width
+        p = Point(
+            0.5 + d * math.cos(phi),
+            0.5 + d * math.sin(phi),
+        )
+        cell = Rect(-0.5, -0.5, 1.5, 1.5)
+        rect = irlp_ring(ring, p, cell)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.min_dist_to_point(ring.center) >= ring.inner - 1e-9
+        assert rect.max_dist_to_point(ring.center) <= ring.outer + 1e-9
+
+    def test_degenerate_ring_returns_point_like(self):
+        ring = Ring(Point(0.5, 0.5), 0.2, 0.2)
+        p = Point(0.7, 0.5)
+        rect = irlp_ring(ring, p, UNIT)
+        assert rect.contains_point(p, eps=1e-9)
+
+
+class TestMaximizeTheta:
+    def test_finds_interior_maximum(self):
+        # Perimeter of an inscribed rect peaks at pi/4.
+        circle = Circle(Point(0.0, 0.0), 1.0)
+
+        def build(theta):
+            return Rect.from_center(
+                circle.center, math.sin(theta), math.cos(theta)
+            )
+
+        rect = maximize_theta(build, 0.0, math.pi / 2, lambda r: r.perimeter)
+        assert rect.perimeter == pytest.approx(8 / math.sqrt(2), rel=1e-3)
+
+    def test_monotone_objective_picks_endpoint(self):
+        def build(theta):
+            return Rect(0, 0, max(theta, 1e-9), 1)
+
+        rect = maximize_theta(build, 0.1, 0.9, lambda r: r.width)
+        assert rect.width == pytest.approx(0.9, abs=1e-3)
+
+    def test_inverted_range_collapses(self):
+        def build(theta):
+            return Rect(0, 0, 1, 1)
+
+        rect = maximize_theta(build, 0.5, 0.2, lambda r: r.perimeter)
+        assert rect == Rect(0, 0, 1, 1)
+
+
+class TestInteriorMargin:
+    def test_center(self):
+        assert interior_margin(Rect(0, 0, 2, 2), Point(1, 1)) == 1.0
+
+    def test_on_face(self):
+        assert interior_margin(Rect(0, 0, 2, 2), Point(0, 1)) == 0.0
+
+    def test_outside_negative(self):
+        assert interior_margin(Rect(0, 0, 2, 2), Point(-1, 1)) == -1.0

@@ -1,0 +1,163 @@
+"""Tests for the random waypoint model and client logic (Section 7.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Point, Rect
+from repro.mobility import MobileClient, RandomWaypointModel
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def make_trajectory(oid=0, speed=0.05, period=0.3, seed=0):
+    return RandomWaypointModel(speed, period, UNIT, seed=seed).create(oid)
+
+
+class TestTrajectory:
+    def test_deterministic_per_seed_and_oid(self):
+        a = make_trajectory(oid=3, seed=9)
+        b = make_trajectory(oid=3, seed=9)
+        for t in (0.0, 0.5, 1.7, 10.0):
+            assert a.position_at(t) == b.position_at(t)
+
+    def test_different_objects_differ(self):
+        a = make_trajectory(oid=1)
+        b = make_trajectory(oid=2)
+        assert a.position_at(0.0) != b.position_at(0.0)
+
+    def test_stays_in_space(self):
+        trajectory = make_trajectory(seed=4)
+        for i in range(200):
+            p = trajectory.position_at(i * 0.1)
+            assert UNIT.contains_point(p, eps=1e-9)
+
+    def test_speed_bounded(self):
+        trajectory = make_trajectory(speed=0.05, seed=5)
+        dt = 1e-4
+        for i in range(100):
+            t = i * 0.21
+            a = trajectory.position_at(t)
+            b = trajectory.position_at(t + dt)
+            assert a.distance_to(b) <= trajectory.max_speed * dt + 1e-12
+
+    def test_continuity(self):
+        trajectory = make_trajectory(seed=6)
+        prev = trajectory.position_at(0.0)
+        for i in range(1, 500):
+            cur = trajectory.position_at(i * 0.01)
+            assert prev.distance_to(cur) <= trajectory.max_speed * 0.011
+            prev = cur
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            make_trajectory().position_at(-0.1)
+
+    def test_parameter_validation(self):
+        model = RandomWaypointModel(0.05, 0.3)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(0.0, 0.3).create(0)
+        with pytest.raises(ValueError):
+            RandomWaypointModel(0.05, 0.0).create(0)
+
+    def test_distance_travelled_additive(self):
+        trajectory = make_trajectory(seed=7)
+        total = trajectory.distance_travelled(0.0, 2.0)
+        split = trajectory.distance_travelled(0.0, 0.8) + \
+            trajectory.distance_travelled(0.8, 2.0)
+        assert total == pytest.approx(split)
+        assert trajectory.distance_travelled(1.0, 1.0) == 0.0
+        assert total <= trajectory.max_speed * 2.0 + 1e-9
+
+    def test_random_access_after_forward_scan(self):
+        trajectory = make_trajectory(seed=8)
+        late = trajectory.position_at(5.0)
+        early = trajectory.position_at(0.3)  # rewind must work
+        assert trajectory.position_at(5.0) == late
+        assert trajectory.position_at(0.3) == early
+
+
+class TestExitTimes:
+    def test_exit_time_matches_position(self):
+        trajectory = make_trajectory(seed=10)
+        p0 = trajectory.position_at(0.5)
+        box = Rect(p0.x - 0.03, p0.y - 0.03, p0.x + 0.03, p0.y + 0.03)
+        exit_at = trajectory.exit_time_from_rect(box, 0.5, horizon=100.0)
+        assert exit_at > 0.5
+        on_exit = trajectory.position_at(exit_at)
+        assert box.contains_point(on_exit, eps=1e-9)
+        # Just before the exit the object is inside; just after, outside.
+        after = trajectory.position_at(min(exit_at + 1e-6, 100.0))
+        margin = min(
+            on_exit.x - box.min_x, box.max_x - on_exit.x,
+            on_exit.y - box.min_y, box.max_y - on_exit.y,
+        )
+        assert margin < 1e-6 or not box.contains_point(after)
+
+    def test_exit_time_outside_is_now(self):
+        trajectory = make_trajectory(seed=11)
+        box = Rect(2.0, 2.0, 3.0, 3.0)
+        assert trajectory.exit_time_from_rect(box, 0.2, 10.0) == 0.2
+
+    def test_never_exits_whole_space(self):
+        trajectory = make_trajectory(seed=12)
+        assert trajectory.exit_time_from_rect(UNIT, 0.0, 5.0) == math.inf
+
+    def test_beyond_horizon_is_inf(self):
+        trajectory = make_trajectory(seed=13, speed=1e-6)
+        p0 = trajectory.position_at(0.0)
+        box = Rect(p0.x - 0.4, p0.y - 0.4, p0.x + 0.4, p0.y + 0.4)
+        assert trajectory.exit_time_from_rect(box, 0.0, 1.0) == math.inf
+
+    @given(st.integers(min_value=0, max_value=50), st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_no_crossing_before_exit(self, oid, start):
+        trajectory = RandomWaypointModel(0.08, 0.2, UNIT, seed=99).create(oid)
+        p0 = trajectory.position_at(start)
+        box = Rect(
+            max(p0.x - 0.05, 0), max(p0.y - 0.05, 0),
+            min(p0.x + 0.05, 1), min(p0.y + 0.05, 1),
+        )
+        exit_at = trajectory.exit_time_from_rect(box, start, start + 5.0)
+        end = min(exit_at, start + 5.0)
+        steps = 50
+        for i in range(steps):
+            t = start + (end - start) * (i / steps) * 0.999
+            assert box.contains_point(trajectory.position_at(t), eps=1e-7)
+
+
+class TestMobileClient:
+    def make_client(self):
+        return MobileClient("c1", make_trajectory(seed=20))
+
+    def test_install_inside_schedules_monitoring(self):
+        client = self.make_client()
+        p = client.position_at(0.0)
+        region = Rect(p.x - 0.1, p.y - 0.1, p.x + 0.1, p.y + 0.1)
+        assert client.install_safe_region(region, 0.0) is True
+        assert not client.awaiting
+        exit_at = client.next_exit_time(0.0, 100.0)
+        assert exit_at > 0.0
+
+    def test_install_outside_reports(self):
+        client = self.make_client()
+        region = Rect(2, 2, 3, 3)
+        assert client.install_safe_region(region, 0.0) is False
+
+    def test_epoch_invalidates_old_events(self):
+        client = self.make_client()
+        p = client.position_at(0.0)
+        region = Rect(p.x - 0.1, p.y - 0.1, p.x + 0.1, p.y + 0.1)
+        client.install_safe_region(region, 0.0)
+        old_epoch = client.epoch
+        client.install_safe_region(region, 0.1)
+        assert client.epoch != old_epoch
+
+    def test_begin_update_mutes(self):
+        client = self.make_client()
+        p = client.position_at(0.0)
+        client.install_safe_region(Rect(p.x - 0.1, p.y - 0.1, p.x + 0.1, p.y + 0.1), 0.0)
+        client.begin_update()
+        assert client.awaiting
+        assert client.next_exit_time(0.0, 10.0) == math.inf

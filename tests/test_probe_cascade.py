@@ -1,0 +1,113 @@
+"""Regression tests: probed positions are full location reports.
+
+A server-initiated probe can catch an object outside its safe region
+(clients detect crossings at a finite polling rate; messages are
+delayed).  The probed position may then contradict queries *other* than
+the one that issued the probe.  An earlier implementation only repaired
+the probing query; the error persisted until the object happened to
+report again — observed as range queries stuck at 16% accuracy.  These
+tests pin the fix: every probe cascades through affected-query
+reevaluation.
+"""
+
+import random
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.geometry import Point, Rect
+
+
+class LaggyWorld:
+    """A world whose clients may drift out of their regions unreported —
+    exactly the window in which probes catch stale positions."""
+
+    def __init__(self, seed=0, n=120):
+        self.rng = random.Random(seed)
+        self.positions = {
+            oid: Point(self.rng.random(), self.rng.random()) for oid in range(n)
+        }
+        self.server = DatabaseServer(
+            position_oracle=lambda oid: self.positions[oid],
+            config=ServerConfig(grid_m=8),
+        )
+        self.server.load_objects(self.positions.items())
+
+    def drift_everyone(self, magnitude=0.03):
+        """Move every object without reporting (simulated poll latency)."""
+        for oid, p in list(self.positions.items()):
+            self.positions[oid] = Point(
+                min(max(p.x + self.rng.uniform(-magnitude, magnitude), 0), 1),
+                min(max(p.y + self.rng.uniform(-magnitude, magnitude), 0), 1),
+            )
+
+    def report(self, oid, t):
+        self.server.handle_location_update(oid, self.positions[oid], t)
+
+
+def test_probe_repairs_foreign_range_query():
+    """An object probed for a kNN query while sitting inside a range
+    query's rectangle must join that range query's result."""
+    world = LaggyWorld(seed=3)
+    box = RangeQuery(Rect(0.40, 0.40, 0.60, 0.60), query_id="box")
+    knn = KNNQuery(Point(0.5, 0.5), 4, query_id="knn")
+    world.server.register_query(box)
+    world.server.register_query(knn)
+
+    # Everyone drifts silently; then one object reports, triggering kNN
+    # reevaluation that probes others near the centre — some of which
+    # have silently entered/left the box.
+    t = 0.0
+    for round_ in range(30):
+        world.drift_everyone(0.04)
+        t += 0.1
+        # Only a few objects report (the rest stay silently stale).
+        for oid in world.rng.sample(sorted(world.positions), 6):
+            if not world.server.safe_region_of(oid).contains_point(
+                world.positions[oid]
+            ):
+                world.report(oid, t)
+
+        # Invariant after every burst: any object the server has EXACT
+        # knowledge of (point-sized region) is correctly classified.
+        for oid in world.positions:
+            region = world.server.object_index.rect_of(oid)
+            if region.is_degenerate and region.width == 0 and region.height == 0:
+                known = Point(region.min_x, region.min_y)
+                assert (oid in box.results) == box.rect.contains_point(known), (
+                    f"round {round_}: probe-known object {oid} misclassified"
+                )
+
+
+def test_no_persistent_range_errors_under_heavy_probing():
+    """End state: after everything reports once, results are exact."""
+    world = LaggyWorld(seed=7)
+    queries = [
+        RangeQuery(Rect(0.2, 0.2, 0.45, 0.45), query_id="a"),
+        RangeQuery(Rect(0.55, 0.55, 0.8, 0.8), query_id="b"),
+        KNNQuery(Point(0.5, 0.5), 3, query_id="k"),
+    ]
+    for query in queries:
+        world.server.register_query(query)
+
+    t = 0.0
+    for _ in range(20):
+        world.drift_everyone(0.05)
+        t += 0.1
+        for oid in world.rng.sample(sorted(world.positions), 10):
+            world.report(oid, t)
+
+    # Let every object report its true position once.
+    for oid in sorted(world.positions):
+        t += 0.01
+        world.report(oid, t)
+
+    for query in queries[:2]:
+        expected = {
+            oid for oid, p in world.positions.items()
+            if query.rect.contains_point(p)
+        }
+        assert query.results == expected, query.query_id
+    ranked = sorted(
+        world.positions,
+        key=lambda o: queries[2].center.distance_to(world.positions[o]),
+    )
+    assert queries[2].results == ranked[:3]

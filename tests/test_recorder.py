@@ -1,0 +1,76 @@
+"""Tests for the simulation event recorder."""
+
+import json
+
+from repro.simulation import Scenario, SRBSimulation
+from repro.simulation.recorder import Trace, TraceEvent, attach_recorder
+
+TINY = Scenario(
+    num_objects=60,
+    num_queries=6,
+    mean_speed=0.03,
+    mean_period=0.1,
+    q_len=0.1,
+    k_max=2,
+    grid_m=5,
+    duration=1.0,
+    sample_interval=0.2,
+    seed=8,
+)
+
+
+class TestTrace:
+    def test_event_json(self):
+        event = TraceEvent(1.5, "probe", 7, {"x": 0.25})
+        payload = json.loads(event.as_json())
+        assert payload == {"t": 1.5, "kind": "probe", "oid": 7, "x": 0.25}
+
+    def test_filters_and_counts(self):
+        trace = Trace()
+        trace.append(TraceEvent(0.1, "update_sent", 1))
+        trace.append(TraceEvent(0.2, "update_sent", 1))
+        trace.append(TraceEvent(0.3, "update_sent", 2))
+        trace.append(TraceEvent(0.3, "sample", None))
+        assert len(trace) == 4
+        assert len(trace.of_kind("update_sent")) == 3
+        assert trace.updates_per_object()[1] == 2
+        assert trace.hottest_objects(1) == [(1, 2)]
+
+    def test_summary_renders(self):
+        trace = Trace()
+        trace.append(TraceEvent(0.1, "update_sent", 1))
+        text = trace.summary()
+        assert "1 events" in text or "events" in text
+        assert "update_sent" in text
+
+
+class TestAttachRecorder:
+    def test_records_a_real_run(self):
+        simulation = SRBSimulation(TINY)
+        trace = attach_recorder(simulation)
+        report = simulation.run()
+        # Every sent update appears in the trace and matches the report.
+        assert len(trace.of_kind("update_sent")) == report.costs.updates
+        assert len(trace.of_kind("probe")) == report.costs.probes
+        assert len(trace.of_kind("sample")) == len(TINY.sample_times())
+        # Region installs happen at least once per update (plus probes).
+        assert len(trace.of_kind("region_installed")) >= report.costs.updates
+
+    def test_dump_jsonl(self, tmp_path):
+        simulation = SRBSimulation(TINY)
+        trace = attach_recorder(simulation)
+        simulation.run()
+        path = tmp_path / "trace.jsonl"
+        count = trace.dump(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count == len(trace)
+        first = json.loads(lines[0])
+        assert "kind" in first and "t" in first
+
+    def test_recording_does_not_change_results(self):
+        plain = SRBSimulation(TINY).run()
+        recorded_sim = SRBSimulation(TINY)
+        attach_recorder(recorded_sim)
+        recorded = recorded_sim.run()
+        assert recorded.costs.updates == plain.costs.updates
+        assert recorded.accuracy == plain.accuracy

@@ -1,0 +1,49 @@
+"""Tests for result-change records and update outcomes."""
+
+from repro.core.results import ResultChange, UpdateOutcome
+from repro.geometry import Point, Rect
+
+
+class TestResultChange:
+    def test_changed_flag(self):
+        assert ResultChange("q", frozenset({1}), frozenset({1, 2})).changed
+        assert not ResultChange("q", frozenset({1}), frozenset({1})).changed
+
+    def test_ordered_snapshots(self):
+        assert ResultChange("q", (1, 2), (2, 1)).changed
+        assert not ResultChange("q", (1, 2), (1, 2)).changed
+
+    def test_none_old_counts_as_change(self):
+        assert ResultChange("q", None, frozenset()).changed
+
+
+class TestUpdateOutcome:
+    def test_defaults(self):
+        outcome = UpdateOutcome()
+        assert outcome.safe_region is None
+        assert outcome.probed == {}
+        assert outcome.changes == []
+        assert outcome.probe_count == 0
+
+    def test_probe_count(self):
+        outcome = UpdateOutcome()
+        outcome.probed["a"] = Rect(0, 0, 1, 1)
+        outcome.probed["b"] = Rect(0, 0, 1, 1)
+        assert outcome.probe_count == 2
+
+    def test_changed_queries_filter(self):
+        outcome = UpdateOutcome()
+        outcome.changes.append(ResultChange("a", frozenset(), frozenset({1})))
+        outcome.changes.append(ResultChange("b", frozenset(), frozenset()))
+        outcome.changes.append(ResultChange("c", (1,), (2,)))
+        changed = outcome.changed_queries()
+        assert [change.query_id for change in changed] == ["a", "c"]
+
+    def test_chained_changes_preserved(self):
+        """A query reevaluated twice in one update keeps both deltas."""
+        outcome = UpdateOutcome()
+        outcome.changes.append(ResultChange("q", frozenset(), frozenset({1})))
+        outcome.changes.append(
+            ResultChange("q", frozenset({1}), frozenset({1, 2}))
+        )
+        assert len(outcome.changed_queries()) == 2

@@ -1,0 +1,230 @@
+"""Integration tests for the database server (Algorithm 1)."""
+
+import random
+
+import pytest
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.geometry import Point, Rect
+
+
+class MovingWorld:
+    """Exact object positions driving a server through its oracle."""
+
+    def __init__(self, n=300, seed=0, **config):
+        self.rng = random.Random(seed)
+        self.positions = {
+            oid: Point(self.rng.random(), self.rng.random()) for oid in range(n)
+        }
+        self.server = DatabaseServer(
+            position_oracle=lambda oid: self.positions[oid],
+            config=ServerConfig(grid_m=8, **config),
+        )
+        self.server.load_objects(self.positions.items())
+        self.t = 0.0
+
+    def register_mixed(self, n_range=6, n_knn=6, k=3, order_sensitive=True):
+        queries = []
+        for i in range(n_range):
+            x, y = self.rng.random() * 0.9, self.rng.random() * 0.9
+            query = RangeQuery(Rect(x, y, x + 0.07, y + 0.07), query_id=f"r{i}")
+            self.server.register_query(query, time=self.t)
+            queries.append(query)
+        for i in range(n_knn):
+            query = KNNQuery(
+                Point(self.rng.random(), self.rng.random()), k,
+                order_sensitive=order_sensitive, query_id=f"k{i}",
+            )
+            self.server.register_query(query, time=self.t)
+            queries.append(query)
+        return queries
+
+    def step(self, moves=1, max_step=0.04):
+        """Move random objects; report exactly on safe-region exits."""
+        outcomes = []
+        for _ in range(moves):
+            self.t += 0.01
+            oid = self.rng.randrange(len(self.positions))
+            p = self.positions[oid]
+            new = Point(
+                min(max(p.x + self.rng.uniform(-max_step, max_step), 0), 1),
+                min(max(p.y + self.rng.uniform(-max_step, max_step), 0), 1),
+            )
+            self.positions[oid] = new
+            if not self.server.safe_region_of(oid).contains_point(new):
+                outcomes.append(
+                    self.server.handle_location_update(oid, new, self.t)
+                )
+        return outcomes
+
+    def true_range(self, rect):
+        return {o for o, p in self.positions.items() if rect.contains_point(p)}
+
+    def true_knn(self, center, k):
+        ranked = sorted(
+            self.positions, key=lambda o: center.distance_to(self.positions[o])
+        )
+        return ranked[:k]
+
+    def assert_exact(self, queries):
+        for query in queries:
+            if isinstance(query, RangeQuery):
+                assert query.results == self.true_range(query.rect), query.query_id
+            else:
+                truth = self.true_knn(query.center, query.k)
+                if query.order_sensitive:
+                    assert query.results == truth, query.query_id
+                else:
+                    assert set(query.results) == set(truth), query.query_id
+
+
+class TestRegistration:
+    def test_initial_results_exact(self):
+        world = MovingWorld(seed=1)
+        queries = world.register_mixed()
+        world.assert_exact(queries)
+        world.server.validate()
+
+    def test_load_after_queries_rejected(self):
+        world = MovingWorld(n=10, seed=2)
+        world.register_mixed(n_range=1, n_knn=0)
+        with pytest.raises(RuntimeError):
+            world.server.load_objects([("late", Point(0.5, 0.5))])
+
+    def test_duplicate_object_rejected(self):
+        world = MovingWorld(n=5, seed=3)
+        with pytest.raises(KeyError):
+            world.server.load_objects([(0, Point(0.5, 0.5))])
+
+    def test_registration_returns_change_and_probed_regions(self):
+        world = MovingWorld(seed=4)
+        query = RangeQuery(Rect(0.3, 0.3, 0.7, 0.7))
+        outcome = world.server.register_query(query)
+        assert outcome.changes[0].new == query.result_snapshot()
+        for oid, region in outcome.probed.items():
+            assert region.contains_point(world.positions[oid], eps=1e-9)
+
+    def test_deregister(self):
+        world = MovingWorld(seed=5)
+        queries = world.register_mixed(n_range=2, n_knn=2)
+        world.server.deregister_query(queries[0])
+        assert world.server.query_count == 3
+        world.step(moves=50)
+        world.assert_exact(queries[1:])
+
+    def test_unsupported_query_type(self):
+        world = MovingWorld(n=5, seed=6)
+        with pytest.raises(TypeError):
+            world.server.register_query(object())
+
+
+class TestMonitoringExactness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_run_exact(self, seed):
+        world = MovingWorld(seed=seed)
+        queries = world.register_mixed()
+        world.step(moves=400)
+        world.assert_exact(queries)
+        world.server.validate()
+
+    def test_order_insensitive_exact(self):
+        world = MovingWorld(seed=11)
+        queries = world.register_mixed(order_sensitive=False)
+        world.step(moves=300)
+        world.assert_exact(queries)
+
+    def test_result_changes_reported(self):
+        world = MovingWorld(seed=12)
+        queries = world.register_mixed()
+        changes = []
+        for outcome in world.step(moves=400):
+            changes.extend(outcome.changed_queries())
+        assert changes  # something moved across a boundary
+        for change in changes:
+            assert change.old != change.new
+
+    def test_safe_region_always_contains_reported_position(self):
+        world = MovingWorld(seed=13)
+        world.register_mixed()
+        for outcome in world.step(moves=200):
+            assert outcome.safe_region is not None
+        world.server.validate()
+
+
+class TestEnhancedModes:
+    def test_reachability_reduces_probes_and_stays_exact(self):
+        results = {}
+        for label, config in (("plain", {}), ("reach", {"max_speed": 5.0})):
+            world = MovingWorld(seed=21, **config)
+            queries = world.register_mixed()
+            world.step(moves=400)
+            world.assert_exact(queries)
+            results[label] = world.server.stats.probes
+        assert results["reach"] < results["plain"]
+
+    def test_weighted_perimeter_stays_exact(self):
+        world = MovingWorld(seed=22, steadiness=0.5)
+        queries = world.register_mixed()
+        world.step(moves=300)
+        world.assert_exact(queries)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ServerConfig(steadiness=2.0)
+        with pytest.raises(ValueError):
+            ServerConfig(max_speed=0.0)
+
+
+class TestDynamicObjects:
+    def test_add_object_updates_results(self):
+        world = MovingWorld(n=20, seed=31)
+        query = RangeQuery(Rect(0.4, 0.4, 0.6, 0.6))
+        world.server.register_query(query)
+        world.positions["new"] = Point(0.5, 0.5)
+        outcome = world.server.add_object("new", Point(0.5, 0.5), time=1.0)
+        assert "new" in query.results
+        assert outcome.safe_region.contains_point(Point(0.5, 0.5), eps=1e-9)
+        world.server.validate()
+
+    def test_add_object_into_knn(self):
+        world = MovingWorld(n=30, seed=32)
+        query = KNNQuery(Point(0.5, 0.5), 3)
+        world.server.register_query(query)
+        world.positions["close"] = Point(0.5001, 0.5)
+        world.server.add_object("close", Point(0.5001, 0.5), time=1.0)
+        assert query.results[0] == "close"
+        world.assert_exact([query])
+
+    def test_add_duplicate_rejected(self):
+        world = MovingWorld(n=5, seed=33)
+        with pytest.raises(KeyError):
+            world.server.add_object(0, Point(0.5, 0.5))
+
+    def test_remove_object(self):
+        world = MovingWorld(n=10, seed=34)
+        world.server.remove_object(3)
+        assert 3 not in world.server
+        assert world.server.object_count == 9
+        world.server.object_index.validate()
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        world = MovingWorld(seed=41)
+        world.register_mixed()
+        world.step(moves=200)
+        stats = world.server.stats
+        assert stats.queries_registered == 12
+        assert stats.location_updates > 0
+        assert stats.cpu_seconds > 0
+        assert stats.queries_checked >= stats.queries_reevaluated
+
+    def test_grid_filter_effectiveness(self):
+        """Checked queries per update stay far below the total W."""
+        world = MovingWorld(seed=42)
+        world.register_mixed(n_range=10, n_knn=10)
+        world.step(moves=300)
+        stats = world.server.stats
+        if stats.location_updates:
+            checked_per_update = stats.queries_checked / stats.location_updates
+            assert checked_per_update < 20

@@ -1,0 +1,131 @@
+"""Tests for server snapshot / restore."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.core.extensions import CircleRangeQuery
+from repro.core.snapshot import (
+    dump_server,
+    load_server,
+    restore_server,
+    snapshot_server,
+)
+from repro.geometry import Point, Rect
+
+
+def build_server(seed=0, n=120):
+    rng = random.Random(seed)
+    positions = {oid: Point(rng.random(), rng.random()) for oid in range(n)}
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        config=ServerConfig(grid_m=7, steadiness=0.25),
+    )
+    server.load_objects(positions.items())
+    for i in range(4):
+        x, y = rng.random() * 0.85, rng.random() * 0.85
+        server.register_query(
+            RangeQuery(Rect(x, y, x + 0.1, y + 0.1), query_id=f"r{i}")
+        )
+    for i in range(4):
+        server.register_query(
+            KNNQuery(Point(rng.random(), rng.random()), 3, query_id=f"k{i}")
+        )
+    return rng, positions, server
+
+
+class TestSnapshotShape:
+    def test_json_round_trippable(self):
+        _, _, server = build_server()
+        payload = snapshot_server(server)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["version"] == 1
+        assert len(payload["queries"]) == 8
+        assert len(payload["objects"]) == 120
+
+    def test_extension_queries_rejected(self):
+        rng, positions, server = build_server(n=20)
+        server.register_query(CircleRangeQuery(Point(0.5, 0.5), 0.1))
+        with pytest.raises(TypeError):
+            snapshot_server(server)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            restore_server({"version": 99}, lambda oid: None)
+
+
+class TestRoundTrip:
+    def test_state_identical_after_restore(self):
+        rng, positions, server = build_server(seed=3)
+        payload = snapshot_server(server)
+        restored = restore_server(payload, lambda oid: positions[oid])
+
+        assert restored.object_count == server.object_count
+        assert restored.query_count == server.query_count
+        for oid in positions:
+            assert restored.safe_region_of(oid) == server.safe_region_of(oid)
+        original = {q.query_id: q for q in server.queries()}
+        for query in restored.queries():
+            assert query.result_snapshot() == \
+                original[query.query_id].result_snapshot()
+        restored.validate()
+
+    def test_monitoring_continues_identically(self):
+        """Drive the original and the restored server through the same
+        movement script — results and stats must not diverge."""
+        rng, positions, server = build_server(seed=5)
+        restored = restore_server(
+            snapshot_server(server), lambda oid: positions_b[oid]
+        )
+        positions_b = dict(positions)
+
+        script = []
+        r = random.Random(99)
+        for _ in range(150):
+            oid = r.randrange(len(positions))
+            script.append(
+                (oid, Point(r.random(), r.random()))
+            )
+
+        t = 0.0
+        for oid, target in script:
+            t += 0.01
+            positions[oid] = target
+            positions_b[oid] = target
+            if not server.safe_region_of(oid).contains_point(target):
+                server.handle_location_update(oid, target, t)
+            if not restored.safe_region_of(oid).contains_point(target):
+                restored.handle_location_update(oid, target, t)
+
+        for query_a in server.queries():
+            query_b = next(
+                q for q in restored.queries()
+                if q.query_id == query_a.query_id
+            )
+            assert query_a.result_snapshot() == query_b.result_snapshot()
+
+    def test_file_round_trip(self, tmp_path):
+        rng, positions, server = build_server(seed=7, n=40)
+        path = tmp_path / "server.json"
+        with open(path, "w") as handle:
+            dump_server(server, handle)
+        with open(path) as handle:
+            restored = load_server(handle, lambda oid: positions[oid])
+        assert restored.object_count == 40
+        restored.validate()
+
+    def test_string_object_ids(self):
+        positions = {"car-1": Point(0.2, 0.2), "car-2": Point(0.8, 0.8)}
+        server = DatabaseServer(position_oracle=lambda oid: positions[oid])
+        server.load_objects(positions.items())
+        server.register_query(RangeQuery(Rect(0, 0, 0.5, 0.5), query_id="r"))
+        buffer = io.StringIO()
+        dump_server(server, buffer)
+        buffer.seek(0)
+        restored = load_server(buffer, lambda oid: positions[oid])
+        assert "car-1" in restored
+        query = next(iter(restored.queries()))
+        assert query.results == {"car-1"}

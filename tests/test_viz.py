@@ -1,0 +1,98 @@
+"""Tests for the ASCII world renderer."""
+
+import random
+
+import pytest
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.core.extensions import CircleRangeQuery
+from repro.geometry import Point, Rect
+from repro.viz import AsciiCanvas, render_positions, render_world
+
+
+class TestCanvas:
+    def test_dimensions(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=40)
+        lines = canvas.render().splitlines()
+        assert len(lines) == 20  # half the width for square worlds
+        assert all(len(line) == 40 for line in lines)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(Rect(0, 0, 1, 1), width=1)
+
+    def test_point_paints(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=10, height=10)
+        canvas.point(Point(0.05, 0.95))
+        assert canvas.render().splitlines()[0][0] == "o"
+
+    def test_overlap_marker(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=10, height=10)
+        canvas.point(Point(0.5, 0.5), "o")
+        canvas.point(Point(0.5, 0.5), "K")
+        assert "*" in canvas.render()
+
+    def test_rect_outline_corners(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=20, height=20)
+        canvas.rect_outline(Rect(0.2, 0.2, 0.8, 0.8))
+        text = canvas.render()
+        assert text.count("#") > 8
+
+    def test_rect_outside_space_ignored(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=10, height=10)
+        canvas.rect_outline(Rect(2, 2, 3, 3))
+        assert "#" not in canvas.render()
+
+    def test_circle_outline(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=30, height=30)
+        canvas.circle_outline(Point(0.5, 0.5), 0.3)
+        assert canvas.render().count("K") > 10
+
+    def test_zero_radius_circle_is_point(self):
+        canvas = AsciiCanvas(Rect(0, 0, 1, 1), width=10, height=10)
+        canvas.circle_outline(Point(0.5, 0.5), 0.0)
+        assert canvas.render().count("K") == 1
+
+
+class TestRenderers:
+    def test_render_positions(self):
+        positions = {i: Point(0.1 * i, 0.1 * i) for i in range(1, 9)}
+        queries = [
+            RangeQuery(Rect(0.4, 0.4, 0.7, 0.7)),
+            KNNQuery(Point(0.2, 0.8), 2),
+        ]
+        queries[1].radius = 0.1
+        text = render_positions(positions, queries, width=40)
+        assert "o" in text and "R" in text
+
+    def test_render_world_from_server(self):
+        rng = random.Random(0)
+        positions = {i: Point(rng.random(), rng.random()) for i in range(30)}
+        server = DatabaseServer(
+            position_oracle=lambda oid: positions[oid],
+            config=ServerConfig(grid_m=5),
+        )
+        server.load_objects(positions.items())
+        query = RangeQuery(Rect(0.3, 0.3, 0.6, 0.6))
+        server.register_query(query)
+        text = render_world(server, width=50)
+        assert "o" in text
+        assert "R" in text
+        assert "#" in text  # safe regions drawn
+
+    def test_render_world_filters_objects(self):
+        rng = random.Random(1)
+        positions = {i: Point(rng.random(), rng.random()) for i in range(20)}
+        server = DatabaseServer(position_oracle=lambda oid: positions[oid])
+        server.load_objects(positions.items())
+        text = render_world(server, width=40, objects=[0, 1])
+        assert text.count("o") <= 4  # two objects (maybe merged cells)
+
+    def test_extension_query_drawn_as_bounding_box(self):
+        rng = random.Random(2)
+        positions = {i: Point(rng.random(), rng.random()) for i in range(10)}
+        server = DatabaseServer(position_oracle=lambda oid: positions[oid])
+        server.load_objects(positions.items())
+        server.register_query(CircleRangeQuery(Point(0.5, 0.5), 0.2))
+        text = render_world(server, width=40, show_regions=False)
+        assert "K" in text

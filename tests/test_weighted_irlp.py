@@ -1,0 +1,123 @@
+"""Tests for the Ir-lp functions under the weighted-perimeter objective.
+
+The closed-form θ optima do not apply under the Section 6.2 objective, so
+all families route through the paper's three-point elimination search —
+these tests pin the search path's invariants and its directional bias.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.enhancements import weighted_perimeter_objective
+from repro.core.irlp import irlp_circle, irlp_circle_complement, irlp_ring
+from repro.geometry import Circle, Point, Rect, Ring
+
+UNIT = Rect(0.0, 0.0, 1.0, 1.0)
+
+
+def objective_for(p, direction):
+    p_lst = Point(p.x - direction[0] * 0.01, p.y - direction[1] * 0.01)
+    return weighted_perimeter_objective(p, p_lst, steadiness=0.8)
+
+
+class TestWeightedCircle:
+    def test_invariants_hold(self):
+        circle = Circle(Point(0.5, 0.5), 0.2)
+        p = Point(0.55, 0.45)
+        rect = irlp_circle(circle, p, objective_for(p, (1, 0)))
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.max_dist_to_point(circle.center) <= circle.radius + 1e-9
+
+    def test_bias_towards_heading(self):
+        """Moving along +x from left of centre, the weighted choice should
+        score at least as well as the unweighted one under the weighted
+        objective (it may coincide when the optimum is unconstrained)."""
+        circle = Circle(Point(0.5, 0.5), 0.2)
+        p = Point(0.42, 0.5)
+        objective = objective_for(p, (1, 0))
+        weighted_rect = irlp_circle(circle, p, objective)
+        plain_rect = irlp_circle(circle, p, None)
+        assert objective(weighted_rect) >= objective(plain_rect) - 1e-9
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.3),
+        st.floats(min_value=0.0, max_value=0.9),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+    )
+    @settings(max_examples=80)
+    def test_property_valid(self, radius, rho, angle, heading):
+        circle = Circle(Point(0.5, 0.5), radius)
+        p = Point(
+            0.5 + rho * radius * math.cos(angle),
+            0.5 + rho * radius * math.sin(angle),
+        )
+        objective = objective_for(p, (math.cos(heading), math.sin(heading)))
+        rect = irlp_circle(circle, p, objective)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.max_dist_to_point(circle.center) <= circle.radius + 1e-9
+
+
+class TestWeightedComplement:
+    def test_invariants_hold(self):
+        circle = Circle(Point(0.3, 0.3), 0.15)
+        p = Point(0.7, 0.7)
+        rect = irlp_circle_complement(circle, p, UNIT, objective_for(p, (0, 1)))
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.min_dist_to_point(circle.center) >= circle.radius - 1e-9
+        assert UNIT.contains_rect(rect)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.25),
+        st.floats(min_value=1.05, max_value=2.5),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+    )
+    @settings(max_examples=80)
+    def test_property_valid(self, radius, rho, angle, heading):
+        center = Point(0.5, 0.5)
+        circle = Circle(center, radius)
+        p = Point(
+            center.x + rho * radius * math.cos(angle),
+            center.y + rho * radius * math.sin(angle),
+        )
+        if not UNIT.contains_point(p):
+            return
+        objective = objective_for(p, (math.cos(heading), math.sin(heading)))
+        rect = irlp_circle_complement(circle, p, UNIT, objective)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.min_dist_to_point(center) >= radius - 1e-9
+
+
+class TestWeightedRing:
+    def test_invariants_hold(self):
+        ring = Ring(Point(0.5, 0.5), 0.1, 0.25)
+        p = Point(0.5 + 0.17, 0.5)
+        rect = irlp_ring(ring, p, UNIT, objective_for(p, (0, 1)))
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.min_dist_to_point(ring.center) >= ring.inner - 1e-9
+        assert rect.max_dist_to_point(ring.center) <= ring.outer + 1e-9
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.2),
+        st.floats(min_value=0.02, max_value=0.15),
+        st.floats(min_value=0.05, max_value=0.95),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+        st.floats(min_value=0.0, max_value=2 * math.pi),
+    )
+    @settings(max_examples=80)
+    def test_property_valid(self, inner, width, frac, angle, heading):
+        ring = Ring(Point(0.5, 0.5), inner, inner + width)
+        d = inner + frac * width
+        p = Point(
+            0.5 + d * math.cos(angle),
+            0.5 + d * math.sin(angle),
+        )
+        cell = Rect(-0.5, -0.5, 1.5, 1.5)
+        objective = objective_for(p, (math.cos(heading), math.sin(heading)))
+        rect = irlp_ring(ring, p, cell, objective)
+        assert rect.contains_point(p, eps=1e-9)
+        assert rect.min_dist_to_point(ring.center) >= ring.inner - 1e-9
+        assert rect.max_dist_to_point(ring.center) <= ring.outer + 1e-9

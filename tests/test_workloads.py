@@ -1,0 +1,98 @@
+"""Tests for query workload generation (Section 7.1)."""
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery
+from repro.geometry import Rect
+from repro.workloads import WorkloadConfig, generate_queries
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_table_7_1(self):
+        config = WorkloadConfig()
+        assert config.num_queries == 1000
+        assert config.q_len == 0.005
+        assert config.k_max == 10
+        assert config.range_fraction == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_queries=-1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(q_len=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(k_max=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(range_fraction=1.5)
+
+
+class TestGeneration:
+    def test_half_and_half(self):
+        queries = generate_queries(WorkloadConfig(num_queries=100), seed=1)
+        ranges = [q for q in queries if isinstance(q, RangeQuery)]
+        knns = [q for q in queries if isinstance(q, KNNQuery)]
+        assert len(ranges) == 50 and len(knns) == 50
+
+    def test_odd_count(self):
+        queries = generate_queries(WorkloadConfig(num_queries=7), seed=1)
+        assert len(queries) == 7
+
+    def test_deterministic(self):
+        a = generate_queries(WorkloadConfig(num_queries=20), seed=3)
+        b = generate_queries(WorkloadConfig(num_queries=20), seed=3)
+        for qa, qb in zip(a, b):
+            assert qa.query_id == qb.query_id
+            if isinstance(qa, RangeQuery):
+                assert qa.rect == qb.rect
+            else:
+                assert qa.center == qb.center and qa.k == qb.k
+
+    def test_seeds_differ(self):
+        a = generate_queries(WorkloadConfig(num_queries=20), seed=3)
+        b = generate_queries(WorkloadConfig(num_queries=20), seed=4)
+        assert any(
+            isinstance(qa, RangeQuery) and qa.rect != qb.rect
+            for qa, qb in zip(a, b)
+        )
+
+    def test_range_side_lengths(self):
+        config = WorkloadConfig(num_queries=200, q_len=0.01)
+        for query in generate_queries(config, seed=5):
+            if isinstance(query, RangeQuery):
+                assert query.rect.width == pytest.approx(query.rect.height)
+                assert 0.005 - 1e-12 <= query.rect.width <= 0.015 + 1e-12
+
+    def test_queries_inside_space(self):
+        space = Rect(0, 0, 1, 1)
+        for query in generate_queries(WorkloadConfig(num_queries=300), seed=6):
+            if isinstance(query, RangeQuery):
+                assert space.contains_rect(query.rect)
+            else:
+                assert space.contains_point(query.center)
+
+    def test_k_bounds(self):
+        config = WorkloadConfig(num_queries=400, k_max=4)
+        ks = {
+            q.k for q in generate_queries(config, seed=7)
+            if isinstance(q, KNNQuery)
+        }
+        assert ks <= set(range(1, 5))
+        assert len(ks) > 1  # actually varied
+
+    def test_order_sensitivity_flag(self):
+        config = WorkloadConfig(num_queries=20, order_sensitive=False)
+        for query in generate_queries(config, seed=8):
+            if isinstance(query, KNNQuery):
+                assert not query.order_sensitive
+
+    def test_range_fraction(self):
+        config = WorkloadConfig(num_queries=100, range_fraction=0.25)
+        queries = generate_queries(config, seed=9)
+        ranges = [q for q in queries if isinstance(q, RangeQuery)]
+        assert len(ranges) == 25
+
+    def test_oversized_q_len_clamped(self):
+        config = WorkloadConfig(num_queries=10, q_len=5.0)
+        for query in generate_queries(config, seed=10):
+            if isinstance(query, RangeQuery):
+                assert query.rect.width <= 1.0
