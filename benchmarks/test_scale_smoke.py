@@ -10,6 +10,7 @@ from conftest import RESULTS_DIR
 
 from repro.experiments.figures import BENCH_BASE
 from repro.experiments.reporting import format_table
+from repro.obs import MetricsRegistry, write_json
 from repro.simulation.engine import SRBSimulation
 from repro.simulation.scenario import scaled_q_len
 
@@ -58,3 +59,38 @@ def test_scale_smoke(benchmark):
     small_per_update = small.cpu_seconds / max(small.costs.updates, 1)
     large_per_update = large.cpu_seconds / max(large.costs.updates, 1)
     assert large_per_update < 6.0 * small_per_update
+
+
+def test_bench_metrics_artifact():
+    """One metrics-enabled SRB run, archived as ``bench_metrics.json``.
+
+    Kept out of the timed benchmark above so the measured wall time stays
+    on the zero-overhead no-op registry; this run is small and exists to
+    publish per-phase span timings as a CI artifact (document shape:
+    ``{"schemes": {name: registry snapshot}}``, the same as ``repro
+    compare --metrics-out``; render with ``repro stats``).
+    """
+    scenario = BENCH_BASE.with_overrides(
+        num_objects=2_000,
+        num_queries=40,
+        q_len=scaled_q_len(2_000),
+        grid_m=20,
+        duration=1.0,
+        sample_interval=0.2,
+    )
+    registry = MetricsRegistry()
+    SRBSimulation(scenario, metrics=registry).run()
+    snapshot = registry.to_dict()
+
+    spans = snapshot["histograms"]
+    for phase in ("ingest", "location_manager", "reevaluate", "probe"):
+        assert any(
+            key.startswith("span.") and f".{phase}.seconds" in key
+            for key in spans
+        ), f"missing span timings for phase {phase!r}: {sorted(spans)}"
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_json(
+        {"schemes": {"SRB": snapshot}},
+        RESULTS_DIR / "bench_metrics.json",
+    )

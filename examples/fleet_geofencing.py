@@ -58,7 +58,8 @@ def main() -> None:
 
     print(f"fleet of {FLEET_SIZE} vans, {len(GEOFENCES)} geofences, "
           f"{scenario.duration:g} time units, delay={scenario.delay:g}\n")
-    header = f"{'scheme':10s} {'accuracy':>9s} {'msgs/van/time':>14s} {'updates':>8s} {'probes':>7s}"
+    header = (f"{'scheme':10s} {'accuracy':>9s} {'msgs/van/time':>14s} "
+              f"{'updates':>8s} {'probes':>7s}")
     print(header)
     print("-" * len(header))
     for report in (srb_report, opt, prd_slow, prd_fast):

@@ -22,6 +22,7 @@ Quick start::
     assert query.results == ["taxi-2"]
 """
 
+from repro.baselines import PRDSimulation, optimal_report
 from repro.core import (
     DatabaseServer,
     KNNQuery,
@@ -40,7 +41,6 @@ from repro.simulation import (
     SchemeReport,
     SRBSimulation,
 )
-from repro.baselines import PRDSimulation, optimal_report
 from repro.workloads import WorkloadConfig, generate_queries
 
 __version__ = "1.0.0"

@@ -1,5 +1,15 @@
 """Entry point for ``python -m repro``."""
 
+import os
+import sys
+
 from repro.cli import main
 
-raise SystemExit(main())
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream pipe (e.g. ``| head``) closed early: silence the final
+    # stdout flush at interpreter shutdown and exit like a POSIX tool.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 1
+raise SystemExit(code)

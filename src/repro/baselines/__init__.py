@@ -8,8 +8,8 @@
   from the paper's related work (index the queries, probe moved objects).
 """
 
-from repro.baselines.periodic import PRDSimulation
 from repro.baselines.optimal import optimal_report
+from repro.baselines.periodic import PRDSimulation
 from repro.baselines.qindex import QIndexSimulation
 
 __all__ = ["PRDSimulation", "optimal_report", "QIndexSimulation"]

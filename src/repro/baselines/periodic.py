@@ -10,14 +10,13 @@ quantifies in Figure 7.1(a).
 
 from __future__ import annotations
 
-import time as _time
 from typing import Hashable
-
 
 from repro.core.queries import KNNQuery, Query, RangeQuery
 from repro.geometry.rect import Rect
 from repro.index.bulk import bulk_load
 from repro.mobility.waypoint import RandomWaypointModel
+from repro.obs import NULL_REGISTRY, Tracer
 from repro.simulation.metrics import (
     AccuracyAccumulator,
     CommunicationCosts,
@@ -39,11 +38,14 @@ class PRDSimulation:
         t_prd: float,
         queries: list[Query] | None = None,
         truth: GroundTruth | None = None,
+        metrics=None,
     ) -> None:
         if t_prd <= 0:
             raise ValueError("t_prd must be positive")
         self.scenario = scenario
         self.t_prd = t_prd
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._trace = Tracer(self.metrics)
         if truth is not None:
             self.trajectories = truth.trajectories()
             self.queries = queries if queries is not None else truth.queries
@@ -105,6 +107,7 @@ class PRDSimulation:
             costs=self.costs,
             cpu_seconds=self.cpu_seconds,
             total_distance=total_distance,
+            metrics=self.metrics.to_dict() if self.metrics.enabled else {},
         )
 
     def _evaluate_batch(self, t: float) -> dict[str, Snapshot]:
@@ -118,27 +121,33 @@ class PRDSimulation:
             oid: self.trajectories[oid].position_at(t)
             for oid in self.trajectories
         }
-        started = _time.perf_counter()
-        index = bulk_load(
-            (oid, Rect.from_point(p)) for oid, p in positions.items()
-        )
-        results: dict[str, Snapshot] = {}
-        for query in self.queries:
-            if isinstance(query, RangeQuery):
-                results[query.query_id] = frozenset(index.search(query.rect))
-            elif isinstance(query, KNNQuery):
-                nearest = []
-                for oid, _, _ in index.nearest_iter(query.center):
-                    nearest.append(oid)
-                    if len(nearest) == query.k:
-                        break
-                if query.order_sensitive:
-                    results[query.query_id] = tuple(nearest)
-                else:
-                    results[query.query_id] = frozenset(nearest)
-            else:  # pragma: no cover
-                raise TypeError(f"unsupported query: {type(query).__name__}")
-        self.cpu_seconds += _time.perf_counter() - started
+        with self._trace.span("prd.evaluate_batch"):
+            with self._trace.span("rebuild_index"):
+                index = bulk_load(
+                    (oid, Rect.from_point(p)) for oid, p in positions.items()
+                )
+            results: dict[str, Snapshot] = {}
+            with self._trace.span("reevaluate"):
+                for query in self.queries:
+                    if isinstance(query, RangeQuery):
+                        results[query.query_id] = frozenset(
+                            index.search(query.rect)
+                        )
+                    elif isinstance(query, KNNQuery):
+                        nearest = []
+                        for oid, _, _ in index.nearest_iter(query.center):
+                            nearest.append(oid)
+                            if len(nearest) == query.k:
+                                break
+                        if query.order_sensitive:
+                            results[query.query_id] = tuple(nearest)
+                        else:
+                            results[query.query_id] = frozenset(nearest)
+                    else:  # pragma: no cover
+                        raise TypeError(
+                            f"unsupported query: {type(query).__name__}"
+                        )
+        self.cpu_seconds = self._trace.cpu_seconds
         return results
 
     def _sample(self, t: float, visible: dict[str, Snapshot] | None) -> None:

@@ -16,13 +16,13 @@ server CPU profiles (Figures 7.2 / 7.3).
 
 from __future__ import annotations
 
-import time as _time
 from typing import Hashable
 
 from repro.core.queries import KNNQuery, Query, RangeQuery
 from repro.geometry.rect import Rect
 from repro.index.bulk import bulk_load
 from repro.mobility.waypoint import RandomWaypointModel
+from repro.obs import NULL_REGISTRY, Tracer
 from repro.simulation.metrics import (
     AccuracyAccumulator,
     CommunicationCosts,
@@ -44,11 +44,14 @@ class QIndexSimulation:
         t_prd: float,
         queries: list[Query] | None = None,
         truth: GroundTruth | None = None,
+        metrics=None,
     ) -> None:
         if t_prd <= 0:
             raise ValueError("t_prd must be positive")
         self.scenario = scenario
         self.t_prd = t_prd
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._trace = Tracer(self.metrics)
         if truth is not None:
             self.trajectories = truth.trajectories()
             self.queries = queries if queries is not None else truth.queries
@@ -137,6 +140,7 @@ class QIndexSimulation:
             costs=self.costs,
             cpu_seconds=self.cpu_seconds,
             total_distance=total_distance,
+            metrics=self.metrics.to_dict() if self.metrics.enabled else {},
         )
 
     def _evaluate_batch(
@@ -146,38 +150,42 @@ class QIndexSimulation:
             oid: self.trajectories[oid].position_at(t)
             for oid in self.trajectories
         }
-        started = _time.perf_counter()
-        # Range queries: probe each *moved* object against the query index.
-        for oid, new in new_positions.items():
-            old = positions[oid]
-            if new == old:
-                continue
-            affected = set(query_index.search(Rect.from_point(old)))
-            affected |= set(query_index.search(Rect.from_point(new)))
-            for qid in affected:
-                if by_id[qid].rect.contains_point(new):
-                    memberships[qid].add(oid)
-                else:
-                    memberships[qid].discard(oid)
-            # The object index is maintained incrementally (no rebuild).
-            object_index.update(oid, Rect.from_point(new))
-            positions[oid] = new
+        with self._trace.span("qidx.evaluate_batch"):
+            # Range queries: probe each *moved* object against the query
+            # index.
+            with self._trace.span("probe_moved"):
+                for oid, new in new_positions.items():
+                    old = positions[oid]
+                    if new == old:
+                        continue
+                    affected = set(query_index.search(Rect.from_point(old)))
+                    affected |= set(query_index.search(Rect.from_point(new)))
+                    for qid in affected:
+                        if by_id[qid].rect.contains_point(new):
+                            memberships[qid].add(oid)
+                        else:
+                            memberships[qid].discard(oid)
+                    # The object index is maintained incrementally (no
+                    # rebuild).
+                    object_index.update(oid, Rect.from_point(new))
+                    positions[oid] = new
 
-        results: dict[str, Snapshot] = {
-            qid: frozenset(members) for qid, members in memberships.items()
-        }
-        # kNN queries: best-first over the incrementally updated index.
-        for query in self.knn_queries:
-            nearest = []
-            for oid, _, _ in object_index.nearest_iter(query.center):
-                nearest.append(oid)
-                if len(nearest) == query.k:
-                    break
-            if query.order_sensitive:
-                results[query.query_id] = tuple(nearest)
-            else:
-                results[query.query_id] = frozenset(nearest)
-        self.cpu_seconds += _time.perf_counter() - started
+            results: dict[str, Snapshot] = {
+                qid: frozenset(members) for qid, members in memberships.items()
+            }
+            # kNN queries: best-first over the incrementally updated index.
+            with self._trace.span("reevaluate"):
+                for query in self.knn_queries:
+                    nearest = []
+                    for oid, _, _ in object_index.nearest_iter(query.center):
+                        nearest.append(oid)
+                        if len(nearest) == query.k:
+                            break
+                    if query.order_sensitive:
+                        results[query.query_id] = tuple(nearest)
+                    else:
+                        results[query.query_id] = frozenset(nearest)
+        self.cpu_seconds = self._trace.cpu_seconds
         return results
 
     def _sample(self, t: float, visible: dict[str, Snapshot] | None) -> None:

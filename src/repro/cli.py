@@ -9,9 +9,13 @@ Commands:
 * ``sweep``   — sweep any scenario parameter for any scheme subset.
 * ``theorem`` — check Theorem 5.1's escape-time estimate against the
   exact Monte-Carlo value for a given region and start point.
+* ``stats``   — render a metrics file (``--metrics-out`` /
+  ``bench_metrics.json``) as human-readable tables.
 
-All commands accept ``--objects/--queries/--duration/--seed`` style
-overrides of the laptop-scale defaults.
+All simulation commands accept ``--objects/--queries/--duration/--seed``
+style overrides of the laptop-scale defaults; ``compare --metrics-out
+FILE`` additionally records per-phase span timings and counters
+(docs/OBSERVABILITY.md describes the vocabulary).
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import sys
 from repro.analysis import expected_escape_time, simulate_escape_time
 from repro.experiments import figures, format_table, run_schemes, sweep
 from repro.geometry import Point, Rect
+from repro.obs import load_metrics, render_document, write_json
 from repro.simulation import Scenario
 
 
@@ -66,12 +71,38 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
 def _cmd_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     schemes = tuple(args.schemes.split(","))
-    reports = run_schemes(scenario, schemes=schemes)
+    reports = run_schemes(
+        scenario, schemes=schemes, metrics=args.metrics_out is not None
+    )
     print(format_table(
         [report.row() for report in reports.values()],
         title=f"scheme comparison (N={scenario.num_objects}, "
               f"W={scenario.num_queries}, tau={scenario.delay:g})",
     ))
+    if args.metrics_out is not None:
+        document = {
+            "schemes": {
+                name: report.metrics
+                for name, report in reports.items()
+                if report.metrics
+            },
+        }
+        try:
+            write_json(document, args.metrics_out)
+        except OSError as error:
+            print(f"cannot write {args.metrics_out}: {error}", file=sys.stderr)
+            return 2
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    try:
+        document = load_metrics(args.file)
+    except OSError as error:
+        print(f"cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    print(render_document(document))
     return 0
 
 
@@ -143,7 +174,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--schemes", default="SRB,OPT,PRD(1),PRD(0.1)",
         help="comma-separated scheme list",
     )
+    compare.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="enable the metrics registry and write per-scheme span "
+             "timings and counters to FILE (render with 'repro stats')",
+    )
     compare.set_defaults(handler=_cmd_compare)
+
+    stats = commands.add_parser(
+        "stats", help="render a metrics file as human-readable tables"
+    )
+    stats.add_argument(
+        "file", help="metrics JSON (from --metrics-out or bench_metrics.json)"
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     figure = commands.add_parser(
         "figure", help="regenerate a paper figure (7.1 ... 7.6b)"

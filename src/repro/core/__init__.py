@@ -14,15 +14,15 @@ Public surface:
   steady-movement enhancements (Section 6).
 """
 
-from repro.core.queries import KNNQuery, Query, RangeQuery
-from repro.core.results import ResultChange, UpdateOutcome
-from repro.core.server import DatabaseServer, ServerConfig
 from repro.core.extensions import (
     CircleRangeQuery,
     MovingKNNQuery,
     ProximityPairQuery,
     ThresholdRangeQuery,
 )
+from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.core.results import ResultChange, UpdateOutcome
+from repro.core.server import DatabaseServer, ServerConfig
 
 __all__ = [
     "Query",

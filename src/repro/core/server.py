@@ -14,31 +14,26 @@ position.
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
 from repro.core.enhancements import ReachabilityModel, weighted_perimeter_objective
 from repro.core.evaluation import evaluate_knn, evaluate_range
-from repro.core.queries import KNNQuery, Query, RangeQuery
 from repro.core.irlp import interior_margin
+from repro.core.queries import KNNQuery, Query, RangeQuery
 from repro.core.reevaluation import (
-    ReevaluationOutcome,
     reevaluate_knn,
     reevaluate_range,
     relieve_tight_safe_region,
 )
 from repro.core.results import ResultChange, UpdateOutcome
-from repro.core.safe_region import (
-    compute_safe_region,
-    knn_safe_region,
-    range_safe_region,
-)
+from repro.core.safe_region import compute_safe_region, knn_safe_region
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.bulk import bulk_load
 from repro.index.grid import GridIndex
 from repro.index.rstar import RStarTree
+from repro.obs import COUNT_BUCKETS, NULL_REGISTRY, Tracer
 
 ObjectId = Hashable
 PositionOracle = Callable[[ObjectId], Point]
@@ -121,6 +116,7 @@ class DatabaseServer:
         self,
         position_oracle: PositionOracle,
         config: ServerConfig | None = None,
+        metrics=None,
     ) -> None:
         self.config = config or ServerConfig()
         self._oracle = position_oracle
@@ -129,8 +125,18 @@ class DatabaseServer:
             if self.config.max_speed is not None
             else None
         )
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._trace = Tracer(self.metrics)
+        self._m_probes = self.metrics.counter("server.probes")
+        self._m_pushes = self.metrics.counter("server.safe_region_pushes")
+        self._m_updates = self.metrics.counter("server.location_updates")
+        self._m_checked = self.metrics.histogram(
+            "server.queries_checked_per_report", COUNT_BUCKETS
+        )
         self.object_index = RStarTree(max_entries=self.config.index_max_entries)
-        self.query_index = GridIndex(self.config.grid_m, self.config.space)
+        self.query_index = GridIndex(
+            self.config.grid_m, self.config.space, metrics=self.metrics
+        )
         self._objects: dict[ObjectId, ObjectState] = {}
         self.stats = ServerStats()
         # Safe regions whose interior margin falls below this floor
@@ -186,18 +192,18 @@ class DatabaseServer:
         """
         if self.query_count:
             raise RuntimeError("load_objects must run before query registration")
-        started = _time.perf_counter()
-        pairs = []
-        for oid, position in positions:
-            if oid in self._objects:
-                raise KeyError(f"object {oid!r} already loaded")
-            cell = self.query_index.cell_rect_of_point(position)
-            self._objects[oid] = ObjectState(cell, position, time)
-            pairs.append((oid, cell))
-        self.object_index = bulk_load(
-            pairs, max_entries=self.config.index_max_entries
-        )
-        self.stats.cpu_seconds += _time.perf_counter() - started
+        with self._trace.span("server.load_objects"):
+            pairs = []
+            for oid, position in positions:
+                if oid in self._objects:
+                    raise KeyError(f"object {oid!r} already loaded")
+                cell = self.query_index.cell_rect_of_point(position)
+                self._objects[oid] = ObjectState(cell, position, time)
+                pairs.append((oid, cell))
+            self.object_index = bulk_load(
+                pairs, max_entries=self.config.index_max_entries
+            )
+        self.stats.cpu_seconds = self._trace.cpu_seconds
         return {oid: rect for oid, rect in pairs}
 
     def add_object(
@@ -228,7 +234,12 @@ class DatabaseServer:
         delay), so those queries are reevaluated too.  All probed objects
         then receive freshly recomputed safe regions.
         """
-        started = _time.perf_counter()
+        with self._trace.span("server.register_query"):
+            outcome = self._register_query(query, time)
+        self.stats.cpu_seconds = self._trace.cpu_seconds
+        return outcome
+
+    def _register_query(self, query: Query, time: float) -> UpdateOutcome:
         probed: dict[ObjectId, Point] = {}
         shrunk_only: dict[ObjectId, Rect] = {}
         previous_positions: dict[ObjectId, Point] = {}
@@ -276,7 +287,6 @@ class DatabaseServer:
             list(probed), {}, probe, probed, previous_positions,
             shrunk_only, constrain, outcome, time, updater=None,
         )
-        self.stats.cpu_seconds += _time.perf_counter() - started
         return outcome
 
     def deregister_query(self, query: Query) -> None:
@@ -310,36 +320,41 @@ class DatabaseServer:
         previous: Point | None,
         time: float,
     ) -> UpdateOutcome:
-        started = _time.perf_counter()
-        self.stats.location_updates += 1
-        state = self._objects[oid]
-        state.p_lst = position
-        state.last_update_time = time
-        self.object_index.update(oid, Rect.from_point(position))
+        with self._trace.span("server.update"):
+            self.stats.location_updates += 1
+            self._m_updates.inc()
+            state = self._objects[oid]
+            state.p_lst = position
+            state.last_update_time = time
+            self.object_index.update(oid, Rect.from_point(position))
 
-        probed: dict[ObjectId, Point] = {}
-        shrunk_only: dict[ObjectId, Rect] = {}
-        previous_positions: dict[ObjectId, Point] = {}
-        probe = self._make_probe(probed, time)
-        constrain = self._make_constrain(time)
-        outcome = UpdateOutcome()
+            probed: dict[ObjectId, Point] = {}
+            shrunk_only: dict[ObjectId, Rect] = {}
+            previous_positions: dict[ObjectId, Point] = {}
+            probe = self._make_probe(probed, time)
+            constrain = self._make_constrain(time)
+            outcome = UpdateOutcome()
 
-        self._ingest_reports(
-            [(oid, position)], probe, probed, previous_positions,
-            shrunk_only, constrain, outcome, time,
-            initial_previous={oid: previous},
-        )
-        outcome.queries_reevaluated = len(outcome.changes)
+            self._ingest_reports(
+                [(oid, position)], probe, probed, previous_positions,
+                shrunk_only, constrain, outcome, time,
+                initial_previous={oid: previous},
+            )
+            outcome.queries_reevaluated = len(outcome.changes)
 
-        targets = [oid] + [target for target in probed if target != oid]
-        self._location_manager_phase(
-            targets, {oid: previous}, probe, probed, previous_positions,
-            shrunk_only, constrain, outcome, time, updater=oid,
-        )
-        self.stats.cpu_seconds += _time.perf_counter() - started
+            targets = [oid] + [target for target in probed if target != oid]
+            self._location_manager_phase(
+                targets, {oid: previous}, probe, probed, previous_positions,
+                shrunk_only, constrain, outcome, time, updater=oid,
+            )
+        self.stats.cpu_seconds = self._trace.cpu_seconds
         return outcome
 
-    def _ingest_reports(
+    def _ingest_reports(self, *args, **kwargs) -> None:
+        with self._trace.span("ingest"):
+            self._do_ingest_reports(*args, **kwargs)
+
+    def _do_ingest_reports(
         self,
         initial_reports: list[tuple[ObjectId, Point]],
         probe,
@@ -379,7 +394,11 @@ class DatabaseServer:
                     reported.add(target)
                     reports.append((target, target_pos))
 
-    def _location_manager_phase(
+    def _location_manager_phase(self, *args, **kwargs) -> None:
+        with self._trace.span("location_manager"):
+            self._do_location_manager_phase(*args, **kwargs)
+
+    def _do_location_manager_phase(
         self,
         targets: list[ObjectId],
         initial_previous: dict[ObjectId, Point | None],
@@ -504,7 +523,11 @@ class DatabaseServer:
                 self.query_index.update(query)
         return (changed_radius or bool(all_fresh), all_fresh)
 
-    def _reevaluate_affected(
+    def _reevaluate_affected(self, *args, **kwargs) -> None:
+        with self._trace.span("reevaluate"):
+            self._do_reevaluate_affected(*args, **kwargs)
+
+    def _do_reevaluate_affected(
         self,
         oid: ObjectId,
         position: Point,
@@ -521,6 +544,7 @@ class DatabaseServer:
         candidates = self.query_index.candidate_queries(position, previous)
         outcome.queries_checked += len(candidates)
         self.stats.queries_checked += len(candidates)
+        self._m_checked.observe(len(candidates))
         affected = sorted(
             (q for q in candidates if q.is_affected_by(position, previous)),
             key=lambda q: q.query_id,
@@ -571,6 +595,7 @@ class DatabaseServer:
             position = self._oracle(target)
             probed[target] = position
             self.stats.probes += 1
+            self._m_probes.inc()
             return position
 
         return probe
@@ -595,14 +620,15 @@ class DatabaseServer:
         Returns each probed object's *previous* reported position (needed
         as the movement direction for the weighted-perimeter objective).
         """
-        previous_positions = {}
-        for target, position in probed.items():
-            state = self._objects[target]
-            previous_positions[target] = state.p_lst
-            state.p_lst = position
-            state.last_update_time = time
-            self.object_index.update(target, Rect.from_point(position))
-        return previous_positions
+        with self._trace.span("probe"):
+            previous_positions = {}
+            for target, position in probed.items():
+                state = self._objects[target]
+                previous_positions[target] = state.p_lst
+                state.p_lst = position
+                state.last_update_time = time
+                self.object_index.update(target, Rect.from_point(position))
+            return previous_positions
 
     def _apply_shrinks(
         self, shrunk: dict[ObjectId, Rect], probed: dict[ObjectId, Point]
@@ -617,16 +643,18 @@ class DatabaseServer:
         """
         if not self.config.reachability_pushes:
             return {}
-        applied = {}
-        for target, region in shrunk.items():
-            if target in probed:
-                continue
-            state = self._objects[target]
-            state.safe_region = region
-            self.object_index.update(target, region)
-            self.stats.safe_region_pushes += 1
-            applied[target] = region
-        return applied
+        with self._trace.span("shrink"):
+            applied = {}
+            for target, region in shrunk.items():
+                if target in probed:
+                    continue
+                state = self._objects[target]
+                state.safe_region = region
+                self.object_index.update(target, region)
+                self.stats.safe_region_pushes += 1
+                self._m_pushes.inc()
+                applied[target] = region
+            return applied
 
     def _install_safe_region(self, oid: ObjectId, region: Rect) -> None:
         self._objects[oid].safe_region = region
@@ -644,17 +672,18 @@ class DatabaseServer:
         previous: Point | None,
     ) -> Rect:
         """Recompute an object's safe region against all relevant queries."""
-        cell = self.query_index.cell_rect_of_point(position)
-        relevant = self.query_index.queries_at(position)
-        return compute_safe_region(
-            oid,
-            position,
-            sorted(relevant, key=lambda q: q.query_id),
-            cell,
-            self.object_index.rect_of,
-            self._objective(position, previous),
-            use_batch=self.config.batch_range_regions,
-        )
+        with self._trace.span("safe_region"):
+            cell = self.query_index.cell_rect_of_point(position)
+            relevant = self.query_index.queries_at(position)
+            return compute_safe_region(
+                oid,
+                position,
+                sorted(relevant, key=lambda q: q.query_id),
+                cell,
+                self.object_index.rect_of,
+                self._objective(position, previous),
+                use_batch=self.config.batch_range_regions,
+            )
 
 
 def _snapshot(query: Query):

@@ -1,7 +1,7 @@
 """Reproduction harness for every figure of the paper's Section 7."""
 
-from repro.experiments.runner import SchemeName, run_schemes, sweep
-from repro.experiments.reporting import format_table
 from repro.experiments import figures
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import SchemeName, run_schemes, sweep
 
 __all__ = ["SchemeName", "run_schemes", "sweep", "format_table", "figures"]

@@ -15,6 +15,7 @@ from repro.baselines.optimal import optimal_report
 from repro.baselines.periodic import PRDSimulation
 from repro.baselines.qindex import QIndexSimulation
 from repro.mobility.waypoint import RandomWaypointModel
+from repro.obs import MetricsRegistry
 from repro.simulation.engine import SRBSimulation
 from repro.simulation.metrics import SchemeReport
 from repro.simulation.scenario import Scenario
@@ -45,16 +46,26 @@ def run_schemes(
     scenario: Scenario,
     schemes: Iterable[SchemeName] = DEFAULT_SCHEMES,
     truth: GroundTruth | None = None,
+    metrics: bool = False,
 ) -> dict[str, SchemeReport]:
-    """Run the requested schemes over one scenario; reports keyed by name."""
+    """Run the requested schemes over one scenario; reports keyed by name.
+
+    With ``metrics=True`` every simulated scheme gets its own fresh
+    :class:`~repro.obs.MetricsRegistry`, and its snapshot lands on
+    ``SchemeReport.metrics`` (OPT replays recorded truth and has no
+    instrumented server, so its snapshot stays empty).
+    """
     if truth is None:
         truth = build_truth(scenario)
+    def registry() -> MetricsRegistry | None:
+        return MetricsRegistry() if metrics else None
+
     reports: dict[str, SchemeReport] = {}
     for scheme in schemes:
         if scheme == "SRB":
             fresh = generate_queries(scenario.workload(), seed=scenario.seed)
             reports[scheme] = SRBSimulation(
-                scenario, queries=fresh, truth=truth
+                scenario, queries=fresh, truth=truth, metrics=registry()
             ).run()
         elif scheme == "OPT":
             reports[scheme] = optimal_report(scenario, truth=truth)
@@ -62,13 +73,15 @@ def run_schemes(
             t_prd = float(scheme[4:-1])
             fresh = generate_queries(scenario.workload(), seed=scenario.seed)
             reports[scheme] = PRDSimulation(
-                scenario, t_prd, queries=fresh, truth=truth
+                scenario, t_prd, queries=fresh, truth=truth,
+                metrics=registry(),
             ).run()
         elif scheme.startswith("QIDX(") and scheme.endswith(")"):
             t_prd = float(scheme[5:-1])
             fresh = generate_queries(scenario.workload(), seed=scenario.seed)
             reports[scheme] = QIndexSimulation(
-                scenario, t_prd, queries=fresh, truth=truth
+                scenario, t_prd, queries=fresh, truth=truth,
+                metrics=registry(),
             ).run()
         else:
             raise ValueError(f"unknown scheme: {scheme!r}")

@@ -6,24 +6,24 @@ between areas (or points) ``S`` and ``T``, and ``Delta(S, T)`` the maximum
 distance.
 """
 
-from repro.geometry.point import Point
-from repro.geometry.rect import Rect
 from repro.geometry.circle import Circle
-from repro.geometry.ring import Ring
 from repro.geometry.distances import (
-    delta,
     Delta,
-    min_dist_point_rect,
+    delta,
     max_dist_point_rect,
-    min_dist_rect_rect,
     max_dist_rect_rect,
+    min_dist_point_rect,
+    min_dist_rect_rect,
 )
 from repro.geometry.motion import (
     LinearMotion,
-    exit_time_from_rect,
     exit_time_from_circle,
+    exit_time_from_rect,
     position_at,
 )
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.ring import Ring
 
 __all__ = [
     "Point",

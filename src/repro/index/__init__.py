@@ -10,8 +10,8 @@
   oracle in tests and by the PRD / OPT baselines at small scale.
 """
 
-from repro.index.rstar import RStarTree
-from repro.index.grid import GridIndex
 from repro.index.brute import BruteForceIndex
+from repro.index.grid import GridIndex
+from repro.index.rstar import RStarTree
 
 __all__ = ["RStarTree", "GridIndex", "BruteForceIndex"]

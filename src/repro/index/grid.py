@@ -13,6 +13,7 @@ from typing import Hashable, Iterable, Protocol
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.obs import COUNT_BUCKETS, NULL_REGISTRY
 
 CellId = tuple[int, int]
 
@@ -34,7 +35,7 @@ class GridIndexable(Protocol):
 class GridIndex:
     """A sparse ``M x M`` uniform grid over registered queries."""
 
-    def __init__(self, m: int, space: Rect | None = None) -> None:
+    def __init__(self, m: int, space: Rect | None = None, metrics=None) -> None:
         if m < 1:
             raise ValueError("grid resolution must be positive")
         self.m = m
@@ -45,6 +46,14 @@ class GridIndex:
         self._cell_h = self.space.height / m
         self._buckets: dict[CellId, set] = {}
         self._cells_of: dict[Hashable, frozenset[CellId]] = {}
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._m_lookups = self.metrics.counter("grid.lookups")
+        self._m_candidates = self.metrics.histogram(
+            "grid.candidates", COUNT_BUCKETS
+        )
+        self._m_cell_scans = self.metrics.histogram(
+            "grid.covered_cells", COUNT_BUCKETS
+        )
 
     def __len__(self) -> int:
         return len(self._cells_of)
@@ -131,11 +140,13 @@ class GridIndex:
 
     def _covered_cells(self, query: GridIndexable) -> frozenset[CellId]:
         bounding = query.quarantine_bounding_rect()
-        return frozenset(
+        covered = frozenset(
             cell
             for cell in self.cells_overlapping(bounding)
             if query.quarantine_overlaps(self.cell_rect(cell))
         )
+        self._m_cell_scans.observe(len(covered))
+        return covered
 
     # ------------------------------------------------------------------
     # Lookup
@@ -156,12 +167,20 @@ class GridIndex:
     def candidate_queries(self, p: Point, p_lst: Point | None) -> frozenset:
         """Queries to check on an update from ``p_lst`` to ``p`` (Section 3.3)."""
         if p_lst is None:
-            return self.queries_at(p)
-        cell_new = self.cell_of(p)
-        cell_old = self.cell_of(p_lst)
-        if cell_new == cell_old:
-            return self.queries_in_cell(cell_new)
-        return self.queries_in_cell(cell_new) | self.queries_in_cell(cell_old)
+            candidates = self.queries_at(p)
+        else:
+            cell_new = self.cell_of(p)
+            cell_old = self.cell_of(p_lst)
+            if cell_new == cell_old:
+                candidates = self.queries_in_cell(cell_new)
+            else:
+                candidates = (
+                    self.queries_in_cell(cell_new)
+                    | self.queries_in_cell(cell_old)
+                )
+        self._m_lookups.inc()
+        self._m_candidates.observe(len(candidates))
+        return candidates
 
     def all_queries(self) -> frozenset:
         """Every registered query."""

@@ -1,6 +1,6 @@
 """Mobility substrate: the random waypoint model and client-side logic."""
 
-from repro.mobility.waypoint import RandomWaypointModel, Trajectory, Segment
 from repro.mobility.client import MobileClient
+from repro.mobility.waypoint import RandomWaypointModel, Segment, Trajectory
 
 __all__ = ["RandomWaypointModel", "Trajectory", "Segment", "MobileClient"]

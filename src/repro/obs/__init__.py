@@ -1,0 +1,51 @@
+"""Structured observability: metrics registry, span tracing, exporters.
+
+The cost model of the paper (wireless messages vs. server CPU time,
+Section 7.1) is this package's reason to exist: every pipeline phase of
+the monitoring server, the grid index, the event-driven simulator, and
+the baselines reports into one :class:`MetricsRegistry` through
+:class:`Tracer` spans and counters, so a run can answer *where the
+cycles and messages went* without ad-hoc ``perf_counter`` plumbing.
+
+By default all instrumented code receives :data:`NULL_REGISTRY`, a
+shared no-op whose cost is a method call — benchmarks and the CLI opt
+into a real registry (``--metrics-out``).  See docs/OBSERVABILITY.md for
+the metric vocabulary and span hierarchy.
+"""
+
+from repro.obs.export import (
+    load_metrics,
+    render_document,
+    render_snapshot,
+    write_json,
+    write_jsonl,
+)
+from repro.obs.registry import (
+    COUNT_BUCKETS,
+    NULL_REGISTRY,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import SpanRecord, Tracer
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "NULL_REGISTRY",
+    "TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SpanRecord",
+    "Tracer",
+    "load_metrics",
+    "render_document",
+    "render_snapshot",
+    "write_json",
+    "write_jsonl",
+]

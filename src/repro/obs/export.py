@@ -1,0 +1,143 @@
+"""Exporters: JSON documents, JSON-lines sinks, human-readable tables.
+
+Three shapes move through here:
+
+* a *registry snapshot* — ``MetricsRegistry.to_dict()``:
+  ``{"counters": ..., "gauges": ..., "histograms": ...}``;
+* a *metrics document* — ``{"schemes": {name: snapshot}}`` plus free-form
+  top-level fields, the shape ``--metrics-out`` and the benchmark
+  artifact ``bench_metrics.json`` write;
+* *JSON lines* — one instrument per line, for appending sinks.
+
+``repro stats`` accepts any of the three and renders tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def write_json(snapshot: dict, path: str | Path) -> None:
+    """Write a snapshot or metrics document as one indented JSON file."""
+    Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+
+def write_jsonl(registry, path: str | Path, append: bool = False) -> int:
+    """Write one JSON line per instrument; returns the line count."""
+    snapshot = registry.to_dict()
+    lines = []
+    for name, value in sorted(snapshot["counters"].items()):
+        lines.append({"kind": "counter", "name": name, "value": value})
+    for name, value in sorted(snapshot["gauges"].items()):
+        lines.append({"kind": "gauge", "name": name, "value": value})
+    for name, data in sorted(snapshot["histograms"].items()):
+        lines.append(data)
+    mode = "a" if append else "w"
+    with open(path, mode) as sink:
+        for line in lines:
+            sink.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)
+
+
+def load_metrics(path: str | Path) -> dict:
+    """Load a metrics file written by any exporter into document shape.
+
+    Returns ``{"schemes": {name: snapshot}}``; a bare registry snapshot
+    is wrapped under the scheme name ``"run"``, and JSON-lines files are
+    folded back into one snapshot.
+    """
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = _fold_jsonl(text)
+    if "schemes" in data:
+        return data
+    return {"schemes": {"run": data}}
+
+
+def _fold_jsonl(text: str) -> dict:
+    snapshot = {"counters": {}, "gauges": {}, "histograms": {}}
+    for raw in text.splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        entry = json.loads(raw)
+        kind = entry.get("kind")
+        if kind == "counter":
+            snapshot["counters"][entry["name"]] = entry["value"]
+        elif kind == "gauge":
+            snapshot["gauges"][entry["name"]] = entry["value"]
+        elif kind == "histogram":
+            snapshot["histograms"][entry["name"]] = entry
+    return snapshot
+
+
+def render_snapshot(snapshot: dict, title: str = "metrics") -> str:
+    """One registry snapshot as aligned text tables."""
+    sections = []
+    spans, histograms = [], []
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        row = {
+            "name": name,
+            "count": data.get("count", 0),
+            "total": _fmt(data.get("sum", 0.0)),
+            "mean": _fmt(_mean(data)),
+            "max": _fmt(data.get("max")),
+        }
+        (spans if name.startswith("span.") else histograms).append(row)
+    if spans:
+        sections.append(_table("spans", spans))
+    if histograms:
+        sections.append(_table("histograms", histograms))
+    counters = [
+        {"name": name, "value": value}
+        for name, value in sorted(snapshot.get("counters", {}).items())
+    ]
+    if counters:
+        sections.append(_table("counters", counters))
+    gauges = [
+        {"name": name, "value": value}
+        for name, value in sorted(snapshot.get("gauges", {}).items())
+    ]
+    if gauges:
+        sections.append(_table("gauges", gauges))
+    if not sections:
+        sections.append("(no metrics recorded)")
+    return f"== {title}\n" + "\n\n".join(sections)
+
+
+def render_document(document: dict) -> str:
+    """A whole metrics document (one section per scheme) as text."""
+    parts = []
+    for scheme, snapshot in document.get("schemes", {}).items():
+        parts.append(render_snapshot(snapshot, title=scheme))
+    if not parts:
+        return "(no schemes in metrics document)"
+    return "\n\n".join(parts)
+
+
+def _mean(data: dict) -> float:
+    count = data.get("count", 0)
+    return (data.get("sum", 0.0) / count) if count else 0.0
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.6g}"
+
+
+def _table(title: str, rows: list[dict]) -> str:
+    columns = list(rows[0])
+    widths = {
+        c: max(len(c), *(len(str(r[c])) for r in rows)) for c in columns
+    }
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    rule = "-+-".join("-" * widths[c] for c in columns)
+    body = [
+        " | ".join(str(r[c]).ljust(widths[c]) for c in columns)
+        for r in rows
+    ]
+    return "\n".join([f"[{title}]", header, rule, *body])

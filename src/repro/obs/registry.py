@@ -1,0 +1,234 @@
+"""Process-local metric registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the single vocabulary for everything the framework
+measures — wireless messages, grid-filter effectiveness, per-phase CPU
+time.  It is deliberately dependency-free and cheap: instruments are
+plain objects with ``__slots__``, histogram buckets are fixed at
+creation, and the default registry handed to library code is a shared
+no-op (:data:`NULL_REGISTRY`) whose instruments discard every
+observation, so un-instrumented callers pay almost nothing.
+
+Metric names are dotted lowercase paths (``server.probes``,
+``grid.candidates``); span timings recorded through
+:class:`repro.obs.trace.Tracer` use the reserved ``span.<path>.seconds``
+namespace.  docs/OBSERVABILITY.md lists every name the framework emits.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default histogram buckets for durations in seconds (1 µs … 10 s).
+TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0
+)
+
+#: Default histogram buckets for small cardinalities (candidate sets,
+#: covered cells, probe fan-outs).
+COUNT_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 1000.0
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"kind": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (index sizes, queue depths)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        return {"kind": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum / count / min / max.
+
+    ``buckets`` are inclusive upper bounds in ascending order; a final
+    implicit overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "overflow",
+                 "sum", "count", "min", "max")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(buckets) != sorted(buckets):
+            raise ValueError("bucket bounds must be ascending")
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * len(buckets)
+        self.overflow = 0
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.buckets, value)
+        if i == len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[i] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {
+                f"le_{bound:g}": n
+                for bound, n in zip(self.buckets, self.counts)
+            },
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """A process-local registry of named instruments.
+
+    Instruments are created on first use and shared afterwards, so hot
+    paths can cache the instrument object and skip the name lookup.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    def to_dict(self) -> dict:
+        """Flat, JSON-serialisable snapshot of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: h.to_dict() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullCounter:
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {"kind": "counter", "name": "<null>", "value": 0}
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {"kind": "gauge", "name": "<null>", "value": 0.0}
+
+
+class _NullHistogram:
+    __slots__ = ()
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {"kind": "histogram", "name": "<null>", "count": 0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """The zero-overhead default: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS
+    ) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def to_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: Shared no-op registry; the default everywhere instrumentation is wired.
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,177 @@
+"""Span tracing: nested wall-time per pipeline phase.
+
+A :class:`Tracer` hands out ``span(name)`` context managers.  Spans nest:
+entering ``span("ingest")`` inside ``span("server.update")`` produces the
+dotted path ``server.update.ingest``, and every exit records the span's
+wall time into the tracer's registry as a ``span.<path>.seconds``
+histogram.  Root spans (depth 0) additionally accumulate into
+``Tracer.cpu_seconds`` — the single source the server's CPU accounting is
+derived from.
+
+The disabled path is engineered to cost what the pre-observability code
+paid: with a :class:`~repro.obs.registry.NullRegistry` attached, root
+spans still time themselves (two ``perf_counter`` calls, exactly the old
+hand-rolled accounting) but child spans are a shared no-op object and
+record nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.obs.registry import NULL_REGISTRY, TIME_BUCKETS, Histogram
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed span in a flat trace log."""
+
+    name: str
+    path: str
+    depth: int
+    start: float
+    duration: float
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start": self.start,
+            "duration": self.duration,
+        }
+
+
+class _NoopSpan:
+    """Shared no-op for child spans under a disabled registry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _RootTick:
+    """Times a depth-0 span with a disabled registry.
+
+    One instance per tracer; safe because a single-threaded tracer has at
+    most one depth-0 span open at a time.
+    """
+
+    __slots__ = ("_tracer", "_start")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        self._start = 0.0
+
+    def __enter__(self) -> "_RootTick":
+        self._tracer._depth += 1
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.cpu_seconds += perf_counter() - self._start
+        self._tracer._depth -= 1
+
+
+class _Span:
+    """A live span under an enabled registry."""
+
+    __slots__ = ("_tracer", "name", "path", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        if stack:
+            self.path = f"{stack[-1].path}.{self.name}"
+        self.depth = len(stack)
+        stack.append(self)
+        tracer._depth += 1
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        duration = perf_counter() - self._start
+        tracer = self._tracer
+        tracer._stack.pop()
+        tracer._depth -= 1
+        if self.depth == 0:
+            tracer.cpu_seconds += duration
+        tracer._histogram_for(self.path).observe(duration)
+        if tracer._records is not None:
+            tracer._records.append(
+                SpanRecord(self.name, self.path, self.depth,
+                           self._start, duration)
+            )
+
+
+class Tracer:
+    """Produces nested spans and aggregates them into a registry.
+
+    * ``registry`` — where span timings land (``span.<path>.seconds``
+      histograms).  The default :data:`~repro.obs.registry.NULL_REGISTRY`
+      keeps only root-span wall time (``cpu_seconds``).
+    * ``keep_records`` — also retain a flat trace log of every completed
+      span (:attr:`records`), exportable as JSON lines.
+    """
+
+    def __init__(self, registry=NULL_REGISTRY, keep_records: bool = False):
+        self.registry = registry
+        self.cpu_seconds = 0.0
+        self._depth = 0
+        self._stack: list[_Span] = []
+        self._span_histograms: dict[str, Histogram] = {}
+        self._records: list[SpanRecord] | None = [] if keep_records else None
+        self._root_tick = _RootTick(self)
+
+    # ------------------------------------------------------------------
+    def span(self, name: str):
+        """A context manager timing one phase; nests into dotted paths."""
+        if not self.registry.enabled:
+            if self._depth:
+                return _NOOP_SPAN
+            return self._root_tick
+        return _Span(self, name)
+
+    def traced(self, name: str):
+        """Decorator form of :meth:`span`."""
+
+        def decorate(fn):
+            def wrapper(*args, **kwargs):
+                with self.span(name):
+                    return fn(*args, **kwargs)
+
+            wrapper.__name__ = fn.__name__
+            wrapper.__doc__ = fn.__doc__
+            return wrapper
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> list[SpanRecord]:
+        """The flat trace log (empty unless ``keep_records=True``)."""
+        return list(self._records or ())
+
+    def _histogram_for(self, path: str) -> Histogram:
+        histogram = self._span_histograms.get(path)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                f"span.{path}.seconds", TIME_BUCKETS
+            )
+            self._span_histograms[path] = histogram
+        return histogram

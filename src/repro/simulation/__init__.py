@@ -9,10 +9,10 @@
 * :mod:`~repro.simulation.metrics` — cost accounting and reports.
 """
 
+from repro.simulation.engine import SRBSimulation
+from repro.simulation.metrics import CommunicationCosts, SchemeReport
 from repro.simulation.scenario import Scenario
 from repro.simulation.truth import GroundTruth
-from repro.simulation.metrics import CommunicationCosts, SchemeReport
-from repro.simulation.engine import SRBSimulation
 
 __all__ = [
     "Scenario",

@@ -25,6 +25,7 @@ from repro.core.queries import Query
 from repro.core.server import DatabaseServer, ServerConfig
 from repro.mobility.client import MobileClient
 from repro.mobility.waypoint import RandomWaypointModel
+from repro.obs import NULL_REGISTRY, Tracer
 from repro.simulation.metrics import (
     AccuracyAccumulator,
     CommunicationCosts,
@@ -50,8 +51,11 @@ class SRBSimulation:
         scenario: Scenario,
         queries: list[Query] | None = None,
         truth: GroundTruth | None = None,
+        metrics=None,
     ) -> None:
         self.scenario = scenario
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self._trace = Tracer(self.metrics)
         if truth is not None:
             if queries is None:
                 queries = truth.queries
@@ -83,6 +87,7 @@ class SRBSimulation:
             )
         self.server = DatabaseServer(
             position_oracle=self._probe_oracle,
+            metrics=self.metrics,
             config=ServerConfig(
                 grid_m=scenario.grid_m,
                 space=scenario.space,
@@ -140,29 +145,38 @@ class SRBSimulation:
 
     def run(self) -> SchemeReport:
         """Execute the full scenario and return the report."""
-        self._bootstrap()
-        scenario = self.scenario
-        while self._heap:
-            t, _, _, kind, payload = heapq.heappop(self._heap)
-            if t > scenario.duration:
-                break
-            self._now = t
-            if kind == "exit":
-                self._on_exit(*payload)
-            elif kind == "retry":
-                self._on_retry(*payload)
-            elif kind == "recv_update":
-                self._on_recv_update(*payload)
-            elif kind == "recv_region":
-                self._on_recv_region(*payload)
-            else:
-                self._on_sample()
+        event_counter = self.metrics.counter
+        counters = {
+            kind: event_counter(f"sim.events.{kind}")
+            for kind in ("exit", "retry", "recv_update", "recv_region",
+                         "sample")
+        }
+        with self._trace.span("sim.run"):
+            self._bootstrap()
+            scenario = self.scenario
+            while self._heap:
+                t, _, _, kind, payload = heapq.heappop(self._heap)
+                if t > scenario.duration:
+                    break
+                self._now = t
+                counters[kind].inc()
+                if kind == "exit":
+                    self._on_exit(*payload)
+                elif kind == "retry":
+                    self._on_retry(*payload)
+                elif kind == "recv_update":
+                    self._on_recv_update(*payload)
+                elif kind == "recv_region":
+                    self._on_recv_region(*payload)
+                else:
+                    self._on_sample()
         total_distance = sum(
             client.trajectory.distance_travelled(0.0, scenario.duration)
             for client in self.clients.values()
         )
-        self.costs.probes = self.server.stats.probes
-        self.costs.pushes = self.server.stats.safe_region_pushes
+        self.costs = CommunicationCosts.from_server_stats(
+            self.server.stats, updates=self.costs.updates
+        )
         return SchemeReport(
             scheme="SRB",
             num_objects=scenario.num_objects,
@@ -176,6 +190,7 @@ class SRBSimulation:
                 "reevaluations": self.server.stats.queries_reevaluated,
                 "result_changes": self.server.stats.result_changes,
             },
+            metrics=self.metrics.to_dict() if self.metrics.enabled else {},
         )
 
     # ------------------------------------------------------------------

@@ -11,9 +11,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+#: The single source of truth for message weights (Section 7.1).  Every
+#: scheme — SRB, the baselines, and any future one — must derive weighted
+#: totals from these constants via :class:`CommunicationCosts`; never
+#: hard-code the arithmetic (tests/test_costs_consistency.py enforces it).
 C_UPDATE = 1.0
 C_PROBE = 1.5
 C_PUSH = 0.5
+
+
+def weighted_message_cost(updates: int, probes: int, pushes: int) -> float:
+    """The weighted wireless total for raw message counts."""
+    return C_UPDATE * updates + C_PROBE * probes + C_PUSH * pushes
 
 
 @dataclass(slots=True)
@@ -24,13 +33,19 @@ class CommunicationCosts:
     probes: int = 0
     pushes: int = 0
 
+    @classmethod
+    def from_server_stats(cls, stats, updates: int) -> "CommunicationCosts":
+        """Combine client-side update counts with the server's probe and
+        push counters (``repro.core.server.ServerStats``)."""
+        return cls(
+            updates=updates,
+            probes=stats.probes,
+            pushes=stats.safe_region_pushes,
+        )
+
     @property
     def total(self) -> float:
-        return (
-            C_UPDATE * self.updates
-            + C_PROBE * self.probes
-            + C_PUSH * self.pushes
-        )
+        return weighted_message_cost(self.updates, self.probes, self.pushes)
 
     def per_client_per_time(self, num_objects: int, duration: float) -> float:
         """The paper's wireless-communication-cost metric."""
@@ -70,6 +85,9 @@ class SchemeReport:
     #: Total distance travelled by all objects (for cost-per-distance).
     total_distance: float = 0.0
     extras: dict = field(default_factory=dict)
+    #: Observability snapshot (``MetricsRegistry.to_dict()``) when the
+    #: run was executed with metrics enabled; empty otherwise.
+    metrics: dict = field(default_factory=dict)
 
     @property
     def comm_cost(self) -> float:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.experiments.aggregate import (
     AggregateResult,
-    MetricSummary,
     aggregate_over_seeds,
     relative_spread,
     summarise,

@@ -1,0 +1,103 @@
+"""Sanity checks for the GitHub Actions workflow (.github/workflows/ci.yml).
+
+CI cannot test itself before it is merged, so these run under tier-1: the
+workflow must stay parseable, keep the documented job set, and — most
+importantly — run the tier-1 command *exactly* as ROADMAP.md records it,
+so local verification and CI can never drift apart.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+jsonschema = pytest.importorskip("jsonschema")
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+WORKFLOW = ROOT / ".github" / "workflows" / "ci.yml"
+
+#: Light structural schema for the subset of the Actions grammar we use.
+WORKFLOW_SCHEMA = {
+    "type": "object",
+    "required": ["name", "jobs"],
+    "properties": {
+        "name": {"type": "string"},
+        "jobs": {
+            "type": "object",
+            "minProperties": 1,
+            "additionalProperties": {
+                "type": "object",
+                "required": ["runs-on", "steps"],
+                "properties": {
+                    "runs-on": {"type": "string"},
+                    "steps": {
+                        "type": "array",
+                        "minItems": 1,
+                        "items": {
+                            "type": "object",
+                            "anyOf": [
+                                {"required": ["uses"]},
+                                {"required": ["run"]},
+                            ],
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def test_workflow_parses_and_validates(workflow):
+    jsonschema.validate(workflow, WORKFLOW_SCHEMA)
+    # YAML 1.1 parses the `on:` trigger key as boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert triggers is not None
+    assert "pull_request" in triggers and "push" in triggers
+
+
+def test_expected_jobs_present(workflow):
+    assert set(workflow["jobs"]) == {"lint", "test", "bench-smoke"}
+
+
+def _runs(job):
+    return [step["run"] for step in job["steps"] if "run" in step]
+
+
+def test_tier1_command_matches_roadmap(workflow):
+    roadmap = (ROOT / "ROADMAP.md").read_text()
+    match = re.search(r"\*\*Tier-1 verify:\*\* `([^`]+)`", roadmap)
+    assert match, "ROADMAP.md lost its tier-1 verify line"
+    tier1 = match.group(1)
+    assert tier1 in _runs(workflow["jobs"]["test"])
+
+
+def test_test_job_covers_both_python_versions(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.11", "3.12"]
+
+
+def test_lint_job_runs_ruff(workflow):
+    runs = _runs(workflow["jobs"]["lint"])
+    assert any("ruff check" in run for run in runs)
+
+
+def test_bench_smoke_uploads_metrics_artifact(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    runs = _runs(job)
+    assert any("benchmarks/test_scale_smoke.py" in run for run in runs)
+    uploads = [
+        step for step in job["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert len(uploads) == 1
+    assert uploads[0]["with"]["path"] == (
+        "benchmarks/results/bench_metrics.json"
+    )
+    assert uploads[0]["with"]["if-no-files-found"] == "error"

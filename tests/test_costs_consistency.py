@@ -1,0 +1,75 @@
+"""Cost-accounting consistency: one set of weights, used everywhere."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.experiments.figures import BENCH_BASE
+from repro.experiments.runner import run_schemes
+from repro.simulation.metrics import (
+    C_PROBE,
+    C_PUSH,
+    C_UPDATE,
+    CommunicationCosts,
+    weighted_message_cost,
+)
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+TINY = BENCH_BASE.with_overrides(
+    num_objects=150,
+    num_queries=8,
+    duration=2.0,
+    sample_interval=0.5,
+)
+
+SCHEMES = ("SRB", "OPT", "PRD(1)", "QIDX(1)")
+
+
+def test_weighted_message_cost_formula():
+    assert weighted_message_cost(10, 4, 6) == pytest.approx(
+        C_UPDATE * 10 + C_PROBE * 4 + C_PUSH * 6
+    )
+    assert weighted_message_cost(0, 0, 0) == 0.0
+
+
+def test_costs_total_uses_the_shared_weights():
+    costs = CommunicationCosts(updates=7, probes=3, pushes=5)
+    assert costs.total == pytest.approx(
+        weighted_message_cost(7, 3, 5)
+    )
+
+
+def test_constants_are_defined_exactly_once():
+    """The weights live in repro.simulation.metrics and nowhere else."""
+    pattern = re.compile(r"^\s*(C_UPDATE|C_PROBE|C_PUSH)\s*=", re.MULTILINE)
+    defining = [
+        path.relative_to(SRC).as_posix()
+        for path in sorted(SRC.rglob("*.py"))
+        if pattern.search(path.read_text())
+    ]
+    assert defining == ["repro/simulation/metrics.py"]
+
+
+def test_weighted_totals_agree_across_schemes():
+    """Every scheme's reported total re-derives from its raw counters."""
+    reports = run_schemes(TINY, schemes=SCHEMES)
+    assert set(reports) == set(SCHEMES)
+    for name, report in reports.items():
+        costs = report.costs
+        expected = (
+            C_UPDATE * costs.updates
+            + C_PROBE * costs.probes
+            + C_PUSH * costs.pushes
+        )
+        assert costs.total == pytest.approx(expected), name
+        assert report.comm_cost == pytest.approx(
+            expected / (report.num_objects * report.duration)
+        ), name
+    # The periodic baselines send every object every period, and never
+    # probe or push; their weighted total is pure uplink.
+    for name in ("PRD(1)", "QIDX(1)"):
+        costs = reports[name].costs
+        assert costs.probes == 0 and costs.pushes == 0
+        assert costs.total == pytest.approx(C_UPDATE * costs.updates)

@@ -1,10 +1,7 @@
 """Protocol-level tests of the event-driven SRB engine."""
 
-import math
-
 import pytest
 
-from repro.geometry import Point, Rect
 from repro.simulation import Scenario, SRBSimulation
 from repro.simulation.recorder import attach_recorder
 

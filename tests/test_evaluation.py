@@ -4,7 +4,6 @@ import math
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.core.evaluation import evaluate_knn, evaluate_range
 from repro.geometry import Point, Rect

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.geometry import Point, Rect
 from repro.index import BruteForceIndex, RStarTree
 from repro.index.bulk import bulk_load

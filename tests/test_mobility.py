@@ -5,7 +5,7 @@ import math
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 from repro.mobility import MobileClient, RandomWaypointModel
 
 UNIT = Rect(0.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,165 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    load_metrics,
+    render_document,
+    render_snapshot,
+    write_json,
+    write_jsonl,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("server.probes")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_is_cached_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_gauge_set_and_add(self):
+        g = MetricsRegistry().gauge("index.size")
+        g.set(10.0)
+        g.add(-2.5)
+        assert g.value == 7.5
+
+    def test_histogram_bucketing_is_inclusive_upper_bound(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 5.0, 5.0001):
+            h.observe(value)
+        # 0.5 and 1.0 land in le_1; 1.5 and 2.0 in le_2; 5.0 in le_5;
+        # 5.0001 overflows.
+        assert h.counts == [2, 2, 1]
+        assert h.overflow == 1
+
+    def test_histogram_summary_stats(self):
+        h = Histogram("h", buckets=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == pytest.approx(6.0)
+        assert h.min == 1.0
+        assert h.max == 3.0
+        assert h.mean == pytest.approx(2.0)
+
+    def test_empty_histogram_mean_and_to_dict(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.mean == 0.0
+        data = h.to_dict()
+        assert data["count"] == 0
+        assert data["min"] is None and data["max"] is None
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_histogram_custom_buckets_via_registry(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("grid.candidates", COUNT_BUCKETS)
+        assert h.buckets == COUNT_BUCKETS
+        # Cached: a second call with the default buckets returns the same
+        # instrument (buckets are fixed at creation).
+        assert registry.histogram("grid.candidates") is h
+
+
+class TestRegistrySnapshot:
+    def test_to_dict_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.to_dict()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"]["a"] == 2
+        assert snapshot["gauges"]["g"] == 1.5
+        assert snapshot["histograms"]["h"]["count"] == 1
+        # Snapshot is JSON-serialisable as-is.
+        json.dumps(snapshot)
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_instruments(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        assert MetricsRegistry.enabled is True
+        # Every name maps to the same shared no-op instrument.
+        assert null.counter("a") is null.counter("b")
+        assert null.gauge("a") is null.gauge("b")
+        assert null.histogram("a") is null.histogram("b")
+        assert null.counter("a") is NULL_REGISTRY.counter("z")
+
+    def test_observations_are_discarded(self):
+        null = NULL_REGISTRY
+        null.counter("c").inc(100)
+        null.gauge("g").set(3.0)
+        null.histogram("h").observe(1.0)
+        assert null.to_dict() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("server.probes").inc(3)
+        registry.gauge("index.size").set(42.0)
+        registry.histogram("span.server.update.seconds").observe(0.002)
+        return registry
+
+    def test_write_json_document_round_trip(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.json"
+        write_json({"schemes": {"SRB": registry.to_dict()}}, path)
+        document = load_metrics(path)
+        assert document["schemes"]["SRB"] == registry.to_dict()
+
+    def test_bare_snapshot_is_wrapped_as_run(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.json"
+        write_json(registry.to_dict(), path)
+        document = load_metrics(path)
+        assert document["schemes"]["run"] == registry.to_dict()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.jsonl"
+        lines = write_jsonl(registry, path)
+        assert lines == 3
+        document = load_metrics(path)
+        assert document["schemes"]["run"] == registry.to_dict()
+
+    def test_jsonl_append(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(registry, path)
+        write_jsonl(registry, path, append=True)
+        assert len(path.read_text().splitlines()) == 6
+
+    def test_render_snapshot_mentions_instruments(self):
+        text = render_snapshot(self._populated().to_dict(), title="SRB")
+        assert "== SRB" in text
+        assert "server.probes" in text
+        assert "span.server.update.seconds" in text
+        assert "index.size" in text
+
+    def test_render_empty_snapshot(self):
+        text = render_snapshot(NULL_REGISTRY.to_dict())
+        assert "(no metrics recorded)" in text
+        assert render_document({}) == "(no schemes in metrics document)"

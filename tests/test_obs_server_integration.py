@@ -1,0 +1,150 @@
+"""Server-level observability: spans and counters from a real update cycle."""
+
+import random
+
+import pytest
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.geometry import Point, Rect
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture
+def world():
+    rng = random.Random(7)
+    positions = {
+        oid: Point(rng.random(), rng.random()) for oid in range(120)
+    }
+    registry = MetricsRegistry()
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        metrics=registry,
+        config=ServerConfig(grid_m=8),
+    )
+    server.load_objects(positions.items())
+    return positions, registry, server
+
+
+def _drive_until_update(positions, server, rng, steps=400):
+    """Random-walk objects, reporting on safe-region exits; stop after one."""
+    handled = 0
+    t = 0.0
+    for _ in range(steps):
+        t += 0.01
+        oid = rng.randrange(len(positions))
+        p = positions[oid]
+        new = Point(
+            min(max(p.x + rng.uniform(-0.05, 0.05), 0.0), 1.0),
+            min(max(p.y + rng.uniform(-0.05, 0.05), 0.0), 1.0),
+        )
+        positions[oid] = new
+        if not server.safe_region_of(oid).contains_point(new):
+            server.handle_location_update(oid, new, t)
+            handled += 1
+            if handled >= 25:
+                break
+    assert handled, "random walk never left a safe region"
+    return handled
+
+
+def test_update_cycle_emits_per_phase_spans(world):
+    positions, registry, server = world
+    rng = random.Random(11)
+    for i in range(8):
+        x, y = rng.random() * 0.85, rng.random() * 0.85
+        server.register_query(
+            RangeQuery(Rect(x, y, x + 0.12, y + 0.12), query_id=f"r{i}"),
+            time=0.0,
+        )
+    for i in range(4):
+        server.register_query(
+            KNNQuery(Point(rng.random(), rng.random()), 3, query_id=f"k{i}"),
+            time=0.0,
+        )
+
+    handled = _drive_until_update(positions, server, rng)
+
+    snapshot = registry.to_dict()
+    spans = set(snapshot["histograms"])
+    # The full per-phase hierarchy of Algorithm 1, as dotted span paths.
+    assert {
+        "span.server.load_objects.seconds",
+        "span.server.register_query.seconds",
+        "span.server.update.seconds",
+        "span.server.update.ingest.seconds",
+        "span.server.update.ingest.reevaluate.seconds",
+        "span.server.update.location_manager.seconds",
+        "span.server.update.location_manager.safe_region.seconds",
+    } <= spans
+
+    counters = snapshot["counters"]
+    assert counters["server.location_updates"] == handled
+    assert snapshot["histograms"]["span.server.update.seconds"][
+        "count"
+    ] == handled
+    # Candidate-set sizes were observed once per reevaluation phase.
+    assert snapshot["histograms"][
+        "server.queries_checked_per_report"
+    ]["count"] > 0
+    # Grid instrumentation rides along on the shared registry.
+    assert counters["grid.lookups"] > 0
+    assert snapshot["histograms"]["grid.candidates"]["count"] > 0
+
+
+def test_probe_span_appears_when_server_probes(world):
+    positions, registry, server = world
+    rng = random.Random(3)
+    # Small k over a dense cluster: result changes routinely force probes
+    # of non-reporting neighbours.
+    for i in range(6):
+        server.register_query(
+            KNNQuery(Point(rng.random(), rng.random()), 2, query_id=f"k{i}"),
+            time=0.0,
+        )
+    _drive_until_update(positions, server, rng, steps=2000)
+    snapshot = registry.to_dict()
+    assert snapshot["counters"].get("server.probes", 0) > 0
+    assert (
+        "span.server.update.ingest.reevaluate.probe.seconds"
+        in snapshot["histograms"]
+    )
+
+
+def test_cpu_seconds_matches_tracer_totals(world):
+    positions, registry, server = world
+    rng = random.Random(5)
+    server.register_query(
+        RangeQuery(Rect(0.1, 0.1, 0.4, 0.4), query_id="r0"), time=0.0
+    )
+    _drive_until_update(positions, server, rng)
+    histograms = registry.to_dict()["histograms"]
+    root_sum = sum(
+        data["sum"]
+        for name, data in histograms.items()
+        if name in (
+            "span.server.load_objects.seconds",
+            "span.server.register_query.seconds",
+            "span.server.update.seconds",
+        )
+    )
+    assert server.stats.cpu_seconds == pytest.approx(root_sum)
+
+
+def test_default_server_records_cpu_but_no_metrics():
+    rng = random.Random(2)
+    positions = {
+        oid: Point(rng.random(), rng.random()) for oid in range(60)
+    }
+    server = DatabaseServer(
+        position_oracle=lambda oid: positions[oid],
+        config=ServerConfig(grid_m=6),
+    )
+    server.load_objects(positions.items())
+    server.register_query(
+        RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="r0"), time=0.0
+    )
+    _drive_until_update(positions, server, rng)
+    assert server.stats.cpu_seconds > 0.0
+    assert server.metrics.to_dict() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }

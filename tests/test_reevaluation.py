@@ -107,7 +107,7 @@ class TestCaseOne:
         q = world.query.center
         boundary = world.query.radius + 1e-6
         target = Point(q.x + boundary, q.y)
-        outcome = world.move(leaver, target)
+        world.move(leaver, target)
         assert world.query.results == world.true_knn()
 
 
@@ -167,7 +167,7 @@ class TestCaseThree:
         nearest = world.positions[world.query.results[0]]
         # Move the last result closer than the current first.
         d = q.distance_to(nearest)
-        outcome = world.move(mover, Point(q.x + d / 2, q.y))
+        world.move(mover, Point(q.x + d / 2, q.y))
         assert world.query.results[0] == mover
         assert world.query.results == world.true_knn()
 

@@ -1,7 +1,7 @@
 """Tests for result-change records and update outcomes."""
 
 from repro.core.results import ResultChange, UpdateOutcome
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 
 
 class TestResultChange:

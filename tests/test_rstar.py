@@ -1,6 +1,5 @@
 """Unit, integration, and property tests for the R*-tree substrate."""
 
-import math
 import random
 
 import pytest

@@ -3,7 +3,7 @@
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.evaluation import evaluate_knn
 from repro.core.queries import KNNQuery, RangeQuery

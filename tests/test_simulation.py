@@ -10,10 +10,10 @@ from repro.geometry import Point, Rect
 from repro.mobility import RandomWaypointModel
 from repro.simulation import GroundTruth, Scenario, SRBSimulation
 from repro.simulation.metrics import (
-    AccuracyAccumulator,
     C_PROBE,
     C_PUSH,
     C_UPDATE,
+    AccuracyAccumulator,
     CommunicationCosts,
 )
 from repro.simulation.truth import opt_update_count

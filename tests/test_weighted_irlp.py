@@ -7,7 +7,6 @@ these tests pin the search path's invariants and its directional bias.
 
 import math
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.enhancements import weighted_perimeter_objective
