@@ -49,6 +49,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="enable the Section 6.1 enhancement")
     parser.add_argument("--steadiness", type=float, default=0.0,
                         help="Section 6.2 weighted-perimeter D parameter")
+    parser.add_argument("--no-caches", action="store_true",
+                        help="disable the hot-path acceleration layer "
+                             "(docs/PERFORMANCE.md) to bisect perf "
+                             "regressions; results are identical, only "
+                             "CPU cost changes")
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -65,6 +70,7 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
         seed=args.seed,
         use_reachability=args.reachability,
         steadiness=args.steadiness,
+        enable_caches=not args.no_caches,
     )
 
 

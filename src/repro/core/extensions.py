@@ -254,6 +254,10 @@ class _RangeProxy:
     def __init__(self, rect: Rect) -> None:
         self.rect = rect
 
+    def clipped_to(self, cell: Rect) -> Rect | None:
+        # Unmemoised: the proxy lives for a single computation.
+        return self.rect.intersection(cell)
+
 
 class ProximityPairQuery(Query):
     """Continuous proximity monitoring around a *moving* focal object.

@@ -65,13 +65,25 @@ class Query:
 class RangeQuery(Query):
     """A continuous range query: report all objects inside ``rect``."""
 
-    __slots__ = ("rect", "results")
+    __slots__ = ("rect", "results", "_clip_memo")
 
     def __init__(self, rect: Rect, query_id: str | None = None) -> None:
         super().__init__(query_id)
         self.rect = rect
         #: Current result set, maintained by the server.
         self.results: set[ObjectId] = set()
+        #: Memoised ``rect.intersection(cell)`` per cell rectangle.  The
+        #: query rectangle is immutable, so entries never invalidate; the
+        #: grid hands out interned cell rects, keeping the memo tiny.
+        self._clip_memo: dict[Rect, Rect | None] = {}
+
+    def clipped_to(self, cell: Rect) -> Rect | None:
+        """``rect ∩ cell``, memoised per cell (hot in safe-region computation)."""
+        try:
+            return self._clip_memo[cell]
+        except KeyError:
+            clipped = self._clip_memo[cell] = self.rect.intersection(cell)
+            return clipped
 
     def quarantine_bounding_rect(self) -> Rect:
         return self.rect
@@ -102,7 +114,10 @@ class KNNQuery(Query):
     the list is incidental and comparisons use sets.
     """
 
-    __slots__ = ("center", "k", "order_sensitive", "results", "radius")
+    __slots__ = (
+        "center", "k", "order_sensitive", "results", "_radius",
+        "_circle_memo", "_brect_memo",
+    )
 
     def __init__(
         self,
@@ -120,14 +135,39 @@ class KNNQuery(Query):
         #: Current result, nearest first; maintained by the server.
         self.results: list[ObjectId] = []
         #: Quarantine-circle radius; 0 until the query is first evaluated.
-        self.radius: float = 0.0
+        self._radius: float = 0.0
+        self._circle_memo: Circle | None = None
+        self._brect_memo: Rect | None = None
+
+    @property
+    def radius(self) -> float:
+        """Quarantine-circle radius; assignment invalidates the memos."""
+        return self._radius
+
+    @radius.setter
+    def radius(self, value: float) -> None:
+        if value != self._radius:
+            self._radius = value
+            self._circle_memo = None
+            self._brect_memo = None
 
     def quarantine_circle(self) -> Circle:
-        """The quarantine area (a circle centred at the query point)."""
-        return Circle(self.center, self.radius)
+        """The quarantine area (a circle centred at the query point).
+
+        The circle (and its bounding rectangle below) is memoised until the
+        radius changes: the grid index probes it once per covered cell and
+        every ``is_affected_by`` check needs it twice.
+        """
+        circle = self._circle_memo
+        if circle is None:
+            circle = self._circle_memo = Circle(self.center, self._radius)
+        return circle
 
     def quarantine_bounding_rect(self) -> Rect:
-        return self.quarantine_circle().bounding_rect()
+        brect = self._brect_memo
+        if brect is None:
+            brect = self._brect_memo = self.quarantine_circle().bounding_rect()
+        return brect
 
     def quarantine_overlaps(self, rect: Rect) -> bool:
         return self.quarantine_circle().intersects_rect(rect)

@@ -54,3 +54,33 @@ class UpdateOutcome:
     def changed_queries(self) -> list[ResultChange]:
         """Only the deltas whose result actually differs."""
         return [change for change in self.changes if change.changed]
+
+
+@dataclass(slots=True)
+class BatchOutcome:
+    """Merged view of a same-tick batch of updates (``handle_location_updates``).
+
+    * ``regions`` — the final safe region to deliver to each contacted
+      object (reporters and probed objects alike).  Reports are processed
+      sequentially, so a later report in the batch may supersede an
+      earlier delivery; the dict keeps only the last region per object —
+      exactly what a dispatcher coalescing same-tick downlink messages
+      would send.
+    * ``changes`` — concatenated per-query result deltas, in processing
+      order.
+    * ``queries_checked`` / ``queries_reevaluated`` — summed bookkeeping.
+    """
+
+    regions: dict[ObjectId, Rect] = field(default_factory=dict)
+    changes: list[ResultChange] = field(default_factory=list)
+    queries_checked: int = 0
+    queries_reevaluated: int = 0
+
+    def merge(self, oid: ObjectId, outcome: UpdateOutcome) -> None:
+        """Fold one report's ``UpdateOutcome`` into the batch view."""
+        if outcome.safe_region is not None:
+            self.regions[oid] = outcome.safe_region
+        self.regions.update(outcome.probed)
+        self.changes.extend(outcome.changes)
+        self.queries_checked += outcome.queries_checked
+        self.queries_reevaluated += outcome.queries_reevaluated

@@ -45,7 +45,7 @@ def range_safe_region(
     score wins.
     """
     score = objective if objective is not None else _perimeter
-    clipped = query.rect.intersection(cell)
+    clipped = query.clipped_to(cell)
     if clipped is None:
         return cell
     if query.rect.contains_point(p):
@@ -168,7 +168,7 @@ def compute_safe_region(
             sr = _intersect(sr, query.safe_region_for(oid, p, cell, objective), p)
         elif isinstance(query, RangeQuery):
             if query.rect.contains_point(p):
-                clipped = query.rect.intersection(cell)
+                clipped = query.clipped_to(cell)
                 if clipped is not None:
                     sr = _intersect(sr, clipped, p)
             elif use_batch:

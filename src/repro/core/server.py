@@ -26,7 +26,7 @@ from repro.core.reevaluation import (
     reevaluate_range,
     relieve_tight_safe_region,
 )
-from repro.core.results import ResultChange, UpdateOutcome
+from repro.core.results import BatchOutcome, ResultChange, UpdateOutcome
 from repro.core.safe_region import compute_safe_region, knn_safe_region
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -60,6 +60,13 @@ class ServerConfig:
     * ``steadiness`` — the D parameter of the weighted-perimeter
       enhancement (Section 6.2); 0 disables it.
     * ``index_max_entries`` — R*-tree node capacity.
+    * ``enable_caches`` — the hot-path acceleration layer
+      (docs/PERFORMANCE.md): generation-stamped per-cell candidate caches
+      in the grid index and lazy safe-region recomputation keyed on cell
+      generations.  On by default; disabling it restores the seed's
+      recompute-everything behaviour (``repro compare --no-caches``) so
+      perf regressions are bisectable.  Results and message counts are
+      identical either way — only CPU cost changes.
     """
 
     grid_m: int = 50
@@ -68,6 +75,7 @@ class ServerConfig:
     reachability_pushes: bool = True
     steadiness: float = 0.0
     index_max_entries: int = 32
+    enable_caches: bool = True
     #: Ablation switch: compute the safe region for a batch of range
     #: queries with the Section 5.3 algorithm (True) or by intersecting
     #: per-query strips (False).
@@ -88,11 +96,21 @@ class ServerConfig:
 
 @dataclass(slots=True)
 class ObjectState:
-    """Per-object view maintained by the server."""
+    """Per-object view maintained by the server.
+
+    ``sr_stamp`` is the lazy-recomputation certificate (docs/PERFORMANCE.md):
+    ``(cell id, cell generation)`` recorded when the installed safe region
+    is the full rectangle of a query-free grid cell.  While the grid still
+    reports the same generation for that cell, recomputing the region would
+    provably return the identical rectangle, so the server may skip the
+    work.  ``None`` whenever no such certificate holds (caches disabled,
+    region constrained by queries, or tightened by a reachability shrink).
+    """
 
     safe_region: Rect
     p_lst: Point
     last_update_time: float
+    sr_stamp: tuple[tuple[int, int], int] | None = None
 
 
 @dataclass(slots=True)
@@ -133,9 +151,15 @@ class DatabaseServer:
         self._m_checked = self.metrics.histogram(
             "server.queries_checked_per_report", COUNT_BUCKETS
         )
+        self._m_sr_skipped = self.metrics.counter("server.sr_recompute.skipped")
+        self._m_fastpath = self.metrics.counter("server.update.fastpath")
+        self._caches_on = self.config.enable_caches
         self.object_index = RStarTree(max_entries=self.config.index_max_entries)
         self.query_index = GridIndex(
-            self.config.grid_m, self.config.space, metrics=self.metrics
+            self.config.grid_m,
+            self.config.space,
+            metrics=self.metrics,
+            enable_cache=self.config.enable_caches,
         )
         self._objects: dict[ObjectId, ObjectState] = {}
         self.stats = ServerStats()
@@ -193,12 +217,19 @@ class DatabaseServer:
         if self.query_count:
             raise RuntimeError("load_objects must run before query registration")
         with self._trace.span("server.load_objects"):
+            grid = self.query_index
             pairs = []
             for oid, position in positions:
                 if oid in self._objects:
                     raise KeyError(f"object {oid!r} already loaded")
-                cell = self.query_index.cell_rect_of_point(position)
-                self._objects[oid] = ObjectState(cell, position, time)
+                cell_id = grid.cell_of(position)
+                cell = grid.cell_rect(cell_id)
+                state = ObjectState(cell, position, time)
+                if self._caches_on:
+                    # No queries exist yet, so every cell is query-free
+                    # and every region is certifiably the full cell.
+                    state.sr_stamp = (cell_id, grid.cell_generation(cell_id))
+                self._objects[oid] = state
                 pairs.append((oid, cell))
             self.object_index = bulk_load(
                 pairs, max_entries=self.config.index_max_entries
@@ -313,6 +344,32 @@ class DatabaseServer:
         previous = state.p_lst
         return self._process_update(oid, position, previous, time)
 
+    def handle_location_updates(
+        self, reports: Iterable[tuple[ObjectId, Point]], time: float = 0.0
+    ) -> BatchOutcome:
+        """Process a batch of same-tick location reports, grouped by cell.
+
+        Reports are handled strictly sequentially — the semantics are
+        identical to calling ``handle_location_update`` per report — but
+        in a deterministic cell-grouped order: updates landing in the same
+        grid cell run back to back, so the per-cell candidate caches, the
+        interned cell rectangles, and the memoised per-query geometry stay
+        hot across co-located objects.  The order depends only on the
+        reports themselves (destination cell, then submission order), not
+        on any cache state, so batched runs are reproducible with caches
+        on or off.
+        """
+        grid = self.query_index
+        ordered = sorted(
+            enumerate(reports),
+            key=lambda item: (grid.cell_of(item[1][1]), item[0]),
+        )
+        batch = BatchOutcome()
+        for _, (oid, position) in ordered:
+            outcome = self.handle_location_update(oid, position, time)
+            batch.merge(oid, outcome)
+        return batch
+
     def _process_update(
         self,
         oid: ObjectId,
@@ -323,31 +380,88 @@ class DatabaseServer:
         with self._trace.span("server.update"):
             self.stats.location_updates += 1
             self._m_updates.inc()
-            state = self._objects[oid]
-            state.p_lst = position
-            state.last_update_time = time
-            self.object_index.update(oid, Rect.from_point(position))
-
-            probed: dict[ObjectId, Point] = {}
-            shrunk_only: dict[ObjectId, Rect] = {}
-            previous_positions: dict[ObjectId, Point] = {}
-            probe = self._make_probe(probed, time)
-            constrain = self._make_constrain(time)
-            outcome = UpdateOutcome()
-
-            self._ingest_reports(
-                [(oid, position)], probe, probed, previous_positions,
-                shrunk_only, constrain, outcome, time,
-                initial_previous={oid: previous},
-            )
-            outcome.queries_reevaluated = len(outcome.changes)
-
-            targets = [oid] + [target for target in probed if target != oid]
-            self._location_manager_phase(
-                targets, {oid: previous}, probe, probed, previous_positions,
-                shrunk_only, constrain, outcome, time, updater=oid,
-            )
+            outcome = None
+            if self._caches_on and previous is not None:
+                outcome = self._fastpath_update(oid, position, previous, time)
+            if outcome is None:
+                outcome = self._slowpath_update(oid, position, previous, time)
         self.stats.cpu_seconds = self._trace.cpu_seconds
+        return outcome
+
+    def _fastpath_update(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point,
+        time: float,
+    ) -> UpdateOutcome | None:
+        """Zero-churn handling of an update that provably changes nothing.
+
+        Applies when the updater's ``sr_stamp`` certifies that its region
+        is the full rectangle of a query-free cell and the destination
+        cell is query-free too.  Both candidate buckets are then empty, so
+        there is no reevaluation and no probe, and the recomputed safe
+        region of a query-free cell is exactly that cell's rectangle — the
+        full path's pointify-then-recompute R*-tree churn (two tree
+        updates) collapses to zero (same cell) or one (cell crossing).
+        Returns ``None`` when the preconditions fail; the full path runs.
+        """
+        grid = self.query_index
+        state = self._objects[oid]
+        stamp = state.sr_stamp
+        cell_old = grid.cell_of(previous)
+        if (
+            stamp is None
+            or stamp[0] != cell_old
+            or stamp[1] != grid.cell_generation(cell_old)
+        ):
+            return None
+        cell_new = grid.cell_of(position)
+        if cell_new != cell_old:
+            if grid.has_queries_in_cell(cell_new):
+                return None
+            region = grid.cell_rect(cell_new)
+            self._install_safe_region(oid, region)
+            state.sr_stamp = (cell_new, grid.cell_generation(cell_new))
+        state.p_lst = position
+        state.last_update_time = time
+        self._m_fastpath.inc()
+        self._m_checked.observe(0)
+        outcome = UpdateOutcome()
+        outcome.safe_region = state.safe_region
+        return outcome
+
+    def _slowpath_update(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point | None,
+        time: float,
+    ) -> UpdateOutcome:
+        state = self._objects[oid]
+        state.p_lst = position
+        state.last_update_time = time
+        self.object_index.update(oid, Rect.from_point(position))
+
+        probed: dict[ObjectId, Point] = {}
+        shrunk_only: dict[ObjectId, Rect] = {}
+        previous_positions: dict[ObjectId, Point] = {}
+        probe = self._make_probe(probed, time)
+        constrain = self._make_constrain(time)
+        outcome = UpdateOutcome()
+
+        self._ingest_reports(
+            [(oid, position)], probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time,
+            initial_previous={oid: previous},
+        )
+        outcome.queries_reevaluated = len(outcome.changes)
+
+        targets = [oid] + [target for target in probed if target != oid]
+        self._location_manager_phase(
+            targets, {oid: previous}, probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time, updater=oid,
+        )
         return outcome
 
     def _ingest_reports(self, *args, **kwargs) -> None:
@@ -429,7 +543,31 @@ class DatabaseServer:
         while queue:
             target = queue.pop(0)
             queued.discard(target)
-            target_pos = self._objects[target].p_lst
+            state = self._objects[target]
+            target_pos = state.p_lst
+            stamp = state.sr_stamp
+            if (
+                stamp is not None
+                and stamp[0] == self.query_index.cell_of(target_pos)
+                and stamp[1] == self.query_index.cell_generation(stamp[0])
+            ):
+                # Lazy recomputation: the stamp certifies the installed
+                # region is the full, still query-free cell — recomputing
+                # would return the identical rectangle.  The region must
+                # still be (re)installed: ingestion pointified the
+                # object's index entry.  Relief cannot apply either: a
+                # full-cell region has the same interior margin as its
+                # cell, which contradicts the trigger condition below.
+                self._m_sr_skipped.inc()
+                region = state.safe_region
+                shrunk_only.pop(target, None)
+                self._install_safe_region(target, region)
+                completed.add(target)
+                if target == updater:
+                    outcome.safe_region = region
+                else:
+                    outcome.probed[target] = region
+                continue
             region = self._full_safe_region(
                 target, target_pos, prev_lookup(target)
             )
@@ -650,6 +788,7 @@ class DatabaseServer:
                     continue
                 state = self._objects[target]
                 state.safe_region = region
+                state.sr_stamp = None  # region no longer the full cell
                 self.object_index.update(target, region)
                 self.stats.safe_region_pushes += 1
                 self._m_pushes.inc()
@@ -671,14 +810,28 @@ class DatabaseServer:
         position: Point,
         previous: Point | None,
     ) -> Rect:
-        """Recompute an object's safe region against all relevant queries."""
+        """Recompute an object's safe region against all relevant queries.
+
+        As a side effect, refreshes the object's lazy-recomputation stamp:
+        set when the cell is query-free (the result is then certifiably
+        the full cell rectangle), cleared otherwise.  Callers always
+        install the returned region, keeping the stamp's certificate in
+        step with the installed state.
+        """
         with self._trace.span("safe_region"):
-            cell = self.query_index.cell_rect_of_point(position)
-            relevant = self.query_index.queries_at(position)
+            grid = self.query_index
+            cell_id = grid.cell_of(position)
+            cell = grid.cell_rect(cell_id)
+            relevant = grid.relevant_queries(cell_id)
+            state = self._objects[oid]
+            if self._caches_on and not relevant:
+                state.sr_stamp = (cell_id, grid.cell_generation(cell_id))
+            else:
+                state.sr_stamp = None
             return compute_safe_region(
                 oid,
                 position,
-                sorted(relevant, key=lambda q: q.query_id),
+                relevant,
                 cell,
                 self.object_index.rect_of,
                 self._objective(position, previous),

@@ -5,6 +5,15 @@ bucket holds the queries whose quarantine area overlaps the cell.  Upon a
 location update from point ``p_lst`` to ``p``, only the queries in the two
 buckets containing those points can be affected.  The same buckets give the
 *relevant queries* when computing an object's safe region (Section 5).
+
+Hot-path acceleration (docs/PERFORMANCE.md): every cell carries a
+*generation* counter, bumped whenever a query registers into or leaves the
+cell.  Lookups are served from a per-cell cache — the bucket frozen into a
+frozenset plus the deterministically sorted relevant-query tuple the
+location manager consumes — validated against the generation, so the
+common no-churn lookup costs two dict probes instead of a set copy and a
+sort.  The generations are also the server's invalidation signal for its
+lazy safe-region recomputation (``ObjectState.sr_stamp``).
 """
 
 from __future__ import annotations
@@ -16,6 +25,9 @@ from repro.geometry.rect import Rect
 from repro.obs import COUNT_BUCKETS, NULL_REGISTRY
 
 CellId = tuple[int, int]
+
+_EMPTY_BUCKET: frozenset = frozenset()
+_EMPTY_SORTED: tuple = ()
 
 
 class GridIndexable(Protocol):
@@ -35,7 +47,13 @@ class GridIndexable(Protocol):
 class GridIndex:
     """A sparse ``M x M`` uniform grid over registered queries."""
 
-    def __init__(self, m: int, space: Rect | None = None, metrics=None) -> None:
+    def __init__(
+        self,
+        m: int,
+        space: Rect | None = None,
+        metrics=None,
+        enable_cache: bool = True,
+    ) -> None:
         if m < 1:
             raise ValueError("grid resolution must be positive")
         self.m = m
@@ -46,14 +64,31 @@ class GridIndex:
         self._cell_h = self.space.height / m
         self._buckets: dict[CellId, set] = {}
         self._cells_of: dict[Hashable, frozenset[CellId]] = {}
+        self.enable_cache = enable_cache
+        #: Per-cell membership generation; bumped whenever a query starts
+        #: or stops overlapping the cell.  Absent cells are generation 0.
+        self._generations: dict[CellId, int] = {}
+        #: Per-cell lookup cache: cell -> (generation, frozenset bucket,
+        #: relevant-query tuple sorted by query_id).  Entries are validated
+        #: lazily against the cell generation.
+        self._cache: dict[CellId, tuple[int, frozenset, tuple]] = {}
+        #: Interned cell rectangles (cache-enabled mode only).
+        self._cell_rects: dict[CellId, Rect] = {}
+        self._total_slots = 0
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self._m_lookups = self.metrics.counter("grid.lookups")
+        self._m_hits = self.metrics.counter("grid.cache.hits")
+        self._m_misses = self.metrics.counter("grid.cache.misses")
         self._m_candidates = self.metrics.histogram(
             "grid.candidates", COUNT_BUCKETS
         )
         self._m_cell_scans = self.metrics.histogram(
             "grid.covered_cells", COUNT_BUCKETS
         )
+        self._g_occupied = self.metrics.gauge("grid.occupied_cells")
+        self._g_occ_mean = self.metrics.gauge("grid.cell_occupancy.mean")
+        self._g_occ_peak = self.metrics.gauge("grid.cell_occupancy.peak")
+        self._occ_peak = 0  # watermark backing the peak gauge
 
     def __len__(self) -> int:
         return len(self._cells_of)
@@ -71,16 +106,23 @@ class GridIndex:
         return (min(max(i, 0), self.m - 1), min(max(j, 0), self.m - 1))
 
     def cell_rect(self, cell: CellId) -> Rect:
-        """The rectangle covered by ``cell``."""
+        """The rectangle covered by ``cell`` (interned when caches are on)."""
+        if self.enable_cache:
+            rect = self._cell_rects.get(cell)
+            if rect is not None:
+                return rect
         i, j = cell
         if not (0 <= i < self.m and 0 <= j < self.m):
             raise IndexError(f"cell {cell} outside {self.m}x{self.m} grid")
-        return Rect(
+        rect = Rect(
             self.space.min_x + i * self._cell_w,
             self.space.min_y + j * self._cell_h,
             self.space.min_x + (i + 1) * self._cell_w,
             self.space.min_y + (j + 1) * self._cell_h,
         )
+        if self.enable_cache:
+            self._cell_rects[cell] = rect
+        return rect
 
     def cell_rect_of_point(self, p: Point) -> Rect:
         """The rectangle of the cell containing ``p``."""
@@ -101,6 +143,33 @@ class GridIndex:
                 yield (i, j)
 
     # ------------------------------------------------------------------
+    # Generations
+    # ------------------------------------------------------------------
+    def cell_generation(self, cell: CellId) -> int:
+        """Membership generation of ``cell`` (0 until first touched).
+
+        The generation advances exactly when a query starts or stops
+        overlapping the cell, so ``(cell, generation)`` identifies one
+        immutable snapshot of the cell's relevant-query set.
+        """
+        return self._generations.get(cell, 0)
+
+    def has_queries_in_cell(self, cell: CellId) -> bool:
+        """Whether any query's quarantine area overlaps ``cell`` (O(1))."""
+        return cell in self._buckets
+
+    def _bump(self, cells: Iterable[CellId]) -> None:
+        generations = self._generations
+        for cell in cells:
+            generations[cell] = generations.get(cell, 0) + 1
+
+    def _refresh_occupancy(self) -> None:
+        occupied = len(self._buckets)
+        self._g_occupied.set(occupied)
+        mean = self._total_slots / occupied if occupied else 0.0
+        self._g_occ_mean.set(mean)
+
+    # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def insert(self, query: GridIndexable) -> None:
@@ -108,9 +177,19 @@ class GridIndex:
         if query in self._cells_of:
             raise KeyError(f"query {query!r} already registered")
         cells = self._covered_cells(query)
+        peak = 0
         for cell in cells:
-            self._buckets.setdefault(cell, set()).add(query)
+            bucket = self._buckets.setdefault(cell, set())
+            bucket.add(query)
+            if len(bucket) > peak:
+                peak = len(bucket)
         self._cells_of[query] = cells
+        self._bump(cells)
+        self._total_slots += len(cells)
+        self._refresh_occupancy()
+        if peak > self._occ_peak:
+            self._occ_peak = peak
+            self._g_occ_peak.set(peak)
 
     def remove(self, query: GridIndexable) -> None:
         """Deregister a query.  Raises ``KeyError`` when absent."""
@@ -120,6 +199,9 @@ class GridIndex:
             bucket.discard(query)
             if not bucket:
                 del self._buckets[cell]
+        self._bump(cells)
+        self._total_slots -= len(cells)
+        self._refresh_occupancy()
 
     def update(self, query: GridIndexable) -> None:
         """Refresh a query's buckets after its quarantine area changed."""
@@ -129,14 +211,27 @@ class GridIndex:
         new = self._covered_cells(query)
         if new == old:
             return
-        for cell in old - new:
+        left = old - new
+        entered = new - old
+        for cell in left:
             bucket = self._buckets[cell]
             bucket.discard(query)
             if not bucket:
                 del self._buckets[cell]
-        for cell in new - old:
-            self._buckets.setdefault(cell, set()).add(query)
+        peak = 0
+        for cell in entered:
+            bucket = self._buckets.setdefault(cell, set())
+            bucket.add(query)
+            if len(bucket) > peak:
+                peak = len(bucket)
         self._cells_of[query] = new
+        self._bump(left)
+        self._bump(entered)
+        self._total_slots += len(new) - len(old)
+        self._refresh_occupancy()
+        if peak > self._occ_peak:
+            self._occ_peak = peak
+            self._g_occ_peak.set(peak)
 
     def _covered_cells(self, query: GridIndexable) -> frozenset[CellId]:
         bounding = query.quarantine_bounding_rect()
@@ -151,9 +246,33 @@ class GridIndex:
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    def _cached_views(self, cell: CellId, bucket: set) -> tuple[frozenset, tuple]:
+        """Generation-validated (frozenset, sorted tuple) views of a bucket.
+
+        The sorted tuple is ordered by ``query_id`` — exactly the order
+        the server's location manager iterates relevant queries in, so a
+        cache hit removes both the set copy and the sort from the hot
+        path.
+        """
+        generation = self._generations.get(cell, 0)
+        cached = self._cache.get(cell)
+        if cached is not None and cached[0] == generation:
+            self._m_hits.inc()
+            return cached[1], cached[2]
+        self._m_misses.inc()
+        frozen = frozenset(bucket)
+        ordered = tuple(sorted(bucket, key=_query_order))
+        self._cache[cell] = (generation, frozen, ordered)
+        return frozen, ordered
+
     def queries_in_cell(self, cell: CellId) -> frozenset:
         """Queries whose quarantine area overlaps ``cell``."""
-        return frozenset(self._buckets.get(cell, ()))
+        bucket = self._buckets.get(cell)
+        if bucket is None:
+            return _EMPTY_BUCKET
+        if not self.enable_cache:
+            return frozenset(bucket)
+        return self._cached_views(cell, bucket)[0]
 
     def queries_at(self, p: Point) -> frozenset:
         """Queries whose quarantine area overlaps the cell containing ``p``.
@@ -163,6 +282,20 @@ class GridIndex:
         only queries that can constrain ``p``'s safe region.
         """
         return self.queries_in_cell(self.cell_of(p))
+
+    def relevant_queries(self, cell: CellId) -> tuple:
+        """The cell's relevant queries sorted by ``query_id``.
+
+        With the cache enabled this is served from the generation-stamped
+        per-cell cache; disabled, it is rebuilt per call (the seed
+        behaviour, kept as the benchmark ablation baseline).
+        """
+        bucket = self._buckets.get(cell)
+        if bucket is None:
+            return _EMPTY_SORTED
+        if not self.enable_cache:
+            return tuple(sorted(bucket, key=_query_order))
+        return self._cached_views(cell, bucket)[1]
 
     def candidate_queries(self, p: Point, p_lst: Point | None) -> frozenset:
         """Queries to check on an update from ``p_lst`` to ``p`` (Section 3.3)."""
@@ -199,3 +332,7 @@ class GridIndex:
         for bucket in self._buckets.values():
             total += per_cell_overhead + pointer_bytes * len(bucket)
         return total
+
+
+def _query_order(query) -> str:
+    return query.query_id

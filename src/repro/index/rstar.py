@@ -213,18 +213,45 @@ class RStarTree:
 
     @staticmethod
     def _pick_min_overlap_child(node: Node, rect: Rect) -> Entry:
-        """Child needing least overlap enlargement (R* leaf-parent rule)."""
+        """Child needing least overlap enlargement (R* leaf-parent rule).
+
+        The selection rule is the textbook one — least ``(overlap
+        enlargement, area enlargement, area)`` — but the quadratic scan is
+        dominated by entries that cannot win: a child whose MBR already
+        contains ``rect`` has the exact key ``(0, 0, area)`` with no
+        pairwise overlap work, and any partial overlap sum that exceeds
+        the best seen so far can abort early because its per-sibling terms
+        are non-negative.  Both cuts preserve the chosen child.
+        """
         entries = node.entries
         best = None
         best_key = (math.inf, math.inf, math.inf)
         for entry in entries:
             enlarged = entry.rect.union(rect)
+            if enlarged == entry.rect:
+                # Containment: overlap and area enlargements are exactly 0.
+                key = (0.0, 0.0, entry.rect.area)
+                if key < best_key:
+                    best_key = key
+                    best = entry
+                continue
             overlap_delta = 0.0
+            aborted = False
+            best_delta = best_key[0]
             for other in entries:
                 if other is entry:
                     continue
-                overlap_delta += enlarged.overlap_area(other.rect)
-                overlap_delta -= entry.rect.overlap_area(other.rect)
+                grown = (
+                    enlarged.overlap_area(other.rect)
+                    - entry.rect.overlap_area(other.rect)
+                )
+                if grown > 0.0:
+                    overlap_delta += grown
+                    if overlap_delta > best_delta:
+                        aborted = True
+                        break
+            if aborted:
+                continue
             key = (overlap_delta, entry.rect.enlargement(rect), entry.rect.area)
             if key < best_key:
                 best_key = key

@@ -98,6 +98,7 @@ class SRBSimulation:
                 steadiness=scenario.steadiness,
                 batch_range_regions=scenario.batch_range_regions,
                 anti_storm_relief=scenario.anti_storm_relief,
+                enable_caches=scenario.enable_caches,
             ),
         )
         self.costs = CommunicationCosts()

@@ -63,7 +63,9 @@ def test_workflow_parses_and_validates(workflow):
 
 
 def test_expected_jobs_present(workflow):
-    assert set(workflow["jobs"]) == {"lint", "test", "bench-smoke"}
+    assert set(workflow["jobs"]) == {
+        "lint", "test", "bench-smoke", "bench-hotpath"
+    }
 
 
 def _runs(job):
@@ -99,5 +101,24 @@ def test_bench_smoke_uploads_metrics_artifact(workflow):
     assert len(uploads) == 1
     assert uploads[0]["with"]["path"] == (
         "benchmarks/results/bench_metrics.json"
+    )
+    assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
+def test_bench_hotpath_runs_smoke_and_uploads_baseline(workflow):
+    job = workflow["jobs"]["bench-hotpath"]
+    runs = _runs(job)
+    assert any(
+        "HOTPATH_SMOKE=1" in run
+        and "benchmarks/test_hotpath_bench.py" in run
+        for run in runs
+    )
+    uploads = [
+        step for step in job["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert len(uploads) == 1
+    assert uploads[0]["with"]["path"] == (
+        "benchmarks/results/BENCH_hotpath.json"
     )
     assert uploads[0]["with"]["if-no-files-found"] == "error"

@@ -72,13 +72,13 @@ def check_exact(queries, positions):
             ranked = sorted(
                 positions, key=lambda o: query.center.distance_to(positions[o])
             )[: query.k]
-            if query.order_sensitive:
-                # Distance ties permit either order; compare distances.
-                got = [query.center.distance_to(positions[o]) for o in query.results]
-                want = [query.center.distance_to(positions[o]) for o in ranked]
-                assert got == pytest.approx(want), query.query_id
-            else:
-                assert set(query.results) == set(ranked), query.query_id
+            # Distance ties permit any tied subset/order; compare distances.
+            got = [query.center.distance_to(positions[o]) for o in query.results]
+            want = [query.center.distance_to(positions[o]) for o in ranked]
+            if not query.order_sensitive:
+                got, want = sorted(got), sorted(want)
+                assert len(set(query.results)) == len(query.results), query.query_id
+            assert got == pytest.approx(want), query.query_id
         else:  # CircleRangeQuery
             expected = {
                 o for o, p in positions.items()
