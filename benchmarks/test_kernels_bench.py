@@ -1,0 +1,226 @@
+"""Kernel-backend benchmark: NumPy columnar path vs scalar fallback.
+
+Replays the hot-path scenario of ``test_hotpath_bench.py`` (same seed,
+same district/traffic mix, caches enabled in both runs) twice — once per
+``ServerConfig.kernel_backend`` — and asserts the two servers end
+bit-identical (result snapshots and operation counters), so the measured
+speedup comes from a provably equivalent vectorisation.
+
+Emits ``benchmarks/results/BENCH_kernels.json`` — the tracked baseline
+for the columnar-kernel layer.  The committed (full-run) baseline must
+keep the vectorised ``updates_per_sec`` above the pre-kernels cached
+figure recorded in ``BENCH_hotpath.json``.  ``KERNELS_SMOKE=1`` shrinks
+the scenario for CI; the committed JSON comes from a full run.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import random
+import time
+
+from conftest import RESULTS_DIR
+
+from repro.core.queries import KNNQuery, RangeQuery
+from repro.core.server import DatabaseServer, ServerConfig
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs import MetricsRegistry
+
+SMOKE = os.environ.get("KERNELS_SMOKE") == "1"
+
+SEED = 7
+GRID_M = 20
+SIGMA = 0.004  # per-tick gaussian step of a mover
+DISTRICT = 0.25  # fraction of each axis holding the query quarantines
+if SMOKE:
+    NUM_OBJECTS, NUM_QUERIES, TICKS = 400, 16, 10
+else:
+    NUM_OBJECTS, NUM_QUERIES, TICKS = 3000, 30, 40
+MOVERS_PER_TICK = NUM_OBJECTS // 5
+#: Timed repetitions per backend; the best run counts.
+REPEATS = 1 if SMOKE else 3
+
+
+def _hotpath_cached_baseline() -> float | None:
+    """Pre-kernels cached updates/sec from the tracked hot-path baseline."""
+    path = RESULTS_DIR / "BENCH_hotpath.json"
+    if not path.exists():
+        return None
+    document = json.loads(path.read_text())
+    if document.get("smoke"):
+        return None  # a smoke artifact carries no comparable timing
+    return document["cached"]["updates_per_sec"]
+
+
+def _build():
+    """World + replay plan, fully determined by ``SEED``."""
+    rng = random.Random(SEED)
+    positions = {}
+    for n in range(NUM_OBJECTS):
+        if n % 50 < 47:  # city-wide traffic across the whole space
+            p = Point(rng.random(), rng.random())
+        else:  # residents of the monitored district
+            p = Point(rng.random() * DISTRICT, rng.random() * DISTRICT)
+        positions[f"o{n}"] = p
+    queries = []
+    for i in range(NUM_QUERIES):
+        if i % 2:
+            x = rng.random() * (DISTRICT - 0.04)
+            y = rng.random() * (DISTRICT - 0.04)
+            queries.append(
+                RangeQuery(Rect(x, y, x + 0.03, y + 0.03), query_id=f"r{i:03d}")
+            )
+        else:
+            center = Point(
+                rng.random() * DISTRICT, rng.random() * DISTRICT
+            )
+            queries.append(KNNQuery(center, 3, query_id=f"k{i:03d}"))
+    plan = []
+    live = dict(positions)
+    for _ in range(TICKS):
+        batch = []
+        for oid in rng.sample(sorted(live), MOVERS_PER_TICK):
+            p = live[oid]
+            q = Point(
+                min(max(p.x + rng.gauss(0.0, SIGMA), 0.0), 1.0),
+                min(max(p.y + rng.gauss(0.0, SIGMA), 0.0), 1.0),
+            )
+            live[oid] = q
+            batch.append((oid, q))
+        plan.append(batch)
+    return positions, queries, plan
+
+
+def _run(backend: str, metrics=None):
+    """Replay the plan against a fresh server; time only the update loop."""
+    positions, queries, plan = _build()
+    live = dict(positions)
+    server = DatabaseServer(
+        lambda oid: live[oid],
+        ServerConfig(grid_m=GRID_M, kernel_backend=backend),
+        metrics=metrics,
+    )
+    server.load_objects(live.items())
+    for query in queries:
+        server.register_query(query, time=0.0)
+    latencies = []
+    clock = 0.0
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        for batch in plan:
+            clock += 1.0
+            batch_started = time.perf_counter()
+            live.update(batch)
+            server.handle_location_updates(batch, time=clock)
+            latencies.append(time.perf_counter() - batch_started)
+        total = time.perf_counter() - started
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    server.validate()
+    snapshots = {q.query_id: q.result_snapshot() for q in queries}
+    st = server.stats
+    counters = (
+        st.location_updates, st.probes, st.safe_region_pushes,
+        st.queries_registered, st.queries_checked,
+        st.queries_reevaluated, st.result_changes,
+    )
+    return {
+        "total_seconds": total,
+        "latencies": sorted(latencies),
+        "snapshots": snapshots,
+        "counters": counters,
+        "updates": st.location_updates,
+    }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def _timing(run: dict) -> dict:
+    return {
+        "updates": run["updates"],
+        "total_seconds": round(run["total_seconds"], 6),
+        "updates_per_sec": round(run["updates"] / run["total_seconds"], 1),
+        "batch_seconds": {
+            "p50": round(_percentile(run["latencies"], 0.50), 6),
+            "p95": round(_percentile(run["latencies"], 0.95), 6),
+        },
+    }
+
+
+def test_kernels_benchmark():
+    # Interleave repetitions so slow system phases hit both backends alike;
+    # the best repetition per backend is the reported timing.
+    vectorised, scalar = None, None
+    for _ in range(REPEATS):
+        run_np = _run("numpy")
+        run_py = _run("python")
+        if vectorised is None or \
+                run_np["total_seconds"] < vectorised["total_seconds"]:
+            vectorised = run_np
+        if scalar is None or run_py["total_seconds"] < scalar["total_seconds"]:
+            scalar = run_py
+
+    # Correctness pin: the backends must be bit-identical in results.
+    equivalent = (
+        vectorised["snapshots"] == scalar["snapshots"]
+        and vectorised["counters"] == scalar["counters"]
+    )
+
+    # Metrics replay (separate so instrument costs stay out of the timings).
+    registry = MetricsRegistry()
+    _run("numpy", metrics=registry)
+    counters = registry.to_dict()["counters"]
+    gauges = registry.to_dict()["gauges"]
+
+    speedup = scalar["total_seconds"] / vectorised["total_seconds"]
+    baseline = _hotpath_cached_baseline()
+    document = {
+        "benchmark": "kernels",
+        "smoke": SMOKE,
+        "scenario": {
+            "num_objects": NUM_OBJECTS,
+            "num_queries": NUM_QUERIES,
+            "ticks": TICKS,
+            "movers_per_tick": MOVERS_PER_TICK,
+            "grid_m": GRID_M,
+            "seed": SEED,
+        },
+        "numpy": _timing(vectorised),
+        "python": _timing(scalar),
+        "speedup": round(speedup, 3),
+        "kernels": {
+            "batch_calls": counters.get("kernels.batch_calls", 0),
+            "rows_scanned": counters.get("kernels.rows_scanned", 0),
+            "fallback_calls": counters.get("kernels.fallback_calls", 0),
+            "rstar_height": gauges.get("rstar.height", 0),
+            "rstar_nodes": gauges.get("rstar.nodes", 0),
+            "grid_cells_indexed": gauges.get("grid.cells_indexed", 0),
+        },
+        "hotpath_cached_updates_per_sec": baseline,
+        "equivalent": equivalent,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out = RESULTS_DIR / "BENCH_kernels.json"
+    out.write_text(json.dumps(document, indent=2) + "\n")
+    print()
+    print(json.dumps(document, indent=2))
+
+    assert equivalent, "kernel backends diverged — see BENCH_kernels.json"
+    assert counters.get("kernels.batch_calls", 0) > 0, \
+        "NumPy backend never took the batch path"
+    if not SMOKE and baseline is not None:
+        ups = document["numpy"]["updates_per_sec"]
+        assert ups > baseline, (
+            f"vectorised throughput regressed below the pre-kernels cached "
+            f"baseline: {ups} <= {baseline} "
+            f"(baseline: benchmarks/results/BENCH_hotpath.json)"
+        )

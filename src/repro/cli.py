@@ -54,6 +54,11 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                              "(docs/PERFORMANCE.md) to bisect perf "
                              "regressions; results are identical, only "
                              "CPU cost changes")
+    parser.add_argument("--kernel-backend", default="numpy",
+                        choices=("numpy", "python", "both"),
+                        help="batch-geometry backend (repro.kernels); "
+                             "'both' runs each backend and verifies the "
+                             "reports match (compare only)")
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -71,7 +76,17 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
         use_reachability=args.reachability,
         steadiness=args.steadiness,
         enable_caches=not args.no_caches,
+        kernel_backend=(
+            "numpy"
+            if args.kernel_backend == "both"
+            else args.kernel_backend
+        ),
     )
+
+
+def _result_fields(row: dict) -> dict:
+    """A report row minus timing — the fields kernels must not change."""
+    return {k: v for k, v in row.items() if k != "cpu_s_per_time"}
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -85,6 +100,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         title=f"scheme comparison (N={scenario.num_objects}, "
               f"W={scenario.num_queries}, tau={scenario.delay:g})",
     ))
+    if args.kernel_backend == "both":
+        # A/B: rerun everything on the scalar backend and require the
+        # result-determined numbers to match exactly (CPU time may not).
+        alt = run_schemes(
+            scenario.with_overrides(kernel_backend="python"), schemes=schemes
+        )
+        mismatched = sorted(
+            name
+            for name in reports
+            if _result_fields(reports[name].row())
+            != _result_fields(alt[name].row())
+        )
+        if mismatched:
+            print(
+                "kernel backend mismatch (numpy vs python): "
+                + ", ".join(mismatched),
+                file=sys.stderr,
+            )
+            return 1
+        print("kernel backends equivalent: numpy == python")
     if args.metrics_out is not None:
         document = {
             "schemes": {

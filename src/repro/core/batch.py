@@ -40,6 +40,7 @@ def batch_range_safe_region(
     cell: Rect,
     obstacles: Sequence[Rect],
     objective: Objective | None = None,
+    kernels=None,
 ) -> Rect:
     """Largest-perimeter rectangle in ``cell`` around ``p`` avoiding obstacles.
 
@@ -49,10 +50,25 @@ def batch_range_safe_region(
     cell; only their part inside the cell matters.  The returned rectangle
     contains ``p`` (possibly on its boundary) and overlaps no open
     obstacle.
+
+    With ``kernels``, the per-obstacle corner localisation runs as one
+    batch pass per quadrant over obstacle columns built once per call
+    (``Kernels.quadrant_corners`` mirrors ``_local_min_corner`` exactly,
+    signed zeros included); the staircase and the greedy combination stay
+    scalar — they are sequential over a handful of corners.
     """
     score = objective if objective is not None else _perimeter
+    columns = None
+    if kernels is not None and obstacles:
+        columns = (
+            [r.min_x for r in obstacles],
+            [r.min_y for r in obstacles],
+            [r.max_x for r in obstacles],
+            [r.max_y for r in obstacles],
+        )
     component_sets = [
-        _component_corners(p, cell, obstacles, sx, sy) for sx, sy in _QUADRANTS
+        _component_corners(p, cell, obstacles, sx, sy, kernels, columns)
+        for sx, sy in _QUADRANTS
     ]
 
     # Greedy start: the quadrant owning the longest-perimeter component.
@@ -94,7 +110,13 @@ def _perimeter(rect: Rect) -> float:
 
 
 def _component_corners(
-    p: Point, cell: Rect, obstacles: Sequence[Rect], sx: float, sy: float
+    p: Point,
+    cell: Rect,
+    obstacles: Sequence[Rect],
+    sx: float,
+    sy: float,
+    kernels=None,
+    columns=None,
 ) -> list[tuple[float, float]]:
     """Opposite corners of the component rectangles in one quadrant.
 
@@ -109,11 +131,16 @@ def _component_corners(
     width = max(width, 0.0)
     height = max(height, 0.0)
 
-    blockers: list[tuple[float, float]] = []
-    for obstacle in obstacles:
-        corner = _local_min_corner(p, obstacle, sx, sy, width, height)
-        if corner is not None:
-            blockers.append(corner)
+    if kernels is not None and columns is not None:
+        blockers = kernels.quadrant_corners(
+            p.x, p.y, *columns, sx, sy, width, height
+        )
+    else:
+        blockers = []
+        for obstacle in obstacles:
+            corner = _local_min_corner(p, obstacle, sx, sy, width, height)
+            if corner is not None:
+                blockers.append(corner)
     blockers.sort()
 
     corners: list[tuple[float, float]] = []

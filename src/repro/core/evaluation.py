@@ -59,33 +59,71 @@ def evaluate_range(
     rect: Rect,
     probe: ProbeFn,
     constrain: ConstrainFn | None = None,
+    kernels=None,
 ) -> EvaluationResult:
     """Evaluate a new range query over safe regions.
 
     A safe region fully inside the query rectangle makes its object a
     result outright; a partial overlap requires a probe (possibly avoided
     by the reachability constraint).
+
+    With ``kernels``, the candidate entries are materialized once and the
+    containment test (result outright vs. needs a closer look) runs as a
+    single batch pass over the region columns; the per-object probe /
+    constrain logic is untouched.  Safe because probes never mutate the
+    index mid-evaluation — the server applies probe results afterwards.
     """
     outcome = EvaluationResult(results=[])
+    if kernels is not None:
+        entries = list(index.search_entries(rect))
+        if not entries:
+            return outcome
+        contained = kernels.rects_contained_in(
+            [region.min_x for _, region in entries],
+            [region.min_y for _, region in entries],
+            [region.max_x for _, region in entries],
+            [region.max_y for _, region in entries],
+            rect,
+        )
+        for (oid, region), inside in zip(entries, contained):
+            if inside:
+                outcome.results.append(oid)
+            else:
+                _resolve_partial_overlap(
+                    rect, oid, region, probe, constrain, outcome
+                )
+        return outcome
     for oid, region in index.search_entries(rect):
         if rect.contains_rect(region):
             outcome.results.append(oid)
-            continue
-        if constrain is not None:
-            tightened = constrain(oid, region)
-            if tightened != region:
-                if rect.contains_rect(tightened):
-                    outcome.results.append(oid)
-                    outcome.shrunk[oid] = tightened
-                    continue
-                if not rect.intersects(tightened):
-                    outcome.shrunk[oid] = tightened
-                    continue
-        position = probe(oid)
-        outcome.probed[oid] = position
-        if rect.contains_point(position):
-            outcome.results.append(oid)
+        else:
+            _resolve_partial_overlap(rect, oid, region, probe, constrain, outcome)
     return outcome
+
+
+def _resolve_partial_overlap(
+    rect: Rect,
+    oid: ObjectId,
+    region: Rect,
+    probe: ProbeFn,
+    constrain: ConstrainFn | None,
+    outcome: EvaluationResult,
+) -> None:
+    """Decide one partially-overlapping candidate: constrain, else probe."""
+    if constrain is not None:
+        tightened = constrain(oid, region)
+        if tightened != region:
+            if rect.contains_rect(tightened):
+                outcome.results.append(oid)
+                outcome.shrunk[oid] = tightened
+                return
+            if not rect.intersects(tightened):
+                outcome.shrunk[oid] = tightened
+                return
+    position = probe(oid)
+    outcome.probed[oid] = position
+    if rect.contains_point(position):
+        outcome.results.append(oid)
 
 
 # ---------------------------------------------------------------------------
@@ -161,6 +199,7 @@ def evaluate_knn(
     order_sensitive: bool = True,
     exclude: Callable[[ObjectId], bool] | None = None,
     constrain: ConstrainFn | None = None,
+    kernels=None,
 ) -> EvaluationResult:
     """Evaluate a new kNN query over safe regions (Algorithm 2).
 
@@ -169,12 +208,17 @@ def evaluate_knn(
     ``Delta(q, o_k)`` and ``delta(q, o_{k+1})`` over the geometries the
     evaluation ended with — and the probes issued.  ``exclude`` omits
     objects from the search (used by reevaluation case 1).
+
+    ``kernels`` only accelerates the unordered variant's held-set
+    partition (a pure comparison mask, so exactness is trivial); the
+    ordered variant is inherently sequential — every queue pop depends on
+    the previous decision — and ignores it.
     """
     if k < 1:
         raise ValueError(f"k must be positive, got {k}")
     if order_sensitive:
         return _evaluate_knn_ordered(index, q, k, probe, exclude, constrain)
-    return _evaluate_knn_unordered(index, q, k, probe, exclude, constrain)
+    return _evaluate_knn_unordered(index, q, k, probe, exclude, constrain, kernels)
 
 
 def _evaluate_knn_ordered(
@@ -292,6 +336,7 @@ def _evaluate_knn_unordered(
     probe: ProbeFn,
     exclude: Callable[[ObjectId], bool] | None,
     constrain: ConstrainFn | None,
+    kernels=None,
 ) -> EvaluationResult:
     """Order-insensitive variant: up to ``k`` objects may be held at once.
 
@@ -314,8 +359,22 @@ def _evaluate_knn_unordered(
         if current is None:
             break
         still_held = []
-        for candidate in held:
-            if len(confirmed) < k and candidate.max_dist <= current.min_dist:
+        if kernels is not None and held:
+            # Batch the distance comparisons; the capacity check
+            # (``len(confirmed) < k``) stays in-loop because each
+            # confirmation changes it.
+            resolvable = kernels.mask_leq(
+                [candidate.max_dist for candidate in held], current.min_dist
+            )
+        else:
+            resolvable = None
+        for position_in_held, candidate in enumerate(held):
+            done = (
+                resolvable[position_in_held]
+                if resolvable is not None
+                else candidate.max_dist <= current.min_dist
+            )
+            if len(confirmed) < k and done:
                 confirmed.append(candidate)
             else:
                 still_held.append(candidate)

@@ -149,6 +149,7 @@ def compute_safe_region(
     sr_of: SrLookup,
     objective: Objective | None = None,
     use_batch: bool = True,
+    kernels=None,
 ) -> Rect:
     """Full safe region of object ``oid`` at ``p`` (intersection over queries).
 
@@ -185,7 +186,9 @@ def compute_safe_region(
             raise TypeError(f"unsupported query type: {type(query).__name__}")
 
     if obstacles:
-        batch = batch_range_safe_region(p, cell, obstacles, objective)
+        batch = batch_range_safe_region(
+            p, cell, obstacles, objective, kernels=kernels
+        )
         sr = _intersect(sr, batch, p)
     return sr
 

@@ -33,6 +33,7 @@ from repro.geometry.rect import Rect
 from repro.index.bulk import bulk_load
 from repro.index.grid import GridIndex
 from repro.index.rstar import RStarTree
+from repro.kernels import KERNEL_BACKENDS, Kernels, PositionStore
 from repro.obs import COUNT_BUCKETS, NULL_REGISTRY, Tracer
 
 ObjectId = Hashable
@@ -76,6 +77,12 @@ class ServerConfig:
     steadiness: float = 0.0
     index_max_entries: int = 32
     enable_caches: bool = True
+    #: Batch-geometry backend (``repro.kernels``): ``"numpy"`` runs the
+    #: hot-path geometry as columnar array passes, ``"python"`` the
+    #: bit-identical scalar fallbacks.  Results are identical either way
+    #: (``tests/test_kernel_equivalence.py``); only CPU cost changes.
+    #: ``"numpy"`` silently degrades to ``"python"`` when NumPy is absent.
+    kernel_backend: str = "numpy"
     #: Ablation switch: compute the safe region for a batch of range
     #: queries with the Section 5.3 algorithm (True) or by intersecting
     #: per-query strips (False).
@@ -92,6 +99,11 @@ class ServerConfig:
             raise ValueError("steadiness must be within [0, 1]")
         if self.max_speed is not None and self.max_speed <= 0:
             raise ValueError("max_speed must be positive when set")
+        if self.kernel_backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
+            )
 
 
 @dataclass(slots=True)
@@ -154,12 +166,22 @@ class DatabaseServer:
         self._m_sr_skipped = self.metrics.counter("server.sr_recompute.skipped")
         self._m_fastpath = self.metrics.counter("server.update.fastpath")
         self._caches_on = self.config.enable_caches
-        self.object_index = RStarTree(max_entries=self.config.index_max_entries)
+        self.kernels = Kernels(self.config.kernel_backend, metrics=self.metrics)
+        #: Columnar mirror of every object's last reported position,
+        #: maintained at each register / update / deregister alongside
+        #: ``ObjectState.p_lst``.
+        self.positions = PositionStore()
+        self._g_rstar_height = self.metrics.gauge("rstar.height")
+        self._g_rstar_nodes = self.metrics.gauge("rstar.nodes")
+        self.object_index = RStarTree(
+            max_entries=self.config.index_max_entries, kernels=self.kernels
+        )
         self.query_index = GridIndex(
             self.config.grid_m,
             self.config.space,
             metrics=self.metrics,
             enable_cache=self.config.enable_caches,
+            kernels=self.kernels,
         )
         self._objects: dict[ObjectId, ObjectState] = {}
         self.stats = ServerStats()
@@ -195,12 +217,68 @@ class DatabaseServer:
     def validate(self) -> None:
         """Check server-wide invariants (tests); see also ``RStarTree.validate``."""
         self.object_index.validate()
+        assert len(self.positions) == len(
+            self._objects
+        ), "position store out of sync with object table"
         for oid, state in self._objects.items():
             indexed = self.object_index.rect_of(oid)
             assert indexed == state.safe_region, f"index desync for {oid!r}"
             assert state.safe_region.contains_point(
                 state.p_lst, eps=1e-9
             ), f"safe region of {oid!r} lost its own location"
+            assert self.positions.get(oid) == (
+                state.p_lst.x,
+                state.p_lst.y,
+            ), f"position store desync for {oid!r}"
+
+    def refresh_index_gauges(self) -> None:
+        """Publish index-shape gauges (``rstar.height``, ``rstar.nodes``).
+
+        Sampled at bulk load, query registration, and batch boundaries —
+        the node-count walk is cheap but pointless per-report.  The grid's
+        own gauges (``grid.cells_indexed`` et al.) refresh on mutation.
+        """
+        if not self.metrics.enabled:
+            return
+        self._g_rstar_height.set(self.object_index.height)
+        self._g_rstar_nodes.set(self.object_index.count_nodes())
+
+    # ------------------------------------------------------------------
+    # Columnar position queries (repro.kernels)
+    # ------------------------------------------------------------------
+    def known_positions_in(self, rect: Rect) -> list[ObjectId]:
+        """Objects whose *last reported* position lies in ``rect``, by id.
+
+        A diagnostic / analysis helper over the columnar store — one batch
+        containment pass instead of N point tests.  This is the server's
+        knowledge, not ground truth: an object may have drifted within its
+        safe region without reporting.
+        """
+        xs, ys = self.positions.columns()
+        mask = self.kernels.points_in_rect(xs, ys, rect)
+        return sorted(
+            oid for oid, inside in zip(self.positions.ids, mask) if inside
+        )
+
+    def nearest_known(self, q: Point, k: int) -> list[ObjectId]:
+        """The ``k`` objects whose last reported positions are nearest ``q``.
+
+        Distance ties break deterministically by object id.  Same caveat
+        as :meth:`known_positions_in`: last *reported* positions, not
+        ground truth.
+        """
+        ids = self.positions.ids
+        if k <= 0 or not ids:
+            return []
+        # Row order depends on deregistration history (swap-remove), so
+        # rank ties by id, not row: sort the id order once and scan
+        # columns through it.
+        order = sorted(range(len(ids)), key=lambda row: ids[row])
+        xs, ys = self.positions.columns()
+        sx = [xs[row] for row in order]
+        sy = [ys[row] for row in order]
+        top = self.kernels.top_k_rows(sx, sy, q.x, q.y, k)
+        return [ids[order[row]] for row in top]
 
     # ------------------------------------------------------------------
     # Object population
@@ -230,10 +308,14 @@ class DatabaseServer:
                     # and every region is certifiably the full cell.
                     state.sr_stamp = (cell_id, grid.cell_generation(cell_id))
                 self._objects[oid] = state
+                self.positions.set(oid, position)
                 pairs.append((oid, cell))
             self.object_index = bulk_load(
-                pairs, max_entries=self.config.index_max_entries
+                pairs,
+                max_entries=self.config.index_max_entries,
+                kernels=self.kernels,
             )
+        self.refresh_index_gauges()
         self.stats.cpu_seconds = self._trace.cpu_seconds
         return {oid: rect for oid, rect in pairs}
 
@@ -244,12 +326,14 @@ class DatabaseServer:
         if oid in self._objects:
             raise KeyError(f"object {oid!r} already loaded")
         self._objects[oid] = ObjectState(Rect.from_point(position), position, time)
+        self.positions.set(oid, position)
         self.object_index.insert(oid, Rect.from_point(position))
         return self._process_update(oid, position, None, time)
 
     def remove_object(self, oid: ObjectId) -> None:
         """Drop an object (its query memberships are *not* reevaluated)."""
         del self._objects[oid]
+        self.positions.discard(oid)
         self.object_index.delete(oid)
 
     # ------------------------------------------------------------------
@@ -267,6 +351,7 @@ class DatabaseServer:
         """
         with self._trace.span("server.register_query"):
             outcome = self._register_query(query, time)
+        self.refresh_index_gauges()
         self.stats.cpu_seconds = self._trace.cpu_seconds
         return outcome
 
@@ -284,7 +369,8 @@ class DatabaseServer:
             query.results = set(evaluation.results)
         elif isinstance(query, RangeQuery):
             evaluation = evaluate_range(
-                self.object_index, query.rect, probe, constrain
+                self.object_index, query.rect, probe, constrain,
+                kernels=self.kernels,
             )
             query.results = set(evaluation.results)
         elif isinstance(query, KNNQuery):
@@ -295,6 +381,7 @@ class DatabaseServer:
                 probe,
                 order_sensitive=query.order_sensitive,
                 constrain=constrain,
+                kernels=self.kernels,
             )
             query.results = list(evaluation.results)
             query.radius = evaluation.radius
@@ -359,15 +446,19 @@ class DatabaseServer:
         on any cache state, so batched runs are reproducible with caches
         on or off.
         """
-        grid = self.query_index
-        ordered = sorted(
-            enumerate(reports),
-            key=lambda item: (grid.cell_of(item[1][1]), item[0]),
+        reports = list(reports)
+        # One columnar pass computes every destination cell (identical to
+        # per-report ``grid.cell_of``); the sort key is unchanged.
+        cells = self.query_index.cells_of_points(
+            [position for _, position in reports]
         )
+        ordered = sorted(range(len(reports)), key=lambda i: (cells[i], i))
         batch = BatchOutcome()
-        for _, (oid, position) in ordered:
+        for i in ordered:
+            oid, position = reports[i]
             outcome = self.handle_location_update(oid, position, time)
             batch.merge(oid, outcome)
+        self.refresh_index_gauges()
         return batch
 
     def _process_update(
@@ -424,6 +515,7 @@ class DatabaseServer:
             self._install_safe_region(oid, region)
             state.sr_stamp = (cell_new, grid.cell_generation(cell_new))
         state.p_lst = position
+        self.positions.set(oid, position)
         state.last_update_time = time
         self._m_fastpath.inc()
         self._m_checked.observe(0)
@@ -440,6 +532,7 @@ class DatabaseServer:
     ) -> UpdateOutcome:
         state = self._objects[oid]
         state.p_lst = position
+        self.positions.set(oid, position)
         state.last_update_time = time
         self.object_index.update(oid, Rect.from_point(position))
 
@@ -683,10 +776,37 @@ class DatabaseServer:
         outcome.queries_checked += len(candidates)
         self.stats.queries_checked += len(candidates)
         self._m_checked.observe(len(candidates))
-        affected = sorted(
-            (q for q in candidates if q.is_affected_by(position, previous)),
-            key=lambda q: q.query_id,
-        )
+        ordered = sorted(candidates, key=lambda q: q.query_id)
+        # Plain range queries take one batch membership-flip pass over
+        # their rect columns (``Kernels.range_affected`` is exactly
+        # ``RangeQuery.is_affected_by``); kNN and extension queries keep
+        # their scalar checks.  ``type`` not ``isinstance``: a subclass
+        # may override ``is_affected_by``.
+        range_rows = [
+            i for i, q in enumerate(ordered) if type(q) is RangeQuery
+        ]
+        flags: list[bool | None] = [None] * len(ordered)
+        if range_rows:
+            rects = [ordered[i].rect for i in range_rows]
+            mask = self.kernels.range_affected(
+                [r.min_x for r in rects],
+                [r.min_y for r in rects],
+                [r.max_x for r in rects],
+                [r.max_y for r in rects],
+                position,
+                previous,
+            )
+            for i, flag in zip(range_rows, mask):
+                flags[i] = flag
+        affected = [
+            q
+            for i, q in enumerate(ordered)
+            if (
+                flags[i]
+                if flags[i] is not None
+                else q.is_affected_by(position, previous)
+            )
+        ]
         for query in affected:
             before = _snapshot(query)
             probes_before = set(probed)
@@ -706,6 +826,7 @@ class DatabaseServer:
                     probe,
                     self.object_index.rect_of,
                     constrain,
+                    kernels=self.kernels,
                 )
             fresh = {
                 target: pos
@@ -764,6 +885,7 @@ class DatabaseServer:
                 state = self._objects[target]
                 previous_positions[target] = state.p_lst
                 state.p_lst = position
+                self.positions.set(target, position)
                 state.last_update_time = time
                 self.object_index.update(target, Rect.from_point(position))
             return previous_positions
@@ -836,6 +958,7 @@ class DatabaseServer:
                 self.object_index.rect_of,
                 self._objective(position, previous),
                 use_batch=self.config.batch_range_regions,
+                kernels=self.kernels,
             )
 
 

@@ -89,6 +89,7 @@ def snapshot_server(server: DatabaseServer) -> dict:
             "index_max_entries": server.config.index_max_entries,
             "batch_range_regions": server.config.batch_range_regions,
             "anti_storm_relief": server.config.anti_storm_relief,
+            "kernel_backend": server.config.kernel_backend,
         },
         "queries": queries,
         "objects": objects,
@@ -102,6 +103,8 @@ def restore_server(payload: dict, position_oracle) -> DatabaseServer:
         raise ValueError(f"unsupported snapshot version: {version!r}")
     config_data = dict(payload["config"])
     config_data["space"] = _rect_from_list(config_data["space"])
+    # Snapshots written before the kernels subsystem carry no backend.
+    config_data.setdefault("kernel_backend", "numpy")
     server = DatabaseServer(
         position_oracle=position_oracle, config=ServerConfig(**config_data)
     )
@@ -110,14 +113,18 @@ def restore_server(payload: dict, position_oracle) -> DatabaseServer:
     for key, data in payload["objects"].items():
         oid = json.loads(key)
         region = _rect_from_list(data["safe_region"])
-        server._objects[oid] = ObjectState(
+        state = ObjectState(
             safe_region=region,
             p_lst=Point(*data["p_lst"]),
             last_update_time=data["last_update_time"],
         )
+        server._objects[oid] = state
+        server.positions.set(oid, state.p_lst)
         pairs.append((oid, region))
     server.object_index = bulk_load(
-        pairs, max_entries=server.config.index_max_entries
+        pairs,
+        max_entries=server.config.index_max_entries,
+        kernels=server.kernels,
     )
 
     for entry in payload["queries"]:

@@ -14,6 +14,7 @@ from typing import Iterable, Literal
 from repro.baselines.optimal import optimal_report
 from repro.baselines.periodic import PRDSimulation
 from repro.baselines.qindex import QIndexSimulation
+from repro.kernels import Kernels
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.obs import MetricsRegistry
 from repro.simulation.engine import SRBSimulation
@@ -39,7 +40,9 @@ def build_truth(scenario: Scenario) -> GroundTruth:
         oid: model.create(oid) for oid in range(scenario.num_objects)
     }
     queries = generate_queries(scenario.workload(), seed=scenario.seed)
-    return GroundTruth(trajectories, queries)
+    return GroundTruth(
+        trajectories, queries, kernels=Kernels(scenario.kernel_backend)
+    )
 
 
 def run_schemes(

@@ -53,6 +53,7 @@ class GridIndex:
         space: Rect | None = None,
         metrics=None,
         enable_cache: bool = True,
+        kernels=None,
     ) -> None:
         if m < 1:
             raise ValueError("grid resolution must be positive")
@@ -75,6 +76,7 @@ class GridIndex:
         #: Interned cell rectangles (cache-enabled mode only).
         self._cell_rects: dict[CellId, Rect] = {}
         self._total_slots = 0
+        self.kernels = kernels
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self._m_lookups = self.metrics.counter("grid.lookups")
         self._m_hits = self.metrics.counter("grid.cache.hits")
@@ -88,6 +90,7 @@ class GridIndex:
         self._g_occupied = self.metrics.gauge("grid.occupied_cells")
         self._g_occ_mean = self.metrics.gauge("grid.cell_occupancy.mean")
         self._g_occ_peak = self.metrics.gauge("grid.cell_occupancy.peak")
+        self._g_cells_indexed = self.metrics.gauge("grid.cells_indexed")
         self._occ_peak = 0  # watermark backing the peak gauge
 
     def __len__(self) -> int:
@@ -127,6 +130,26 @@ class GridIndex:
     def cell_rect_of_point(self, p: Point) -> Rect:
         """The rectangle of the cell containing ``p``."""
         return self.cell_rect(self.cell_of(p))
+
+    def cells_of_points(self, points: list[Point]) -> list[CellId]:
+        """Batch :meth:`cell_of` over a list of points.
+
+        With kernels attached the whole batch runs as one array pass
+        (``Kernels.cells_of`` truncates and clamps exactly like the
+        scalar arithmetic above); otherwise it falls back to a per-point
+        loop.
+        """
+        if self.kernels is not None:
+            return self.kernels.cells_of(
+                [p.x for p in points],
+                [p.y for p in points],
+                self.space.min_x,
+                self.space.min_y,
+                self._cell_w,
+                self._cell_h,
+                self.m,
+            )
+        return [self.cell_of(p) for p in points]
 
     def cells_overlapping(self, rect: Rect) -> Iterable[CellId]:
         """All cell ids whose rectangle intersects ``rect``."""
@@ -168,6 +191,8 @@ class GridIndex:
         self._g_occupied.set(occupied)
         mean = self._total_slots / occupied if occupied else 0.0
         self._g_occ_mean.set(mean)
+        # Total (query, cell) slots — the index's logical size.
+        self._g_cells_indexed.set(self._total_slots)
 
     # ------------------------------------------------------------------
     # Registration
@@ -320,17 +345,31 @@ class GridIndex:
         return frozenset(self._cells_of)
 
     def approximate_size_bytes(self) -> int:
-        """Rough in-memory footprint of the buckets (pointer accounting).
+        """Rough in-memory footprint of the index (pointer accounting).
 
         Mirrors the paper's report of the query-index size (≈ 300 KB at
         W = 1000, M = 50): each bucket slot is counted as one 8-byte
-        pointer plus fixed per-cell overhead.
+        pointer plus fixed per-cell overhead.  The acceleration-layer
+        structures are included too — interned cell rectangles, the
+        generation map, and the per-cell cached views (a frozenset and a
+        sorted tuple over the bucket) — so the memory gauge reflects what
+        the cache actually holds rather than under-reporting it.
         """
         pointer_bytes = 8
         per_cell_overhead = 64
+        rect_bytes = 80  # Rect object: 4 float slots + object header
+        generation_entry_bytes = 32  # dict slot + small-int value
         total = 0
         for bucket in self._buckets.values():
             total += per_cell_overhead + pointer_bytes * len(bucket)
+        total += rect_bytes * len(self._cell_rects)
+        total += generation_entry_bytes * len(self._generations)
+        for _, frozen, ordered in self._cache.values():
+            # Cache entry: dict slot + 3-tuple, a frozenset and a tuple
+            # view each holding one pointer per member.
+            total += per_cell_overhead + pointer_bytes * (
+                len(frozen) + len(ordered)
+            )
         return total
 
 

@@ -36,6 +36,7 @@ class RStarTree:
         max_entries: int = 32,
         min_fill: float = 0.4,
         reinsert_fraction: float = 0.3,
+        kernels=None,
     ) -> None:
         if max_entries < 4:
             raise ValueError("max_entries must be at least 4")
@@ -44,6 +45,7 @@ class RStarTree:
         self.max_entries = max_entries
         self.min_entries = max(2, int(math.floor(max_entries * min_fill)))
         self.reinsert_count = max(1, int(max_entries * reinsert_fraction))
+        self.kernels = kernels
         self.root: Node = Node(is_leaf=True, level=0)
         self._leaf_of: dict[ObjectId, Node] = {}
         self._rect_of: dict[ObjectId, Rect] = {}
@@ -61,6 +63,17 @@ class RStarTree:
     def height(self) -> int:
         """Number of levels (a single leaf root has height 1)."""
         return self.root.level + 1
+
+    def count_nodes(self) -> int:
+        """Total node count (root included) — feeds the ``rstar.nodes`` gauge."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)
+        return total
 
     def rect_of(self, oid: ObjectId) -> Rect:
         """Current rectangle stored for ``oid`` (KeyError when absent)."""
@@ -211,8 +224,7 @@ class RStarTree:
                 best = entry
         return best
 
-    @staticmethod
-    def _pick_min_overlap_child(node: Node, rect: Rect) -> Entry:
+    def _pick_min_overlap_child(self, node: Node, rect: Rect) -> Entry:
         """Child needing least overlap enlargement (R* leaf-parent rule).
 
         The selection rule is the textbook one — least ``(overlap
@@ -222,8 +234,21 @@ class RStarTree:
         pairwise overlap work, and any partial overlap sum that exceeds
         the best seen so far can abort early because its per-sibling terms
         are non-negative.  Both cuts preserve the chosen child.
+
+        With kernels attached, the whole scan runs as one batch pass over
+        the entry MBR columns (``Kernels.min_overlap_child`` reproduces
+        this loop's selection bit for bit, pruning included).
         """
         entries = node.entries
+        if self.kernels is not None and len(entries) >= 2:
+            row = self.kernels.min_overlap_child(
+                [e.rect.min_x for e in entries],
+                [e.rect.min_y for e in entries],
+                [e.rect.max_x for e in entries],
+                [e.rect.max_y for e in entries],
+                rect,
+            )
+            return entries[row]
         best = None
         best_key = (math.inf, math.inf, math.inf)
         for entry in entries:

@@ -1,0 +1,489 @@
+"""Columnar geometry kernels for the evaluation hot path.
+
+Every kernel exists twice: a NumPy batch implementation and a pure-Python
+scalar fallback.  The two are **bit-identical by construction** — the
+NumPy path performs the same floating-point operations in the same order
+per element as the scalar path (``dx*dx + dy*dy``, explicit ``min``/
+``max`` compositions, sequential ``cumsum`` row sums instead of pairwise
+reductions, and never ``hypot``, whose result CPython and NumPy are free
+to compute differently).  This lets the server swap backends via
+``ServerConfig.kernel_backend`` without perturbing a single result,
+message, or counter; ``tests/test_kernels_properties.py`` cross-checks
+the two paths on random columns including rect-edge and distance-tie
+inputs, and ``tests/test_kernel_equivalence.py`` replays full monitoring
+streams under both backends.
+
+FP-determinism rules for new kernels (see docs/PERFORMANCE.md):
+
+* square with ``v * v``, never ``v ** 2`` or ``np.square`` mixed with
+  scalar ``pow``;
+* sum sequentially (``np.cumsum(...)[..., -1]``) when the scalar path
+  sums left to right — ``np.sum`` uses pairwise reduction;
+* replicate Python's ``min``/``max`` tie behaviour (first argument wins
+  on equality) — ``np.minimum``/``np.maximum`` match it, but
+  ``max(v, 0.0)`` must become ``np.where(v >= 0.0, v, 0.0)`` to keep
+  the sign of a negative zero;
+* match truncation: ``int(f)`` truncates toward zero, as does
+  ``ndarray.astype(int64)`` for the values a grid ever sees;
+* convert every NumPy output back to Python scalars (``tolist()``) so
+  downstream geometry never mixes ``np.float64`` into snapshots.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Sequence
+
+from repro.obs import NULL_REGISTRY
+
+try:  # pragma: no cover — exercised implicitly by backend resolution
+    import numpy as _np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover — container always ships numpy
+    _np = None
+    HAS_NUMPY = False
+
+#: Recognised values of ``ServerConfig.kernel_backend``.
+KERNEL_BACKENDS = ("numpy", "python")
+
+
+def resolve_backend(requested: str) -> str:
+    """Map a requested backend to the one that will actually run.
+
+    ``"numpy"`` silently degrades to ``"python"`` when NumPy is absent —
+    the fallback is bit-identical, so nothing but speed changes.
+    """
+    if requested not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {requested!r}; choose from {KERNEL_BACKENDS}"
+        )
+    if requested == "numpy" and not HAS_NUMPY:
+        return "python"
+    return requested
+
+
+class Kernels:
+    """Batch geometry kernels with a selected backend.
+
+    ``min_rows`` is the batch-size cutoff below which the NumPy path is
+    not worth its constant overhead; smaller inputs run the scalar
+    fallback (identical results either way).  Counters:
+
+    * ``kernels.batch_calls``    — invocations served by the NumPy path;
+    * ``kernels.rows_scanned``   — rows processed by the NumPy path;
+    * ``kernels.fallback_calls`` — invocations served by the scalar path
+      (explicit ``python`` backend, missing NumPy, or below-cutoff).
+    """
+
+    __slots__ = (
+        "backend", "min_rows", "_np",
+        "_batch_calls", "_rows_scanned", "_fallback_calls",
+    )
+
+    def __init__(
+        self, backend: str = "numpy", metrics=None, min_rows: int = 8
+    ) -> None:
+        if min_rows < 1:
+            raise ValueError("min_rows must be positive")
+        self.backend = resolve_backend(backend)
+        self.min_rows = min_rows
+        self._np = _np if self.backend == "numpy" else None
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._batch_calls = registry.counter("kernels.batch_calls")
+        self._rows_scanned = registry.counter("kernels.rows_scanned")
+        self._fallback_calls = registry.counter("kernels.fallback_calls")
+
+    def _batch(self, n: int) -> bool:
+        """Whether to take the NumPy path for an ``n``-row call."""
+        if self._np is not None and n >= self.min_rows:
+            self._batch_calls.inc()
+            self._rows_scanned.inc(n)
+            return True
+        self._fallback_calls.inc()
+        return False
+
+    # ------------------------------------------------------------------
+    # Point kernels
+    # ------------------------------------------------------------------
+    def points_in_rect(
+        self, xs: Sequence[float], ys: Sequence[float], rect
+    ) -> list[bool]:
+        """Per-row mask: is ``(xs[i], ys[i])`` inside the closed ``rect``."""
+        n = len(xs)
+        if self._batch(n):
+            np = self._np
+            x = np.asarray(xs, dtype=np.float64)
+            y = np.asarray(ys, dtype=np.float64)
+            mask = (
+                (x >= rect.min_x) & (x <= rect.max_x)
+                & (y >= rect.min_y) & (y <= rect.max_y)
+            )
+            return mask.tolist()
+        return [
+            rect.min_x <= xs[i] <= rect.max_x
+            and rect.min_y <= ys[i] <= rect.max_y
+            for i in range(n)
+        ]
+
+    def squared_dists(
+        self, xs: Sequence[float], ys: Sequence[float], qx: float, qy: float
+    ) -> list[float]:
+        """Per-row squared distance to ``(qx, qy)`` as ``dx*dx + dy*dy``."""
+        n = len(xs)
+        if self._batch(n):
+            np = self._np
+            dx = np.asarray(xs, dtype=np.float64) - qx
+            dy = np.asarray(ys, dtype=np.float64) - qy
+            return (dx * dx + dy * dy).tolist()
+        out = []
+        for i in range(n):
+            dx = xs[i] - qx
+            dy = ys[i] - qy
+            out.append(dx * dx + dy * dy)
+        return out
+
+    def top_k_rows(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        qx: float,
+        qy: float,
+        k: int,
+    ) -> list[int]:
+        """Rows of the ``k`` nearest points, ordered by ``(d2, row)``.
+
+        The row index breaks exact distance ties, so the selection is
+        fully deterministic — unlike a bare ``argpartition``, whose
+        boundary ties depend on the partitioning order.
+        """
+        n = len(xs)
+        if k <= 0 or n == 0:
+            return []
+        k = min(k, n)
+        if self._batch(n):
+            np = self._np
+            dx = np.asarray(xs, dtype=np.float64) - qx
+            dy = np.asarray(ys, dtype=np.float64) - qy
+            d2 = dx * dx + dy * dy
+            if k < n:
+                part = np.argpartition(d2, k - 1)
+                threshold = d2[part[k - 1]]
+                cand = np.flatnonzero(d2 <= threshold)
+            else:
+                cand = np.arange(n)
+            order = cand[np.lexsort((cand, d2[cand]))]
+            return order[:k].tolist()
+        d2 = self.squared_dists(xs, ys, qx, qy)
+        return heapq.nsmallest(k, range(n), key=lambda i: (d2[i], i))
+
+    def cells_of(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        min_x: float,
+        min_y: float,
+        cell_w: float,
+        cell_h: float,
+        m: int,
+    ) -> list[tuple[int, int]]:
+        """Per-row grid cell ids, clamped exactly like ``GridIndex.cell_of``."""
+        n = len(xs)
+        if self._batch(n):
+            np = self._np
+            i = ((np.asarray(xs, dtype=np.float64) - min_x) / cell_w)
+            j = ((np.asarray(ys, dtype=np.float64) - min_y) / cell_h)
+            # astype truncates toward zero, matching int().
+            ci = np.minimum(np.maximum(i.astype(np.int64), 0), m - 1)
+            cj = np.minimum(np.maximum(j.astype(np.int64), 0), m - 1)
+            return list(zip(ci.tolist(), cj.tolist()))
+        out = []
+        for r in range(n):
+            i = int((xs[r] - min_x) / cell_w)
+            j = int((ys[r] - min_y) / cell_h)
+            out.append((min(max(i, 0), m - 1), min(max(j, 0), m - 1)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Rect-column kernels
+    # ------------------------------------------------------------------
+    def rects_intersecting(
+        self,
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        rect,
+    ) -> list[bool]:
+        """Per-row mask: does stored rect ``i`` intersect ``rect`` (closed)."""
+        n = len(minxs)
+        if self._batch(n):
+            np = self._np
+            mask = (
+                (np.asarray(minxs, dtype=np.float64) <= rect.max_x)
+                & (np.asarray(maxxs, dtype=np.float64) >= rect.min_x)
+                & (np.asarray(minys, dtype=np.float64) <= rect.max_y)
+                & (np.asarray(maxys, dtype=np.float64) >= rect.min_y)
+            )
+            return mask.tolist()
+        return [
+            minxs[i] <= rect.max_x
+            and rect.min_x <= maxxs[i]
+            and minys[i] <= rect.max_y
+            and rect.min_y <= maxys[i]
+            for i in range(n)
+        ]
+
+    def rects_contained_in(
+        self,
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        rect,
+    ) -> list[bool]:
+        """Per-row mask: is stored rect ``i`` fully inside ``rect``."""
+        n = len(minxs)
+        if self._batch(n):
+            np = self._np
+            mask = (
+                (np.asarray(minxs, dtype=np.float64) >= rect.min_x)
+                & (np.asarray(minys, dtype=np.float64) >= rect.min_y)
+                & (np.asarray(maxxs, dtype=np.float64) <= rect.max_x)
+                & (np.asarray(maxys, dtype=np.float64) <= rect.max_y)
+            )
+            return mask.tolist()
+        return [
+            rect.min_x <= minxs[i]
+            and rect.min_y <= minys[i]
+            and rect.max_x >= maxxs[i]
+            and rect.max_y >= maxys[i]
+            for i in range(n)
+        ]
+
+    def range_affected(
+        self,
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        p,
+        p_lst,
+    ) -> list[bool]:
+        """Per-row ``RangeQuery.is_affected_by`` over query-rect columns.
+
+        Row ``i`` is affected iff membership of ``p`` in rect ``i``
+        differs from membership of ``p_lst`` (``p_lst is None`` counts as
+        outside every rectangle).
+        """
+        n = len(minxs)
+        if self._batch(n):
+            np = self._np
+            lox = np.asarray(minxs, dtype=np.float64)
+            loy = np.asarray(minys, dtype=np.float64)
+            hix = np.asarray(maxxs, dtype=np.float64)
+            hiy = np.asarray(maxys, dtype=np.float64)
+            inside_new = (
+                (lox <= p.x) & (p.x <= hix) & (loy <= p.y) & (p.y <= hiy)
+            )
+            if p_lst is None:
+                return inside_new.tolist()
+            inside_old = (
+                (lox <= p_lst.x) & (p_lst.x <= hix)
+                & (loy <= p_lst.y) & (p_lst.y <= hiy)
+            )
+            return (inside_new != inside_old).tolist()
+        out = []
+        for i in range(n):
+            inside_new = (
+                minxs[i] <= p.x <= maxxs[i] and minys[i] <= p.y <= maxys[i]
+            )
+            inside_old = p_lst is not None and (
+                minxs[i] <= p_lst.x <= maxxs[i]
+                and minys[i] <= p_lst.y <= maxys[i]
+            )
+            out.append(inside_new != inside_old)
+        return out
+
+    def min_overlap_child(
+        self,
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        rect,
+    ) -> int:
+        """Row of the R* least-``(overlap delta, enlargement, area)`` child.
+
+        Batch form of ``RStarTree._pick_min_overlap_child``'s selection
+        rule: for each candidate row, grow its MBR to cover ``rect`` and
+        sum the resulting pairwise overlap increase against every sibling
+        (left to right, exactly as the scalar loop accumulates); the
+        first row at the lexicographic minimum key wins.  The scalar
+        loop's containment fast path and early abort are pure pruning —
+        the full computation reproduces their keys exactly (a containing
+        child has overlap delta and enlargement exactly ``0.0``; an
+        aborted candidate's full sum exceeds the running best because the
+        per-sibling terms are non-negative in floating point).
+        """
+        n = len(minxs)
+        if n == 0:
+            raise ValueError("min_overlap_child needs at least one row")
+        if self._batch(n):
+            np = self._np
+            lox = np.asarray(minxs, dtype=np.float64)
+            loy = np.asarray(minys, dtype=np.float64)
+            hix = np.asarray(maxxs, dtype=np.float64)
+            hiy = np.asarray(maxys, dtype=np.float64)
+            ulox = np.minimum(lox, rect.min_x)
+            uloy = np.minimum(loy, rect.min_y)
+            uhix = np.maximum(hix, rect.max_x)
+            uhiy = np.maximum(hiy, rect.max_y)
+            areas = (hix - lox) * (hiy - loy)
+            enlargement = (uhix - ulox) * (uhiy - uloy) - areas
+
+            def pairwise(alox, aloy, ahix, ahiy):
+                w = np.minimum(ahix[:, None], hix[None, :]) - np.maximum(
+                    alox[:, None], lox[None, :]
+                )
+                h = np.minimum(ahiy[:, None], hiy[None, :]) - np.maximum(
+                    aloy[:, None], loy[None, :]
+                )
+                return np.where((w <= 0.0) | (h <= 0.0), 0.0, w * h)
+
+            grown = (
+                pairwise(ulox, uloy, uhix, uhiy)
+                - pairwise(lox, loy, hix, hiy)
+            )
+            np.fill_diagonal(grown, 0.0)
+            # Sequential row sums: matches the scalar left-to-right
+            # accumulation bit for bit (the terms are >= 0, so skipping
+            # the zero terms — as the scalar loop does — is a no-op).
+            deltas = np.cumsum(grown, axis=1)[:, -1]
+            cand = np.flatnonzero(deltas == deltas.min())
+            e = enlargement[cand]
+            cand = cand[e == e.min()]
+            a = areas[cand]
+            cand = cand[a == a.min()]
+            return int(cand[0])
+        best = 0
+        best_key = (math.inf, math.inf, math.inf)
+        for i in range(n):
+            ulox = min(minxs[i], rect.min_x)
+            uloy = min(minys[i], rect.min_y)
+            uhix = max(maxxs[i], rect.max_x)
+            uhiy = max(maxys[i], rect.max_y)
+            area = (maxxs[i] - minxs[i]) * (maxys[i] - minys[i])
+            if (
+                ulox == minxs[i] and uloy == minys[i]
+                and uhix == maxxs[i] and uhiy == maxys[i]
+            ):
+                key = (0.0, 0.0, area)
+                if key < best_key:
+                    best_key = key
+                    best = i
+                continue
+            overlap_delta = 0.0
+            aborted = False
+            best_delta = best_key[0]
+            for j in range(n):
+                if j == i:
+                    continue
+                w_u = min(uhix, maxxs[j]) - max(ulox, minxs[j])
+                h_u = min(uhiy, maxys[j]) - max(uloy, minys[j])
+                grown = 0.0 if w_u <= 0.0 or h_u <= 0.0 else w_u * h_u
+                w_o = min(maxxs[i], maxxs[j]) - max(minxs[i], minxs[j])
+                h_o = min(maxys[i], maxys[j]) - max(minys[i], minys[j])
+                grown -= 0.0 if w_o <= 0.0 or h_o <= 0.0 else w_o * h_o
+                if grown > 0.0:
+                    overlap_delta += grown
+                    if overlap_delta > best_delta:
+                        aborted = True
+                        break
+            if aborted:
+                continue
+            enlargement = (uhix - ulox) * (uhiy - uloy) - area
+            key = (overlap_delta, enlargement, area)
+            if key < best_key:
+                best_key = key
+                best = i
+        return best
+
+    def quadrant_corners(
+        self,
+        px: float,
+        py: float,
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        sx: float,
+        sy: float,
+        width: float,
+        height: float,
+    ) -> list[tuple[float, float]]:
+        """Quadrant-local obstacle corners for the Section 5.3 staircase.
+
+        Batch form of ``repro.core.batch._local_min_corner`` over obstacle
+        columns: rows that cannot constrain the quadrant are dropped, the
+        rest contribute ``(max(lx1, 0), max(ly1, 0))`` in input order.
+        ``np.where(v >= 0.0, v, 0.0)`` replicates Python's
+        ``max(v, 0.0)`` exactly, including for ``-0.0``.
+        """
+        n = len(minxs)
+        if self._batch(n):
+            np = self._np
+            lox = np.asarray(minxs, dtype=np.float64)
+            loy = np.asarray(minys, dtype=np.float64)
+            hix = np.asarray(maxxs, dtype=np.float64)
+            hiy = np.asarray(maxys, dtype=np.float64)
+            if sx > 0:
+                lx1, lx2 = lox - px, hix - px
+            else:
+                lx1, lx2 = px - hix, px - lox
+            if sy > 0:
+                ly1, ly2 = loy - py, hiy - py
+            else:
+                ly1, ly2 = py - hiy, py - loy
+            keep = ~(
+                (lx2 <= 0.0) | (ly2 <= 0.0) | (lx1 >= width) | (ly1 >= height)
+            )
+            cx = np.where(lx1 >= 0.0, lx1, 0.0)
+            cy = np.where(ly1 >= 0.0, ly1, 0.0)
+            return [
+                (x, y)
+                for k, x, y in zip(keep.tolist(), cx.tolist(), cy.tolist())
+                if k
+            ]
+        out = []
+        for i in range(n):
+            if sx > 0:
+                lx1, lx2 = minxs[i] - px, maxxs[i] - px
+            else:
+                lx1, lx2 = px - maxxs[i], px - minxs[i]
+            if sy > 0:
+                ly1, ly2 = minys[i] - py, maxys[i] - py
+            else:
+                ly1, ly2 = py - maxys[i], py - minys[i]
+            if lx2 <= 0.0 or ly2 <= 0.0 or lx1 >= width or ly1 >= height:
+                continue
+            out.append((max(lx1, 0.0), max(ly1, 0.0)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Scalar-value helpers
+    # ------------------------------------------------------------------
+    def mask_leq(
+        self, values: Sequence[float], bound: float
+    ) -> list[bool]:
+        """Per-row mask ``values[i] <= bound`` (comparison only, no FP risk)."""
+        n = len(values)
+        if self._batch(n):
+            np = self._np
+            return (np.asarray(values, dtype=np.float64) <= bound).tolist()
+        return [values[i] <= bound for i in range(n)]
+
+
+#: Shared default instance (NumPy when available, no metrics).
+DEFAULT_KERNELS = Kernels()

@@ -1,0 +1,104 @@
+"""Columnar position store: struct-of-arrays mirror of object positions.
+
+``PositionStore`` keeps every monitored object's last reported position
+in two parallel ``float64`` columns plus an id↔row map, maintained
+incrementally by ``DatabaseServer`` on register / update / deregister.
+The columns are backend-neutral (``array('d')`` from the stdlib);
+NumPy consumers view them zero-copy via ``np.frombuffer`` when present.
+
+Deletions swap the last row into the vacated slot, so the columns stay
+dense and row order is a function of the exact register/deregister
+history — deterministic, but *not* insertion order.  Kernels that need
+a deterministic result order therefore sort by object id (or by
+``(distance, row)`` with an id-stable candidate set), never by raw row.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Sequence
+
+try:  # pragma: no cover — container always ships numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+class PositionStore:
+    """Dense x/y columns with id↔row bookkeeping."""
+
+    __slots__ = ("_xs", "_ys", "_ids", "_row_of")
+
+    def __init__(self) -> None:
+        self._xs = array("d")
+        self._ys = array("d")
+        self._ids: list = []
+        self._row_of: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, oid) -> bool:
+        return oid in self._row_of
+
+    def __iter__(self) -> Iterator:
+        return iter(self._ids)
+
+    def set(self, oid, p) -> None:
+        """Insert ``oid`` at ``p``, or move it if already stored."""
+        row = self._row_of.get(oid)
+        if row is None:
+            self._row_of[oid] = len(self._ids)
+            self._ids.append(oid)
+            self._xs.append(p.x)
+            self._ys.append(p.y)
+        else:
+            self._xs[row] = p.x
+            self._ys[row] = p.y
+
+    def discard(self, oid) -> None:
+        """Remove ``oid`` (no-op if absent) via swap-remove."""
+        row = self._row_of.pop(oid, None)
+        if row is None:
+            return
+        last = len(self._ids) - 1
+        if row != last:
+            moved = self._ids[last]
+            self._ids[row] = moved
+            self._xs[row] = self._xs[last]
+            self._ys[row] = self._ys[last]
+            self._row_of[moved] = row
+        del self._ids[last]
+        del self._xs[last]
+        del self._ys[last]
+
+    def get(self, oid):
+        """The stored ``(x, y)`` of ``oid``, or ``None`` if absent."""
+        row = self._row_of.get(oid)
+        if row is None:
+            return None
+        return (self._xs[row], self._ys[row])
+
+    @property
+    def ids(self) -> Sequence:
+        """Object ids in row order (do not mutate)."""
+        return self._ids
+
+    def columns(self):
+        """``(xs, ys)`` columns in row order.
+
+        NumPy views when available (zero-copy over the live buffers —
+        consume before the next mutation), stdlib arrays otherwise.
+        """
+        if _np is not None and len(self._ids) > 0:
+            return (
+                _np.frombuffer(self._xs, dtype=_np.float64),
+                _np.frombuffer(self._ys, dtype=_np.float64),
+            )
+        return self._xs, self._ys
+
+    def approximate_size_bytes(self) -> int:
+        """Rough resident size of the columns and maps."""
+        n = len(self._ids)
+        # Two float64 columns, the id list, and the id→row dict entries.
+        return 16 * n + 8 * n + 72 * n

@@ -23,6 +23,7 @@ import math
 
 from repro.core.queries import Query
 from repro.core.server import DatabaseServer, ServerConfig
+from repro.kernels import Kernels
 from repro.mobility.client import MobileClient
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.obs import NULL_REGISTRY, Tracer
@@ -84,6 +85,7 @@ class SRBSimulation:
             self.truth = GroundTruth(
                 {oid: client.trajectory for oid, client in self.clients.items()},
                 queries,
+                kernels=Kernels(scenario.kernel_backend),
             )
         self.server = DatabaseServer(
             position_oracle=self._probe_oracle,
@@ -99,6 +101,7 @@ class SRBSimulation:
                 batch_range_regions=scenario.batch_range_regions,
                 anti_storm_relief=scenario.anti_storm_relief,
                 enable_caches=scenario.enable_caches,
+                kernel_backend=scenario.kernel_backend,
             ),
         )
         self.costs = CommunicationCosts()
@@ -171,6 +174,7 @@ class SRBSimulation:
                     self._on_recv_region(*payload)
                 else:
                     self._on_sample()
+        self.server.refresh_index_gauges()
         total_distance = sum(
             client.trajectory.distance_travelled(0.0, scenario.duration)
             for client in self.clients.values()

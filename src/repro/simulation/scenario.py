@@ -62,6 +62,9 @@ class Scenario:
     #: ``repro ... --no-caches`` to bisect perf regressions.  Results are
     #: identical either way — only CPU cost changes.
     enable_caches: bool = True
+    #: Batch-geometry backend (``repro.kernels``): ``"numpy"`` or the
+    #: bit-identical ``"python"`` fallback (``--kernel-backend``).
+    kernel_backend: str = "numpy"
     space: Rect = UNIT_SPACE
 
     def __post_init__(self) -> None:
@@ -75,6 +78,11 @@ class Scenario:
             raise ValueError("delay must be non-negative")
         if self.client_poll_interval <= 0:
             raise ValueError("client_poll_interval must be positive")
+        if self.kernel_backend not in ("numpy", "python"):
+            raise ValueError(
+                "kernel_backend must be 'numpy' or 'python', "
+                f"got {self.kernel_backend!r}"
+            )
 
     @property
     def max_speed(self) -> float:

@@ -14,6 +14,7 @@ from typing import Hashable, Mapping, Sequence
 import numpy as np
 
 from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.kernels import Kernels
 from repro.mobility.waypoint import Trajectory
 
 ObjectId = Hashable
@@ -21,17 +22,25 @@ Snapshot = frozenset | tuple
 
 
 class GroundTruth:
-    """Exact evaluation of a fixed query set over exact positions."""
+    """Exact evaluation of a fixed query set over exact positions.
+
+    Checkpoint evaluation runs on the shared batch kernels
+    (``repro.kernels``): one containment pass per range query, one
+    deterministic top-k selection per kNN query.  kNN distance ties
+    break by object registration order (the kernels' ``(d2, row)`` rule),
+    so the truth series is identical under either kernel backend.
+    """
 
     def __init__(
         self,
         trajectories: Mapping[ObjectId, Trajectory],
         queries: Sequence[Query],
+        kernels: Kernels | None = None,
     ) -> None:
         self._ids = list(trajectories.keys())
-        self._id_array = np.array(self._ids, dtype=object)
         self._trajectories = [trajectories[oid] for oid in self._ids]
         self.queries = list(queries)
+        self.kernels = kernels if kernels is not None else Kernels()
         self._memo: dict[float, dict[str, Snapshot]] = {}
 
     def trajectories(self) -> dict[ObjectId, Trajectory]:
@@ -66,13 +75,10 @@ class GroundTruth:
         results: dict[str, Snapshot] = {}
         for query in self.queries:
             if isinstance(query, RangeQuery):
-                mask = (
-                    (xs >= query.rect.min_x)
-                    & (xs <= query.rect.max_x)
-                    & (ys >= query.rect.min_y)
-                    & (ys <= query.rect.max_y)
+                mask = self.kernels.points_in_rect(xs, ys, query.rect)
+                results[query.query_id] = frozenset(
+                    oid for oid, inside in zip(self._ids, mask) if inside
                 )
-                results[query.query_id] = frozenset(self._id_array[mask])
             elif isinstance(query, KNNQuery):
                 results[query.query_id] = self._knn_at(query, xs, ys)
             else:  # pragma: no cover
@@ -83,16 +89,12 @@ class GroundTruth:
     def _knn_at(
         self, query: KNNQuery, xs: np.ndarray, ys: np.ndarray
     ) -> Snapshot:
-        d2 = (xs - query.center.x) ** 2 + (ys - query.center.y) ** 2
-        k = min(query.k, d2.size)
-        if k == 0:
+        top = self.kernels.top_k_rows(
+            xs, ys, query.center.x, query.center.y, query.k
+        )
+        if not top:
             return () if query.order_sensitive else frozenset()
-        if k < d2.size:
-            top = np.argpartition(d2, k)[:k]
-        else:
-            top = np.arange(d2.size)
-        ordered = top[np.argsort(d2[top], kind="stable")]
-        ids = tuple(self._id_array[ordered])
+        ids = tuple(self._ids[row] for row in top)
         if query.order_sensitive:
             return ids
         return frozenset(ids)

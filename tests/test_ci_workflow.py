@@ -64,7 +64,7 @@ def test_workflow_parses_and_validates(workflow):
 
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {
-        "lint", "test", "bench-smoke", "bench-hotpath"
+        "lint", "test", "bench-smoke", "bench-hotpath", "bench-kernels"
     }
 
 
@@ -120,5 +120,27 @@ def test_bench_hotpath_runs_smoke_and_uploads_baseline(workflow):
     assert len(uploads) == 1
     assert uploads[0]["with"]["path"] == (
         "benchmarks/results/BENCH_hotpath.json"
+    )
+    assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
+def test_bench_kernels_runs_both_backends_and_gates_on_equivalence(workflow):
+    job = workflow["jobs"]["bench-kernels"]
+    runs = _runs(job)
+    assert any(
+        "KERNELS_SMOKE=1" in run
+        and "benchmarks/test_kernels_bench.py" in run
+        for run in runs
+    )
+    # A dedicated step re-reads the emitted JSON and exits non-zero when
+    # the backend A/B diverged — the job cannot go green on a mismatch.
+    assert any("d['equivalent']" in run for run in runs)
+    uploads = [
+        step for step in job["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert len(uploads) == 1
+    assert uploads[0]["with"]["path"] == (
+        "benchmarks/results/BENCH_kernels.json"
     )
     assert uploads[0]["with"]["if-no-files-found"] == "error"
