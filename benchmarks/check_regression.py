@@ -1,0 +1,110 @@
+"""Gate benchmark throughput against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regression.py FRESH BASELINE [--tolerance 0.2]
+
+Compares every ``updates_per_sec`` field (recursively, addressed by its
+JSON path) between a freshly produced ``BENCH_*.json`` and the committed
+baseline.  Exit codes:
+
+* 0 — every fresh throughput is within ``tolerance`` of its baseline,
+  or the gate was skipped because the two documents came from different
+  configurations (``smoke`` flag or ``scenario`` block differ — the
+  committed baselines come from full runs while CI runs smoke mode, so
+  the gate only engages on matching configs).
+* 1 — at least one fresh throughput fell more than ``tolerance`` below
+  its baseline (a perf regression).
+
+An *improvement* beyond the tolerance is reported but does not fail:
+it is a prompt to refresh the committed baseline, not an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.2
+
+
+def throughputs(document, prefix: str = "") -> dict[str, float]:
+    """Every ``updates_per_sec`` value in ``document``, keyed by JSON path."""
+    found: dict[str, float] = {}
+    if isinstance(document, dict):
+        for key, value in document.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if key.endswith("updates_per_sec") and isinstance(
+                value, (int, float)
+            ):
+                found[path] = float(value)
+            else:
+                found.update(throughputs(value, path))
+    return found
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> tuple[int, list[str]]:
+    """Compare two benchmark documents; returns ``(exit_code, messages)``."""
+    messages: list[str] = []
+    if fresh.get("smoke") != baseline.get("smoke") or fresh.get(
+        "scenario"
+    ) != baseline.get("scenario"):
+        messages.append(
+            "config mismatch (smoke flag or scenario differ): "
+            "regression gate skipped"
+        )
+        return 0, messages
+    fresh_rates = throughputs(fresh)
+    base_rates = throughputs(baseline)
+    if not base_rates:
+        messages.append("baseline has no updates_per_sec fields: nothing to gate")
+        return 0, messages
+    code = 0
+    for path, base in sorted(base_rates.items()):
+        rate = fresh_rates.get(path)
+        if rate is None:
+            messages.append(f"REGRESSION {path}: field missing from fresh run")
+            code = 1
+            continue
+        ratio = rate / base if base else float("inf")
+        if ratio < 1.0 - tolerance:
+            messages.append(
+                f"REGRESSION {path}: {rate:g} vs baseline {base:g} "
+                f"({100 * (ratio - 1):.1f}%, tolerance -{100 * tolerance:.0f}%)"
+            )
+            code = 1
+        elif ratio > 1.0 + tolerance:
+            messages.append(
+                f"improvement {path}: {rate:g} vs baseline {base:g} "
+                f"(+{100 * (ratio - 1):.1f}%) — consider refreshing the "
+                f"committed baseline"
+            )
+        else:
+            messages.append(
+                f"ok {path}: {rate:g} vs baseline {base:g} "
+                f"({100 * (ratio - 1):+.1f}%)"
+            )
+    return code, messages
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed relative slowdown (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+    code, messages = check(fresh, baseline, args.tolerance)
+    for message in messages:
+        print(message)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

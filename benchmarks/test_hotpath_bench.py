@@ -28,7 +28,7 @@ from repro.core.queries import KNNQuery, RangeQuery
 from repro.core.server import DatabaseServer, ServerConfig
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.obs import MetricsRegistry
+from repro.obs import EventLog, MetricsRegistry, diagnose
 
 SMOKE = os.environ.get("HOTPATH_SMOKE") == "1"
 
@@ -102,7 +102,7 @@ def _build():
     return positions, queries, plan
 
 
-def _run(enable_caches: bool, metrics=None):
+def _run(enable_caches: bool, metrics=None, events=None):
     """Replay the plan against a fresh server; time only the update loop."""
     positions, queries, plan = _build()
     live = dict(positions)
@@ -110,6 +110,7 @@ def _run(enable_caches: bool, metrics=None):
         lambda oid: live[oid],
         ServerConfig(grid_m=GRID_M, enable_caches=enable_caches),
         metrics=metrics,
+        events=events,
     )
     server.load_objects(live.items())
     for query in queries:
@@ -180,9 +181,18 @@ def test_hotpath_benchmark():
     assert cached["snapshots"] == uncached["snapshots"]
     assert cached["counters"] == uncached["counters"]
 
-    # Metrics replay (separate so instrument costs stay out of the timings).
+    # Metrics replay (separate so instrument costs stay out of the
+    # timings).  The flight recorder rides along: its tail is archived
+    # for CI post-mortems, and the stream is replayed through the
+    # diagnostics invariants — a regression that breaks safe-region
+    # containment fails here even if all counters look plausible.
     registry = MetricsRegistry()
-    _run(enable_caches=True, metrics=registry)
+    recorder = EventLog(capacity=50_000)
+    _run(enable_caches=True, metrics=registry, events=recorder)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    recorder.dump(RESULTS_DIR / "BENCH_hotpath_flight.jsonl")
+    findings = diagnose([event.to_dict() for event in recorder.events()])
+    assert findings.ok, "invariant violations:\n" + findings.render()
     counters = registry.to_dict()["counters"]
     gauges = registry.to_dict()["gauges"]
     hits = counters.get("grid.cache.hits", 0)

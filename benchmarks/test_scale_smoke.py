@@ -10,7 +10,7 @@ from conftest import RESULTS_DIR
 
 from repro.experiments.figures import BENCH_BASE
 from repro.experiments.reporting import format_table
-from repro.obs import MetricsRegistry, write_json
+from repro.obs import EventLog, MetricsRegistry, TimeSeriesSampler, diagnose, write_json
 from repro.simulation.engine import SRBSimulation
 from repro.simulation.scenario import scaled_q_len
 
@@ -79,8 +79,13 @@ def test_bench_metrics_artifact():
         sample_interval=0.2,
     )
     registry = MetricsRegistry()
-    SRBSimulation(scenario, metrics=registry).run()
+    recorder = EventLog(capacity=50_000)
+    sampler = TimeSeriesSampler(registry)
+    SRBSimulation(
+        scenario, metrics=registry, events=recorder, sampler=sampler
+    ).run()
     snapshot = registry.to_dict()
+    snapshot["timeseries"] = sampler.to_dict()
 
     spans = snapshot["histograms"]
     for phase in ("ingest", "location_manager", "reevaluate", "probe"):
@@ -88,9 +93,15 @@ def test_bench_metrics_artifact():
             key.startswith("span.") and f".{phase}.seconds" in key
             for key in spans
         ), f"missing span timings for phase {phase!r}: {sorted(spans)}"
+    assert snapshot["timeseries"], "sampler recorded no series"
 
     RESULTS_DIR.mkdir(exist_ok=True)
     write_json(
         {"schemes": {"SRB": snapshot}},
         RESULTS_DIR / "bench_metrics.json",
     )
+    # Flight-recorder tail: archived by CI on failure for post-mortems,
+    # and replayed through the diagnostics invariants right here.
+    recorder.dump(RESULTS_DIR / "scale_smoke_flight.jsonl")
+    findings = diagnose([event.to_dict() for event in recorder.events()])
+    assert findings.ok, "invariant violations:\n" + findings.render()

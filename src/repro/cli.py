@@ -11,22 +11,41 @@ Commands:
   exact Monte-Carlo value for a given region and start point.
 * ``stats``   — render a metrics file (``--metrics-out`` /
   ``bench_metrics.json``) as human-readable tables.
+* ``events``  — read a recorded event stream (``--events-out`` /
+  flight-recorder JSONL), with filters and causal-chain rendering.
+* ``monitor`` — aggregate an event stream (recorded, or from a live SRB
+  run) into a per-interval timeline table.
+* ``diagnose`` — replay an event stream against the framework's
+  invariants and report violations/anomalies (exit 1 on violations).
 
 All simulation commands accept ``--objects/--queries/--duration/--seed``
 style overrides of the laptop-scale defaults; ``compare --metrics-out
 FILE`` additionally records per-phase span timings and counters
-(docs/OBSERVABILITY.md describes the vocabulary).
+(docs/OBSERVABILITY.md describes the vocabulary) plus per-checkpoint
+time series, and ``compare --events-out/--flight-recorder`` records the
+structured-event stream of the SRB scheme.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import expected_escape_time, simulate_escape_time
 from repro.experiments import figures, format_table, run_schemes, sweep
 from repro.geometry import Point, Rect
-from repro.obs import load_metrics, render_document, write_json
+from repro.obs import (
+    EventLog,
+    causal_chain,
+    diagnose,
+    filter_events,
+    load_metrics,
+    read_events,
+    render_document,
+    timeline,
+    write_json,
+)
 from repro.simulation import Scenario
 
 
@@ -92,8 +111,18 @@ def _result_fields(row: dict) -> dict:
 def _cmd_compare(args: argparse.Namespace) -> int:
     scenario = _scenario_from(args)
     schemes = tuple(args.schemes.split(","))
+    events_log = None
+    if args.events_out is not None or args.flight_recorder is not None:
+        try:
+            events_log = EventLog(
+                capacity=args.flight_recorder_size, sink=args.events_out
+            )
+        except OSError as error:
+            print(f"cannot open {args.events_out}: {error}", file=sys.stderr)
+            return 2
     reports = run_schemes(
-        scenario, schemes=schemes, metrics=args.metrics_out is not None
+        scenario, schemes=schemes, metrics=args.metrics_out is not None,
+        events=events_log, timeseries=args.metrics_out is not None,
     )
     print(format_table(
         [report.row() for report in reports.values()],
@@ -134,6 +163,27 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             print(f"cannot write {args.metrics_out}: {error}", file=sys.stderr)
             return 2
         print(f"metrics written to {args.metrics_out}")
+    if events_log is not None:
+        events_log.close()
+        if args.events_out is not None:
+            print(
+                f"{events_log.total_emitted} events streamed to "
+                f"{args.events_out}"
+            )
+        if args.flight_recorder is not None:
+            try:
+                kept = events_log.dump(args.flight_recorder)
+            except OSError as error:
+                print(
+                    f"cannot write {args.flight_recorder}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(
+                f"flight recorder: last {kept} of "
+                f"{events_log.total_emitted} events written to "
+                f"{args.flight_recorder}"
+            )
     return 0
 
 
@@ -145,6 +195,95 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         return 2
     print(render_document(document))
     return 0
+
+
+def _compact(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, dict)):
+        return json.dumps(value)
+    return str(value)
+
+
+def _format_event(event: dict) -> str:
+    """One event as one scannable line (seq, time, kind, cause, fields)."""
+    seq = event.get("seq", "?")
+    t = event.get("t", 0.0)
+    kind = event.get("kind", "?")
+    cause = event.get("cause")
+    cause_text = f"<-#{cause}" if cause is not None else ""
+    fields = " ".join(
+        f"{key}={_compact(value)}"
+        for key, value in event.items()
+        if key not in ("seq", "t", "kind", "cause")
+    )
+    return f"#{seq:<7} t={t:<10g} {kind:<18} {cause_text:<9} {fields}".rstrip()
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.file)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    if args.chain is not None:
+        selected = causal_chain(events, args.chain)
+        if not selected:
+            print(
+                f"no event with seq {args.chain} in {args.file}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        selected = filter_events(
+            events, kind=args.kind, oid=args.oid, query=args.query,
+            t_min=args.since, t_max=args.until,
+        )
+    if args.limit is not None:
+        selected = selected[-args.limit:]
+    for event in selected:
+        print(_format_event(event))
+    print(f"-- {len(selected)} of {len(events)} events", file=sys.stderr)
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    if args.file is not None:
+        try:
+            events = read_events(args.file)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+        source = args.file
+    else:
+        scenario = _scenario_from(args)
+        log = EventLog(capacity=args.capacity)
+        run_schemes(scenario, schemes=("SRB",), events=log)
+        events = [event.to_dict() for event in log.events()]
+        source = (
+            f"live SRB run (N={scenario.num_objects}, "
+            f"W={scenario.num_queries}, T={scenario.duration:g})"
+        )
+    rows = timeline(events, interval=args.interval)
+    print(format_table(rows, title=f"event timeline: {source}"))
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.file)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read {args.file}: {error}", file=sys.stderr)
+        return 2
+    report = diagnose(
+        events,
+        probe_cascade_threshold=args.probe_cascade_threshold,
+        shrink_storm_threshold=args.shrink_storm_threshold,
+        shrink_storm_window=args.shrink_storm_window,
+        check_ground_truth=args.ground_truth,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -218,7 +357,23 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="enable the metrics registry and write per-scheme span "
-             "timings and counters to FILE (render with 'repro stats')",
+             "timings, counters, and per-checkpoint time series to FILE "
+             "(render with 'repro stats')",
+    )
+    compare.add_argument(
+        "--events-out", metavar="FILE", default=None,
+        help="stream every SRB structured event to FILE as JSONL "
+             "(read with 'repro events' / 'repro monitor' / "
+             "'repro diagnose')",
+    )
+    compare.add_argument(
+        "--flight-recorder", metavar="FILE", default=None,
+        help="keep the last --flight-recorder-size SRB events in a ring "
+             "buffer and dump them to FILE at run end",
+    )
+    compare.add_argument(
+        "--flight-recorder-size", type=int, default=4096, metavar="N",
+        help="ring-buffer capacity for --flight-recorder (default 4096)",
     )
     compare.set_defaults(handler=_cmd_compare)
 
@@ -229,6 +384,68 @@ def build_parser() -> argparse.ArgumentParser:
         "file", help="metrics JSON (from --metrics-out or bench_metrics.json)"
     )
     stats.set_defaults(handler=_cmd_stats)
+
+    events_cmd = commands.add_parser(
+        "events", help="read a recorded event stream (JSONL)"
+    )
+    events_cmd.add_argument("file", help="event JSONL file")
+    events_cmd.add_argument("--kind", default=None,
+                            help="keep only events of this kind")
+    events_cmd.add_argument("--oid", default=None,
+                            help="keep only events about this object id")
+    events_cmd.add_argument("--query", default=None,
+                            help="keep only events about this query id")
+    events_cmd.add_argument("--since", type=float, default=None,
+                            metavar="T", help="keep events with t >= T")
+    events_cmd.add_argument("--until", type=float, default=None,
+                            metavar="T", help="keep events with t <= T")
+    events_cmd.add_argument("--limit", type=int, default=None, metavar="N",
+                            help="print only the last N matching events")
+    events_cmd.add_argument(
+        "--chain", type=int, default=None, metavar="SEQ",
+        help="render the full causal chain containing event SEQ "
+             "(root update through probes and result changes)",
+    )
+    events_cmd.set_defaults(handler=_cmd_events)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="per-interval timeline of an event stream (file or live run)",
+    )
+    monitor.add_argument(
+        "file", nargs="?", default=None,
+        help="event JSONL file; omitted: run the SRB scheme live",
+    )
+    monitor.add_argument("--interval", type=float, default=1.0,
+                         help="timeline bucket width in simulated time")
+    monitor.add_argument("--capacity", type=int, default=262144,
+                         help="flight-recorder capacity for live runs")
+    _add_scenario_arguments(monitor)
+    monitor.set_defaults(handler=_cmd_monitor)
+
+    diagnose_cmd = commands.add_parser(
+        "diagnose",
+        help="check a recorded event stream against the invariants",
+    )
+    diagnose_cmd.add_argument("file", help="event JSONL file")
+    diagnose_cmd.add_argument(
+        "--probe-cascade-threshold", type=int, default=10,
+        help="max probes one root event may transitively cause",
+    )
+    diagnose_cmd.add_argument(
+        "--shrink-storm-threshold", type=int, default=25,
+        help="max shrink pushes per window before flagging a storm",
+    )
+    diagnose_cmd.add_argument(
+        "--shrink-storm-window", type=float, default=1.0,
+        help="storm-detection window in simulated time",
+    )
+    diagnose_cmd.add_argument(
+        "--ground-truth", action="store_true",
+        help="treat any checkpoint mismatch as a violation (only sound "
+             "for zero-delay runs)",
+    )
+    diagnose_cmd.set_defaults(handler=_cmd_diagnose)
 
     figure = commands.add_parser(
         "figure", help="regenerate a paper figure (7.1 ... 7.6b)"

@@ -37,6 +37,9 @@ class ReevaluationOutcome:
     shrunk: dict[ObjectId, Rect] = field(default_factory=dict)
     #: Whether the quarantine area changed (the grid index must be updated).
     quarantine_changed: bool = False
+    #: Which reevaluation path ran (paper's Section 4.3 case analysis);
+    #: recorded on ``result_change`` events for post-hoc diagnosis.
+    case: str = ""
 
 
 def reevaluate_range(
@@ -46,11 +49,11 @@ def reevaluate_range(
     inside = query.rect.contains_point(p)
     if inside and oid not in query.results:
         query.results.add(oid)
-        return ReevaluationOutcome(changed=True)
+        return ReevaluationOutcome(changed=True, case="range_enter")
     if not inside and oid in query.results:
         query.results.discard(oid)
-        return ReevaluationOutcome(changed=True)
-    return ReevaluationOutcome(changed=False)
+        return ReevaluationOutcome(changed=True, case="range_leave")
+    return ReevaluationOutcome(changed=False, case="range_noop")
 
 
 def reevaluate_knn(
@@ -90,7 +93,7 @@ def reevaluate_knn(
         return _case_moves_within(query, oid, p, probe, sr_of, constrain)
     # p and p_lst both outside and oid is not a result: nothing to do
     # (possible when the grid buckets over-approximate the affected set).
-    return ReevaluationOutcome(changed=False)
+    return ReevaluationOutcome(changed=False, case="knn_noop")
 
 
 def _case_leaves(
@@ -127,6 +130,7 @@ def _case_leaves(
         probed=replacement.probed,
         shrunk=replacement.shrunk,
         quarantine_changed=True,
+        case="knn_leaves",
     )
 
 
@@ -147,7 +151,9 @@ def _case_enters(
     shrinks to keep it outside.
     """
     old_snapshot = query.result_snapshot()
-    outcome = ReevaluationOutcome(changed=False, quarantine_changed=True)
+    outcome = ReevaluationOutcome(
+        changed=False, quarantine_changed=True, case="knn_enters"
+    )
     rank = _locate_rank(query, oid, p, probe, sr_of, constrain, outcome)
     d = query.center.distance_to(p)
 
@@ -192,7 +198,7 @@ def _case_moves_within(
     case 2; nobody is dropped and the quarantine radius is unchanged.
     """
     old_snapshot = query.result_snapshot()
-    outcome = ReevaluationOutcome(changed=False)
+    outcome = ReevaluationOutcome(changed=False, case="knn_moves_within")
     query.results = [other for other in query.results if other != oid]
     rank = _locate_rank(query, oid, p, probe, sr_of, constrain, outcome)
     query.results.insert(rank, oid)
@@ -265,6 +271,7 @@ def _reevaluate_unordered(
         probed=fresh.probed,
         shrunk=fresh.shrunk,
         quarantine_changed=True,
+        case="knn_unordered",
     )
 
 
@@ -298,7 +305,7 @@ def relieve_tight_safe_region(
     exists (two objects at genuinely equal distance), the outcome is a
     no-op and the caller lives with a tight region.
     """
-    outcome = ReevaluationOutcome(changed=False)
+    outcome = ReevaluationOutcome(changed=False, case="sr_relief")
     if not query.results or query.radius <= 0.0:
         return outcome
     q = query.center

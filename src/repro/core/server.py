@@ -34,7 +34,7 @@ from repro.index.bulk import bulk_load
 from repro.index.grid import GridIndex
 from repro.index.rstar import RStarTree
 from repro.kernels import KERNEL_BACKENDS, Kernels, PositionStore
-from repro.obs import COUNT_BUCKETS, NULL_REGISTRY, Tracer
+from repro.obs import COUNT_BUCKETS, NULL_EVENT_LOG, NULL_REGISTRY, Tracer
 
 ObjectId = Hashable
 PositionOracle = Callable[[ObjectId], Point]
@@ -147,6 +147,7 @@ class DatabaseServer:
         position_oracle: PositionOracle,
         config: ServerConfig | None = None,
         metrics=None,
+        events=None,
     ) -> None:
         self.config = config or ServerConfig()
         self._oracle = position_oracle
@@ -156,6 +157,14 @@ class DatabaseServer:
             else None
         )
         self.metrics = NULL_REGISTRY if metrics is None else metrics
+        #: Structured-event stream (repro.obs.events); the shared no-op
+        #: by default, so emission costs one attribute check.
+        self.events = NULL_EVENT_LOG if events is None else events
+        #: Sequence number of the event causally above whatever the
+        #: server is currently doing (the root update/registration, or
+        #: the reevaluation in progress); threads ``cause`` links
+        #: through probes, shrink pushes, and region installs.
+        self._cause: int | None = None
         self._trace = Tracer(self.metrics)
         self._m_probes = self.metrics.counter("server.probes")
         self._m_pushes = self.metrics.counter("server.safe_region_pushes")
@@ -166,7 +175,10 @@ class DatabaseServer:
         self._m_sr_skipped = self.metrics.counter("server.sr_recompute.skipped")
         self._m_fastpath = self.metrics.counter("server.update.fastpath")
         self._caches_on = self.config.enable_caches
-        self.kernels = Kernels(self.config.kernel_backend, metrics=self.metrics)
+        self.kernels = Kernels(
+            self.config.kernel_backend, metrics=self.metrics,
+            events=self.events,
+        )
         #: Columnar mirror of every object's last reported position,
         #: maintained at each register / update / deregister alongside
         #: ``ObjectState.p_lst``.
@@ -182,6 +194,7 @@ class DatabaseServer:
             metrics=self.metrics,
             enable_cache=self.config.enable_caches,
             kernels=self.kernels,
+            events=self.events,
         )
         self._objects: dict[ObjectId, ObjectState] = {}
         self.stats = ServerStats()
@@ -350,7 +363,15 @@ class DatabaseServer:
         then receive freshly recomputed safe regions.
         """
         with self._trace.span("server.register_query"):
-            outcome = self._register_query(query, time)
+            if self.events.enabled:
+                self.events.set_time(time)
+                self._cause = self.events.emit(
+                    "query_registered", query=query.query_id
+                )
+            try:
+                outcome = self._register_query(query, time)
+            finally:
+                self._cause = None
         self.refresh_index_gauges()
         self.stats.cpu_seconds = self._trace.cpu_seconds
         return outcome
@@ -471,11 +492,32 @@ class DatabaseServer:
         with self._trace.span("server.update"):
             self.stats.location_updates += 1
             self._m_updates.inc()
-            outcome = None
-            if self._caches_on and previous is not None:
-                outcome = self._fastpath_update(oid, position, previous, time)
-            if outcome is None:
-                outcome = self._slowpath_update(oid, position, previous, time)
+            events = self.events
+            if events.enabled:
+                events.set_time(time)
+                self._cause = events.emit(
+                    "update",
+                    oid=oid,
+                    pos=(position.x, position.y),
+                    prev=(
+                        (previous.x, previous.y)
+                        if previous is not None else None
+                    ),
+                )
+            try:
+                outcome = None
+                if self._caches_on and previous is not None:
+                    outcome = self._fastpath_update(
+                        oid, position, previous, time
+                    )
+                    if outcome is not None and events.enabled:
+                        events.emit("fastpath", cause=self._cause, oid=oid)
+                if outcome is None:
+                    outcome = self._slowpath_update(
+                        oid, position, previous, time
+                    )
+            finally:
+                self._cause = None
         self.stats.cpu_seconds = self._trace.cpu_seconds
         return outcome
 
@@ -508,15 +550,18 @@ class DatabaseServer:
         ):
             return None
         cell_new = grid.cell_of(position)
-        if cell_new != cell_old:
-            if grid.has_queries_in_cell(cell_new):
-                return None
-            region = grid.cell_rect(cell_new)
-            self._install_safe_region(oid, region)
-            state.sr_stamp = (cell_new, grid.cell_generation(cell_new))
+        if cell_new != cell_old and grid.has_queries_in_cell(cell_new):
+            return None
+        # Commit the reported position before any region install so the
+        # ``safe_region`` event (and its containment invariant) sees the
+        # position the region was granted for.
         state.p_lst = position
         self.positions.set(oid, position)
         state.last_update_time = time
+        if cell_new != cell_old:
+            region = grid.cell_rect(cell_new)
+            self._install_safe_region(oid, region)
+            state.sr_stamp = (cell_new, grid.cell_generation(cell_new))
         self._m_fastpath.inc()
         self._m_checked.observe(0)
         outcome = UpdateOutcome()
@@ -652,6 +697,10 @@ class DatabaseServer:
                 # full-cell region has the same interior margin as its
                 # cell, which contradicts the trigger condition below.
                 self._m_sr_skipped.inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "sr_skip", cause=self._cause, oid=target
+                    )
                 region = state.safe_region
                 shrunk_only.pop(target, None)
                 self._install_safe_region(target, region)
@@ -807,44 +856,66 @@ class DatabaseServer:
                 else q.is_affected_by(position, previous)
             )
         ]
+        events = self.events
         for query in affected:
             before = _snapshot(query)
             probes_before = set(probed)
-            if hasattr(query, "reevaluate_for"):
-                reevaluation = query.reevaluate_for(
-                    oid, position, self.object_index, probe, constrain
+            parent_cause = self._cause
+            if events.enabled:
+                # Emitted *before* the work so probes and shrinks issued
+                # inside the reevaluation chain to it, completing the
+                # update → query → probe → result-change causal path.
+                self._cause = events.emit(
+                    "reevaluation", cause=parent_cause,
+                    query=query.query_id, oid=oid,
                 )
-            elif isinstance(query, RangeQuery):
-                reevaluation = reevaluate_range(query, oid, position)
-            else:
-                reevaluation = reevaluate_knn(
-                    query,
-                    oid,
-                    position,
-                    previous,
-                    self.object_index,
-                    probe,
-                    self.object_index.rect_of,
-                    constrain,
-                    kernels=self.kernels,
+            try:
+                if hasattr(query, "reevaluate_for"):
+                    reevaluation = query.reevaluate_for(
+                        oid, position, self.object_index, probe, constrain
+                    )
+                elif isinstance(query, RangeQuery):
+                    reevaluation = reevaluate_range(query, oid, position)
+                else:
+                    reevaluation = reevaluate_knn(
+                        query,
+                        oid,
+                        position,
+                        previous,
+                        self.object_index,
+                        probe,
+                        self.object_index.rect_of,
+                        constrain,
+                        kernels=self.kernels,
+                    )
+                fresh = {
+                    target: pos
+                    for target, pos in probed.items()
+                    if target not in probes_before
+                }
+                previous_positions.update(self._apply_probes(fresh, time))
+                shrunk_only.update(
+                    self._apply_shrinks(reevaluation.shrunk, probed)
                 )
-            fresh = {
-                target: pos
-                for target, pos in probed.items()
-                if target not in probes_before
-            }
-            previous_positions.update(self._apply_probes(fresh, time))
-            shrunk_only.update(
-                self._apply_shrinks(reevaluation.shrunk, probed)
-            )
-            if reevaluation.quarantine_changed:
-                self.query_index.update(query)
-            after = _snapshot(query)
-            outcome.changes.append(ResultChange(query.query_id, before, after))
-            if before != after:
-                self.stats.result_changes += 1
-            self.stats.queries_reevaluated += 1
-
+                if reevaluation.quarantine_changed:
+                    self.query_index.update(query)
+                after = _snapshot(query)
+                outcome.changes.append(
+                    ResultChange(query.query_id, before, after)
+                )
+                if before != after:
+                    self.stats.result_changes += 1
+                    if events.enabled:
+                        events.emit(
+                            "result_change", cause=self._cause,
+                            query=query.query_id,
+                            case=getattr(reevaluation, "case", ""),
+                            before=_event_snapshot(before),
+                            after=_event_snapshot(after),
+                        )
+                self.stats.queries_reevaluated += 1
+            finally:
+                self._cause = parent_cause
 
     # ------------------------------------------------------------------
     # Internals
@@ -855,6 +926,13 @@ class DatabaseServer:
             probed[target] = position
             self.stats.probes += 1
             self._m_probes.inc()
+            if self.events.enabled:
+                # cause is read at call time: probes issued during a
+                # query's reevaluation chain to that reevaluation event.
+                self.events.emit(
+                    "probe", cause=self._cause, oid=target,
+                    pos=(position.x, position.y),
+                )
             return position
 
         return probe
@@ -914,12 +992,27 @@ class DatabaseServer:
                 self.object_index.update(target, region)
                 self.stats.safe_region_pushes += 1
                 self._m_pushes.inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "shrink_push", cause=self._cause, oid=target,
+                        region=(region.min_x, region.min_y,
+                                region.max_x, region.max_y),
+                        pos=(state.p_lst.x, state.p_lst.y),
+                    )
                 applied[target] = region
             return applied
 
     def _install_safe_region(self, oid: ObjectId, region: Rect) -> None:
-        self._objects[oid].safe_region = region
+        state = self._objects[oid]
+        state.safe_region = region
         self.object_index.update(oid, region)
+        if self.events.enabled:
+            self.events.emit(
+                "safe_region", cause=self._cause, oid=oid,
+                region=(region.min_x, region.min_y,
+                        region.max_x, region.max_y),
+                pos=(state.p_lst.x, state.p_lst.y),
+            )
 
     def _objective(self, position: Point, previous: Point | None):
         return weighted_perimeter_objective(
@@ -964,3 +1057,15 @@ class DatabaseServer:
 
 def _snapshot(query: Query):
     return query.result_snapshot()
+
+
+def _event_snapshot(snapshot):
+    """A result snapshot as a JSON-serialisable, deterministic value."""
+    if isinstance(snapshot, (frozenset, set)):
+        try:
+            return sorted(snapshot)
+        except TypeError:
+            return sorted(snapshot, key=repr)
+    if isinstance(snapshot, tuple):
+        return list(snapshot)
+    return snapshot

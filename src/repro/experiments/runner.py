@@ -16,7 +16,7 @@ from repro.baselines.periodic import PRDSimulation
 from repro.baselines.qindex import QIndexSimulation
 from repro.kernels import Kernels
 from repro.mobility.waypoint import RandomWaypointModel
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TimeSeriesSampler
 from repro.simulation.engine import SRBSimulation
 from repro.simulation.metrics import SchemeReport
 from repro.simulation.scenario import Scenario
@@ -50,6 +50,8 @@ def run_schemes(
     schemes: Iterable[SchemeName] = DEFAULT_SCHEMES,
     truth: GroundTruth | None = None,
     metrics: bool = False,
+    events=None,
+    timeseries: bool = False,
 ) -> dict[str, SchemeReport]:
     """Run the requested schemes over one scenario; reports keyed by name.
 
@@ -57,6 +59,13 @@ def run_schemes(
     :class:`~repro.obs.MetricsRegistry`, and its snapshot lands on
     ``SchemeReport.metrics`` (OPT replays recorded truth and has no
     instrumented server, so its snapshot stays empty).
+
+    ``events`` (an :class:`~repro.obs.EventLog`) and ``timeseries``
+    instrument the **SRB scheme only** — the baselines replay recorded
+    truth or batch-reevaluate without a :class:`DatabaseServer`, so they
+    have no event stream to record.  ``timeseries=True`` implies a
+    metrics registry for SRB (the sampler reads counters) and attaches
+    per-checkpoint series to its report snapshot.
     """
     if truth is None:
         truth = build_truth(scenario)
@@ -67,8 +76,15 @@ def run_schemes(
     for scheme in schemes:
         if scheme == "SRB":
             fresh = generate_queries(scenario.workload(), seed=scenario.seed)
+            srb_registry = registry()
+            sampler = None
+            if timeseries:
+                if srb_registry is None:
+                    srb_registry = MetricsRegistry()
+                sampler = TimeSeriesSampler(srb_registry)
             reports[scheme] = SRBSimulation(
-                scenario, queries=fresh, truth=truth, metrics=registry()
+                scenario, queries=fresh, truth=truth, metrics=srb_registry,
+                events=events, sampler=sampler,
             ).run()
         elif scheme == "OPT":
             reports[scheme] = optimal_report(scenario, truth=truth)

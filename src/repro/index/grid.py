@@ -22,7 +22,7 @@ from typing import Hashable, Iterable, Protocol
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.obs import COUNT_BUCKETS, NULL_REGISTRY
+from repro.obs import COUNT_BUCKETS, NULL_EVENT_LOG, NULL_REGISTRY
 
 CellId = tuple[int, int]
 
@@ -54,6 +54,7 @@ class GridIndex:
         metrics=None,
         enable_cache: bool = True,
         kernels=None,
+        events=None,
     ) -> None:
         if m < 1:
             raise ValueError("grid resolution must be positive")
@@ -77,6 +78,7 @@ class GridIndex:
         self._cell_rects: dict[CellId, Rect] = {}
         self._total_slots = 0
         self.kernels = kernels
+        self.events = NULL_EVENT_LOG if events is None else events
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self._m_lookups = self.metrics.counter("grid.lookups")
         self._m_hits = self.metrics.counter("grid.cache.hits")
@@ -183,8 +185,18 @@ class GridIndex:
 
     def _bump(self, cells: Iterable[CellId]) -> None:
         generations = self._generations
+        emit = self.events.enabled
         for cell in cells:
-            generations[cell] = generations.get(cell, 0) + 1
+            generation = generations.get(cell, 0) + 1
+            generations[cell] = generation
+            if emit:
+                # Each bump invalidates the cell's cached views and any
+                # lazy safe-region certificate stamped with an older
+                # generation (docs/PERFORMANCE.md).
+                self.events.emit(
+                    "cache_invalidation",
+                    cell=list(cell), generation=generation,
+                )
 
     def _refresh_occupancy(self) -> None:
         occupied = len(self._buckets)

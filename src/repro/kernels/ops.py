@@ -35,7 +35,7 @@ import heapq
 import math
 from typing import Sequence
 
-from repro.obs import NULL_REGISTRY
+from repro.obs import NULL_EVENT_LOG, NULL_REGISTRY
 
 try:  # pragma: no cover — exercised implicitly by backend resolution
     import numpy as _np
@@ -78,12 +78,13 @@ class Kernels:
     """
 
     __slots__ = (
-        "backend", "min_rows", "_np",
+        "backend", "min_rows", "_np", "_events",
         "_batch_calls", "_rows_scanned", "_fallback_calls",
     )
 
     def __init__(
-        self, backend: str = "numpy", metrics=None, min_rows: int = 8
+        self, backend: str = "numpy", metrics=None, min_rows: int = 8,
+        events=None,
     ) -> None:
         if min_rows < 1:
             raise ValueError("min_rows must be positive")
@@ -91,6 +92,7 @@ class Kernels:
         self.min_rows = min_rows
         self._np = _np if self.backend == "numpy" else None
         registry = NULL_REGISTRY if metrics is None else metrics
+        self._events = NULL_EVENT_LOG if events is None else events
         self._batch_calls = registry.counter("kernels.batch_calls")
         self._rows_scanned = registry.counter("kernels.rows_scanned")
         self._fallback_calls = registry.counter("kernels.fallback_calls")
@@ -102,6 +104,11 @@ class Kernels:
             self._rows_scanned.inc(n)
             return True
         self._fallback_calls.inc()
+        if self._events.enabled:
+            self._events.emit(
+                "kernel_fallback", rows=n, backend=self.backend,
+                reason="below_cutoff" if self._np is not None else "no_numpy",
+            )
         return False
 
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Structured observability: metrics registry, span tracing, exporters.
+"""Structured observability: metrics, events, time series, diagnostics.
 
 The cost model of the paper (wireless messages vs. server CPU time,
 Section 7.1) is this package's reason to exist: every pipeline phase of
@@ -7,13 +7,33 @@ the baselines reports into one :class:`MetricsRegistry` through
 :class:`Tracer` spans and counters, so a run can answer *where the
 cycles and messages went* without ad-hoc ``perf_counter`` plumbing.
 
-By default all instrumented code receives :data:`NULL_REGISTRY`, a
-shared no-op whose cost is a method call — benchmarks and the CLI opt
-into a real registry (``--metrics-out``).  See docs/OBSERVABILITY.md for
-the metric vocabulary and span hierarchy.
+Beyond the aggregate layer, :class:`EventLog` records a typed
+structured-event stream (flight recorder + JSONL spill),
+:class:`TimeSeriesSampler` resolves counters over simulated time, and
+:func:`diagnose` replays a stream against the framework's invariants —
+together they answer *why* a run was expensive, not just that it was.
+
+By default all instrumented code receives :data:`NULL_REGISTRY` and
+:data:`NULL_EVENT_LOG`, shared no-ops whose cost is one attribute check
+— benchmarks and the CLI opt into real instances (``--metrics-out``,
+``--events-out``).  See docs/OBSERVABILITY.md for the metric and event
+vocabularies.
 """
 
+from repro.obs.diagnose import DiagnosticsReport, Finding, diagnose
+from repro.obs.events import (
+    EVENT_KINDS,
+    NULL_EVENT_LOG,
+    Event,
+    EventLog,
+    NullEventLog,
+    causal_chain,
+    filter_events,
+    read_events,
+    timeline,
+)
 from repro.obs.export import (
+    histogram_quantile,
     load_metrics,
     render_document,
     render_snapshot,
@@ -30,22 +50,39 @@ from repro.obs.registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.timeseries import DEFAULT_SERIES, TimeSeries, TimeSeriesSampler
 from repro.obs.trace import SpanRecord, Tracer
 
 __all__ = [
     "COUNT_BUCKETS",
+    "DEFAULT_SERIES",
+    "EVENT_KINDS",
+    "NULL_EVENT_LOG",
     "NULL_REGISTRY",
     "TIME_BUCKETS",
     "Counter",
+    "DiagnosticsReport",
+    "Event",
+    "EventLog",
+    "Finding",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NullEventLog",
     "NullRegistry",
     "SpanRecord",
+    "TimeSeries",
+    "TimeSeriesSampler",
     "Tracer",
+    "causal_chain",
+    "diagnose",
+    "filter_events",
+    "histogram_quantile",
     "load_metrics",
+    "read_events",
     "render_document",
     "render_snapshot",
+    "timeline",
     "write_json",
     "write_jsonl",
 ]

@@ -1,0 +1,232 @@
+"""Invariant checking and anomaly detection over recorded event streams.
+
+:func:`diagnose` replays a stream recorded by
+:class:`~repro.obs.events.EventLog` (live objects or a JSONL file read
+back via :func:`~repro.obs.events.read_events`) and produces a
+:class:`DiagnosticsReport` with two classes of findings:
+
+**Violations** — breaches of invariants the construction guarantees
+(DESIGN.md maps each to the paper's result it operationalises):
+
+* ``containment`` — every installed safe region and every shrink push
+  must contain the position it was computed for (the quarantine
+  soundness underlying Propositions 5.2–5.5: a safe region is an
+  inscribed rectangle of the intersection of quarantine constraints,
+  which by construction covers the object's last reported location).
+* ``ground_truth`` — with ``check_ground_truth=True``, every ``sample``
+  event must report all queries matching the exact results (only sound
+  when the run had zero communication delay; with ``tau > 0`` transient
+  mismatches are expected and the check must stay off).
+
+**Anomalies** — legal but pathological behaviour worth a look:
+
+* ``probe_cascade`` — one root event (an update or a registration)
+  transitively caused more than ``probe_cascade_threshold`` probes.
+* ``shrink_storm`` — more than ``shrink_storm_threshold`` shrink pushes
+  landed within one ``shrink_storm_window`` of simulated time (the
+  §6.1 downlink-budget failure mode the anti-storm relief exists for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Finding:
+    """One diagnostic finding anchored to the event stream."""
+
+    check: str
+    severity: str  # "violation" | "anomaly"
+    t: float | None
+    seq: int | None
+    detail: str
+
+    def row(self) -> dict:
+        return {
+            "severity": self.severity,
+            "check": self.check,
+            "t": "-" if self.t is None else f"{self.t:g}",
+            "seq": "-" if self.seq is None else self.seq,
+            "detail": self.detail,
+        }
+
+
+@dataclass(slots=True)
+class DiagnosticsReport:
+    """Everything one diagnostics pass concluded."""
+
+    events_seen: int
+    checks: tuple[str, ...]
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "violation"]
+
+    @property
+    def anomalies(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "anomaly"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *invariant* was violated (anomalies may exist)."""
+        return not self.violations
+
+    def render(self) -> str:
+        head = (
+            f"== diagnostics: {self.events_seen} events, "
+            f"checks: {', '.join(self.checks)}"
+        )
+        if not self.findings:
+            return head + "\nno findings: all invariants hold"
+        lines = [head]
+        for finding in self.findings:
+            row = finding.row()
+            lines.append(
+                f"{row['severity']:<9} {row['check']:<14} "
+                f"t={row['t']:<10} seq={row['seq']:<8} {row['detail']}"
+            )
+        return "\n".join(lines)
+
+
+def _contains(region, x: float, y: float, eps: float) -> bool:
+    min_x, min_y, max_x, max_y = region
+    return (
+        min_x - eps <= x <= max_x + eps
+        and min_y - eps <= y <= max_y + eps
+    )
+
+
+def diagnose(
+    events: list,
+    probe_cascade_threshold: int = 10,
+    shrink_storm_threshold: int = 25,
+    shrink_storm_window: float = 1.0,
+    check_ground_truth: bool = False,
+    eps: float = 1e-9,
+) -> DiagnosticsReport:
+    """Run every diagnostic over ``events`` (dicts or ``Event`` objects)."""
+    rows = [
+        event if isinstance(event, dict) else event.to_dict()
+        for event in events
+    ]
+    checks = ["containment", "probe_cascade", "shrink_storm"]
+    if check_ground_truth:
+        checks.append("ground_truth")
+    report = DiagnosticsReport(events_seen=len(rows), checks=tuple(checks))
+
+    _check_containment(rows, report, eps)
+    _check_probe_cascades(rows, report, probe_cascade_threshold)
+    _check_shrink_storms(
+        rows, report, shrink_storm_threshold, shrink_storm_window
+    )
+    if check_ground_truth:
+        _check_ground_truth(rows, report)
+    report.findings.sort(
+        key=lambda f: (f.severity != "violation", f.seq or 0)
+    )
+    return report
+
+
+def _check_containment(rows, report, eps) -> None:
+    """Installed regions and shrink pushes contain their own positions."""
+    for event in rows:
+        if event.get("kind") not in ("safe_region", "shrink_push"):
+            continue
+        region = event.get("region")
+        pos = event.get("pos")
+        if region is None or pos is None:
+            continue
+        if not _contains(region, pos[0], pos[1], eps):
+            report.findings.append(Finding(
+                check="containment",
+                severity="violation",
+                t=event.get("t"),
+                seq=event.get("seq"),
+                detail=(
+                    f"{event['kind']} for oid={event.get('oid')!r} lost its "
+                    f"own location: pos={pos} outside region={region}"
+                ),
+            ))
+
+
+def _root_of(seq: int, parents: dict) -> int:
+    seen = set()
+    while seq in parents and parents[seq] is not None and seq not in seen:
+        seen.add(seq)
+        seq = parents[seq]
+    return seq
+
+
+def _check_probe_cascades(rows, report, threshold) -> None:
+    """No root event may transitively trigger a probe avalanche."""
+    parents = {e["seq"]: e.get("cause") for e in rows if "seq" in e}
+    first: dict[int, dict] = {}
+    counts: dict[int, int] = {}
+    for event in rows:
+        if event.get("kind") != "probe":
+            continue
+        root = _root_of(event["seq"], parents)
+        counts[root] = counts.get(root, 0) + 1
+        first.setdefault(root, event)
+    for root, count in sorted(counts.items()):
+        if count > threshold:
+            probe = first[root]
+            report.findings.append(Finding(
+                check="probe_cascade",
+                severity="anomaly",
+                t=probe.get("t"),
+                seq=root,
+                detail=(
+                    f"{count} probes share root event #{root} "
+                    f"(threshold {threshold}); inspect with "
+                    f"'repro events FILE --chain {root}'"
+                ),
+            ))
+
+
+def _check_shrink_storms(rows, report, threshold, window) -> None:
+    """Shrink pushes must not saturate the downlink within one window."""
+    if window <= 0:
+        raise ValueError("shrink_storm_window must be positive")
+    buckets: dict[int, list[dict]] = {}
+    for event in rows:
+        if event.get("kind") != "shrink_push":
+            continue
+        buckets.setdefault(int(event.get("t", 0.0) / window), []).append(event)
+    for slot, pushes in sorted(buckets.items()):
+        if len(pushes) > threshold:
+            report.findings.append(Finding(
+                check="shrink_storm",
+                severity="anomaly",
+                t=slot * window,
+                seq=pushes[0].get("seq"),
+                detail=(
+                    f"{len(pushes)} shrink pushes within window "
+                    f"[{slot * window:g}, {(slot + 1) * window:g}) "
+                    f"(threshold {threshold})"
+                ),
+            ))
+
+
+def _check_ground_truth(rows, report) -> None:
+    """Every accuracy checkpoint matched the exact results."""
+    for event in rows:
+        if event.get("kind") != "sample":
+            continue
+        matches = event.get("matches")
+        comparisons = event.get("comparisons")
+        if matches is None or comparisons is None:
+            continue
+        if matches < comparisons:
+            report.findings.append(Finding(
+                check="ground_truth",
+                severity="violation",
+                t=event.get("t"),
+                seq=event.get("seq"),
+                detail=(
+                    f"{comparisons - matches}/{comparisons} queries "
+                    f"diverged from ground truth at the checkpoint"
+                ),
+            ))

@@ -24,7 +24,12 @@ def write_json(snapshot: dict, path: str | Path) -> None:
 
 
 def write_jsonl(registry, path: str | Path, append: bool = False) -> int:
-    """Write one JSON line per instrument; returns the line count."""
+    """Write one JSON line per instrument; returns the line count.
+
+    With ``append=True`` the same instrument accumulates one line per
+    call; :func:`load_metrics` folds duplicates back with last-write-wins
+    semantics, so an appending sink reads back as the latest snapshot.
+    """
     snapshot = registry.to_dict()
     lines = []
     for name, value in sorted(snapshot["counters"].items()):
@@ -45,12 +50,22 @@ def load_metrics(path: str | Path) -> dict:
 
     Returns ``{"schemes": {name: snapshot}}``; a bare registry snapshot
     is wrapped under the scheme name ``"run"``, and JSON-lines files are
-    folded back into one snapshot.
+    folded back into one snapshot.  An appending JSONL sink repeats
+    instrument names across snapshots; the fold deduplicates them with
+    last-write-wins, so the result is the *latest* recorded state.
     """
     text = Path(path).read_text()
     try:
         data = json.loads(text)
     except json.JSONDecodeError:
+        data = None
+    else:
+        # A one-line JSONL file *is* valid JSON, but an instrument line
+        # is not a snapshot/document — route it through the fold rather
+        # than wrapping it as a bogus scheme.
+        if isinstance(data, dict) and "kind" in data and "name" in data:
+            data = None
+    if data is None:
         data = _fold_jsonl(text)
     if "schemes" in data:
         return data
@@ -65,6 +80,8 @@ def _fold_jsonl(text: str) -> dict:
             continue
         entry = json.loads(raw)
         kind = entry.get("kind")
+        # Plain dict assignment keyed by name: a later line for the same
+        # instrument (an appended snapshot) replaces the earlier one.
         if kind == "counter":
             snapshot["counters"][entry["name"]] = entry["value"]
         elif kind == "gauge":
@@ -72,6 +89,42 @@ def _fold_jsonl(text: str) -> dict:
         elif kind == "histogram":
             snapshot["histograms"][entry["name"]] = entry
     return snapshot
+
+
+def histogram_quantile(data: dict, q: float) -> float | None:
+    """Estimate the ``q``-quantile of an exported histogram.
+
+    Fixed-bucket histograms only retain bucket counts, so the estimate
+    is the **upper bound of the bucket** the quantile falls in, clamped
+    to the exact observed ``[min, max]`` — resolution is limited to the
+    bucket boundaries (one decade for ``TIME_BUCKETS``).  A quantile
+    landing in the overflow bucket reports the exact ``max``.  Returns
+    ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    count = data.get("count", 0)
+    if not count:
+        return None
+    target = q * count
+    cumulative = 0
+    estimate = None
+    bounds = sorted(
+        (float(key[3:]), n) for key, n in data.get("buckets", {}).items()
+    )
+    for bound, n in bounds:
+        cumulative += n
+        if cumulative >= target and cumulative > 0:
+            estimate = bound
+            break
+    if estimate is None:
+        estimate = data.get("max")  # quantile sits in the overflow bucket
+    minimum, maximum = data.get("min"), data.get("max")
+    if maximum is not None and estimate is not None:
+        estimate = min(estimate, maximum)
+    if minimum is not None and estimate is not None:
+        estimate = max(estimate, minimum)
+    return estimate
 
 
 def render_snapshot(snapshot: dict, title: str = "metrics") -> str:
@@ -84,6 +137,11 @@ def render_snapshot(snapshot: dict, title: str = "metrics") -> str:
             "count": data.get("count", 0),
             "total": _fmt(data.get("sum", 0.0)),
             "mean": _fmt(_mean(data)),
+            # Bucket-resolution estimates (see histogram_quantile): the
+            # value is the bucket's upper bound clamped to [min, max].
+            "p50": _fmt(histogram_quantile(data, 0.50)),
+            "p95": _fmt(histogram_quantile(data, 0.95)),
+            "p99": _fmt(histogram_quantile(data, 0.99)),
             "max": _fmt(data.get("max")),
         }
         (spans if name.startswith("span.") else histograms).append(row)
@@ -103,6 +161,18 @@ def render_snapshot(snapshot: dict, title: str = "metrics") -> str:
     ]
     if gauges:
         sections.append(_table("gauges", gauges))
+    series_rows = [
+        {
+            "name": name,
+            "points": len(series.get("t", ())),
+            "first": _fmt(series["v"][0]) if series.get("v") else "-",
+            "last": _fmt(series["v"][-1]) if series.get("v") else "-",
+            "peak": _fmt(max(series["v"])) if series.get("v") else "-",
+        }
+        for name, series in sorted(snapshot.get("timeseries", {}).items())
+    ]
+    if series_rows:
+        sections.append(_table("timeseries", series_rows))
     if not sections:
         sections.append("(no metrics recorded)")
     return f"== {title}\n" + "\n\n".join(sections)

@@ -156,6 +156,19 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name, buckets)
         return instrument
 
+    def value_of(self, name: str) -> float | int | None:
+        """Current value of a counter or gauge, ``None`` when absent.
+
+        The read-only lookup backing
+        :class:`~repro.obs.timeseries.TimeSeriesSampler` — unlike
+        :meth:`counter` / :meth:`gauge` it never creates instruments, so
+        sampling a name the run doesn't emit stays side-effect-free.
+        """
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._gauges.get(name)
+        return None if instrument is None else instrument.value
+
     def to_dict(self) -> dict:
         """Flat, JSON-serialisable snapshot of every instrument."""
         return {
@@ -225,6 +238,9 @@ class NullRegistry:
         self, name: str, buckets: tuple[float, ...] = TIME_BUCKETS
     ) -> _NullHistogram:
         return _NULL_HISTOGRAM
+
+    def value_of(self, name: str) -> None:
+        return None
 
     def to_dict(self) -> dict:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -26,7 +26,7 @@ from repro.core.server import DatabaseServer, ServerConfig
 from repro.kernels import Kernels
 from repro.mobility.client import MobileClient
 from repro.mobility.waypoint import RandomWaypointModel
-from repro.obs import NULL_REGISTRY, Tracer
+from repro.obs import NULL_EVENT_LOG, NULL_REGISTRY, Tracer
 from repro.simulation.metrics import (
     AccuracyAccumulator,
     CommunicationCosts,
@@ -53,9 +53,18 @@ class SRBSimulation:
         queries: list[Query] | None = None,
         truth: GroundTruth | None = None,
         metrics=None,
+        events=None,
+        sampler=None,
     ) -> None:
         self.scenario = scenario
         self.metrics = NULL_REGISTRY if metrics is None else metrics
+        #: Structured-event stream threaded into the server (flight
+        #: recorder); the shared no-op unless a recorder is attached.
+        self.events = NULL_EVENT_LOG if events is None else events
+        #: Optional :class:`~repro.obs.TimeSeriesSampler` resolved at
+        #: every accuracy checkpoint; its series land on the report's
+        #: metrics snapshot under ``"timeseries"``.
+        self.sampler = sampler
         self._trace = Tracer(self.metrics)
         if truth is not None:
             if queries is None:
@@ -90,6 +99,7 @@ class SRBSimulation:
         self.server = DatabaseServer(
             position_oracle=self._probe_oracle,
             metrics=self.metrics,
+            events=self.events,
             config=ServerConfig(
                 grid_m=scenario.grid_m,
                 space=scenario.space,
@@ -182,6 +192,13 @@ class SRBSimulation:
         self.costs = CommunicationCosts.from_server_stats(
             self.server.stats, updates=self.costs.updates
         )
+        snapshot = self.metrics.to_dict() if self.metrics.enabled else {}
+        if self.sampler is not None:
+            # Per-tick series ride on the metrics snapshot so one
+            # ``--metrics-out`` document carries both shapes; ``repro
+            # stats`` renders the extra section.
+            snapshot = dict(snapshot)
+            snapshot["timeseries"] = self.sampler.to_dict()
         return SchemeReport(
             scheme="SRB",
             num_objects=scenario.num_objects,
@@ -195,7 +212,7 @@ class SRBSimulation:
                 "reevaluations": self.server.stats.queries_reevaluated,
                 "result_changes": self.server.stats.result_changes,
             },
-            metrics=self.metrics.to_dict() if self.metrics.enabled else {},
+            metrics=snapshot,
         )
 
     # ------------------------------------------------------------------
@@ -276,7 +293,17 @@ class SRBSimulation:
 
     def _on_sample(self) -> None:
         true_results = self.truth.evaluate_at(self._now)
+        matches = 0
         for query in self.queries:
+            if query.result_snapshot() == true_results[query.query_id]:
+                matches += 1
             self.accuracy.record(
                 query.result_snapshot() == true_results[query.query_id]
             )
+        if self.events.enabled:
+            self.events.set_time(self._now)
+            self.events.emit(
+                "sample", matches=matches, comparisons=len(self.queries)
+            )
+        if self.sampler is not None:
+            self.sampler.sample(self._now)

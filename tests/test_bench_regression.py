@@ -1,0 +1,147 @@
+"""Tests for the CI benchmark-regression gate (benchmarks/check_regression.py).
+
+The checker is a standalone script (not part of the ``repro`` package),
+so it is loaded straight from its file path.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "benchmarks" / "check_regression.py"
+)
+_spec = importlib.util.spec_from_file_location("check_regression", _PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _document(rate=1000.0, cached=2000.0, smoke=False):
+    return {
+        "smoke": smoke,
+        "scenario": {"num_objects": 4000, "duration": 2.0},
+        "uncached": {"updates_per_sec": rate},
+        "cached": {"updates_per_sec": cached},
+    }
+
+
+class TestThroughputs:
+    def test_collects_nested_fields_by_json_path(self):
+        rates = check_regression.throughputs(_document())
+        assert rates == {
+            "uncached.updates_per_sec": 1000.0,
+            "cached.updates_per_sec": 2000.0,
+        }
+
+    def test_matches_suffixed_keys_and_top_level(self):
+        rates = check_regression.throughputs(
+            {"hotpath_cached_updates_per_sec": 5.0, "other": {"x": 1}}
+        )
+        assert rates == {"hotpath_cached_updates_per_sec": 5.0}
+
+    def test_ignores_non_numeric_values(self):
+        assert check_regression.throughputs(
+            {"updates_per_sec": "n/a"}
+        ) == {}
+
+
+class TestCheck:
+    def test_within_tolerance_passes(self):
+        code, messages = check_regression.check(
+            _document(rate=900.0, cached=2100.0), _document(), tolerance=0.2
+        )
+        assert code == 0
+        assert all(m.startswith("ok ") for m in messages)
+
+    def test_regression_beyond_tolerance_fails(self):
+        code, messages = check_regression.check(
+            _document(rate=700.0), _document(), tolerance=0.2
+        )
+        assert code == 1
+        assert any(
+            m.startswith("REGRESSION uncached.updates_per_sec") for m in messages
+        )
+
+    def test_improvement_beyond_tolerance_warns_but_passes(self):
+        code, messages = check_regression.check(
+            _document(rate=1500.0), _document(), tolerance=0.2
+        )
+        assert code == 0
+        assert any("refreshing the committed baseline" in m for m in messages)
+
+    def test_missing_field_in_fresh_run_fails(self):
+        fresh = _document()
+        del fresh["cached"]
+        code, messages = check_regression.check(
+            fresh, _document(), tolerance=0.2
+        )
+        assert code == 1
+        assert any("field missing" in m for m in messages)
+
+    def test_smoke_flag_mismatch_skips_gate(self):
+        # CI runs smoke mode against committed full-run baselines: the
+        # configs differ, so even a huge slowdown must not gate.
+        code, messages = check_regression.check(
+            _document(rate=1.0, smoke=True), _document(), tolerance=0.2
+        )
+        assert code == 0
+        assert any("gate skipped" in m for m in messages)
+
+    def test_scenario_mismatch_skips_gate(self):
+        fresh = _document(rate=1.0)
+        fresh["scenario"]["num_objects"] = 99
+        code, messages = check_regression.check(
+            fresh, _document(), tolerance=0.2
+        )
+        assert code == 0
+        assert any("gate skipped" in m for m in messages)
+
+    def test_baseline_without_rates_skips_gate(self):
+        empty = {"smoke": False, "scenario": None, "results": {}}
+        code, messages = check_regression.check(empty, empty, tolerance=0.2)
+        assert code == 0
+        assert any("nothing to gate" in m for m in messages)
+
+    def test_tolerance_is_respected(self):
+        fresh = _document(rate=850.0)  # -15%
+        assert check_regression.check(fresh, _document(), 0.2)[0] == 0
+        assert check_regression.check(fresh, _document(), 0.1)[0] == 1
+
+    def test_zero_baseline_rate_never_divides(self):
+        base = _document(rate=0.0)
+        code, _ = check_regression.check(_document(rate=5.0), base, 0.2)
+        assert code == 0  # infinite ratio counts as an improvement
+
+
+class TestMain:
+    def test_cli_round_trip(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh.json"
+        baseline = tmp_path / "baseline.json"
+        fresh.write_text(json.dumps(_document(rate=700.0)))
+        baseline.write_text(json.dumps(_document()))
+        assert check_regression.main([str(fresh), str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+        assert check_regression.main(
+            [str(fresh), str(baseline), "--tolerance", "0.4"]
+        ) == 0
+
+    def test_committed_baselines_self_compare_clean(self, capsys):
+        """Each committed BENCH_*.json gated against itself passes —
+        the shape the CI stash-then-gate steps rely on."""
+        results = _PATH.parent / "results"
+        baselines = sorted(results.glob("BENCH_*.json"))
+        assert baselines, "no committed benchmark baselines found"
+        for path in baselines:
+            assert check_regression.main([str(path), str(path)]) == 0
+        capsys.readouterr()
+
+
+@pytest.mark.parametrize("tolerance", [0.0, 0.2])
+def test_identity_always_passes(tolerance):
+    code, _ = check_regression.check(_document(), _document(), tolerance)
+    assert code == 0

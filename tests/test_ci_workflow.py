@@ -72,6 +72,18 @@ def _runs(job):
     return [step["run"] for step in job["steps"] if "run" in step]
 
 
+def _uploads(job):
+    return [
+        step for step in job["steps"]
+        if "upload-artifact" in step.get("uses", "")
+    ]
+
+
+def _primary_uploads(job):
+    """Unconditional artifact uploads (no ``if:`` guard)."""
+    return [step for step in _uploads(job) if "if" not in step]
+
+
 def test_tier1_command_matches_roadmap(workflow):
     roadmap = (ROOT / "ROADMAP.md").read_text()
     match = re.search(r"\*\*Tier-1 verify:\*\* `([^`]+)`", roadmap)
@@ -94,10 +106,7 @@ def test_bench_smoke_uploads_metrics_artifact(workflow):
     job = workflow["jobs"]["bench-smoke"]
     runs = _runs(job)
     assert any("benchmarks/test_scale_smoke.py" in run for run in runs)
-    uploads = [
-        step for step in job["steps"]
-        if "upload-artifact" in step.get("uses", "")
-    ]
+    uploads = _primary_uploads(job)
     assert len(uploads) == 1
     assert uploads[0]["with"]["path"] == (
         "benchmarks/results/bench_metrics.json"
@@ -113,10 +122,7 @@ def test_bench_hotpath_runs_smoke_and_uploads_baseline(workflow):
         and "benchmarks/test_hotpath_bench.py" in run
         for run in runs
     )
-    uploads = [
-        step for step in job["steps"]
-        if "upload-artifact" in step.get("uses", "")
-    ]
+    uploads = _primary_uploads(job)
     assert len(uploads) == 1
     assert uploads[0]["with"]["path"] == (
         "benchmarks/results/BENCH_hotpath.json"
@@ -135,12 +141,51 @@ def test_bench_kernels_runs_both_backends_and_gates_on_equivalence(workflow):
     # A dedicated step re-reads the emitted JSON and exits non-zero when
     # the backend A/B diverged — the job cannot go green on a mismatch.
     assert any("d['equivalent']" in run for run in runs)
-    uploads = [
-        step for step in job["steps"]
-        if "upload-artifact" in step.get("uses", "")
-    ]
+    uploads = _primary_uploads(job)
     assert len(uploads) == 1
     assert uploads[0]["with"]["path"] == (
         "benchmarks/results/BENCH_kernels.json"
     )
     assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
+def test_bench_jobs_upload_flight_recorder_on_failure(workflow):
+    """Every bench job archives flight-recorder spills when it fails.
+
+    The upload is guarded by ``if: failure()`` (green runs stay light)
+    and tolerates absent files — a job can fail before any recorder
+    spill exists.
+    """
+    for name in ("bench-smoke", "bench-hotpath", "bench-kernels"):
+        job = workflow["jobs"][name]
+        failure_uploads = [
+            step for step in _uploads(job) if step.get("if") == "failure()"
+        ]
+        assert len(failure_uploads) == 1, name
+        upload = failure_uploads[0]["with"]
+        assert "flight" in upload["path"], name
+        assert upload["if-no-files-found"] == "ignore", name
+
+
+def test_bench_jobs_gate_throughput_against_stashed_baseline(workflow):
+    """Baseline-producing bench jobs stash the committed JSON and gate.
+
+    The benchmark overwrites its committed baseline in place, so the
+    job must copy it aside *before* the run and hand both files to
+    ``benchmarks/check_regression.py`` afterwards.
+    """
+    for name, artifact in (
+        ("bench-hotpath", "BENCH_hotpath.json"),
+        ("bench-kernels", "BENCH_kernels.json"),
+    ):
+        runs = _runs(workflow["jobs"][name])
+        stash = [
+            i for i, run in enumerate(runs)
+            if f"cp benchmarks/results/{artifact}" in run
+        ]
+        gate = [
+            i for i, run in enumerate(runs)
+            if "check_regression.py" in run and artifact in run
+        ]
+        assert stash and gate, f"{name} missing stash or gate step"
+        assert stash[0] < gate[0], f"{name} must stash before gating"

@@ -14,6 +14,33 @@ class TestParser:
         args = build_parser().parse_args(["compare"])
         assert args.command == "compare"
         assert args.schemes == "SRB,OPT,PRD(1),PRD(0.1)"
+        assert args.events_out is None
+        assert args.flight_recorder is None
+        assert args.flight_recorder_size == 4096
+
+    def test_events_flags(self):
+        args = build_parser().parse_args([
+            "events", "run.jsonl", "--kind", "probe", "--oid", "7",
+            "--since", "2", "--until", "5", "--limit", "20",
+        ])
+        assert args.command == "events"
+        assert args.kind == "probe" and args.oid == "7"
+        assert args.since == 2.0 and args.until == 5.0
+        assert args.chain is None
+
+    def test_monitor_defaults_to_live_run(self):
+        args = build_parser().parse_args(["monitor"])
+        assert args.file is None
+        assert args.interval == 1.0
+
+    def test_diagnose_thresholds(self):
+        args = build_parser().parse_args([
+            "diagnose", "run.jsonl", "--probe-cascade-threshold", "3",
+            "--ground-truth",
+        ])
+        assert args.probe_cascade_threshold == 3
+        assert args.shrink_storm_threshold == 25
+        assert args.ground_truth is True
 
     def test_figure_id(self):
         args = build_parser().parse_args(["figure", "7.5"])
@@ -62,3 +89,127 @@ class TestCommands:
         ])
         assert code == 0
         assert "Fig 7.4b" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def recorded_run(tmp_path_factory):
+    """One small instrumented compare run shared by the event-tooling
+    tests: an event stream, a flight-recorder tail, and a metrics file."""
+    root = tmp_path_factory.mktemp("events")
+    paths = {
+        "events": root / "events.jsonl",
+        "flight": root / "flight.jsonl",
+        "metrics": root / "metrics.json",
+    }
+    code = main([
+        "compare", "--objects", "80", "--queries", "5",
+        "--duration", "0.8", "--schemes", "SRB",
+        "--events-out", str(paths["events"]),
+        "--flight-recorder", str(paths["flight"]),
+        "--flight-recorder-size", "200",
+        "--metrics-out", str(paths["metrics"]),
+    ])
+    assert code == 0
+    return paths
+
+
+class TestEventTooling:
+    def test_compare_streams_events_and_dumps_recorder(
+        self, recorded_run, capsys
+    ):
+        assert recorded_run["events"].exists()
+        assert recorded_run["flight"].exists()
+        # The ring capacity bounds the flight-recorder tail; the sink
+        # holds the full stream.
+        flight_lines = len(recorded_run["flight"].read_text().splitlines())
+        event_lines = len(recorded_run["events"].read_text().splitlines())
+        assert flight_lines <= 200
+        assert event_lines >= flight_lines
+        capsys.readouterr()
+
+    def test_events_filter_and_limit(self, recorded_run, capsys):
+        code = main([
+            "events", str(recorded_run["events"]),
+            "--kind", "probe", "--limit", "3",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert 0 < len(lines) <= 3
+        assert all("probe" in line for line in lines)
+        assert "events" in captured.err  # the "-- N of M events" summary
+
+    def test_events_chain_replays_causality(self, recorded_run, capsys):
+        import json as _json
+
+        rows = [
+            _json.loads(line)
+            for line in recorded_run["events"].read_text().splitlines()
+        ]
+        probe = next(
+            row for row in rows
+            if row["kind"] == "probe" and row["cause"] is not None
+        )
+        code = main([
+            "events", str(recorded_run["events"]),
+            "--chain", str(probe["seq"]),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"#{probe['seq']}" in out
+        assert f"#{probe['cause']}" in out
+
+    def test_events_chain_unknown_seq_fails(self, recorded_run, capsys):
+        code = main([
+            "events", str(recorded_run["events"]), "--chain", "99999999",
+        ])
+        assert code == 1
+        assert "no event with seq" in capsys.readouterr().err
+
+    def test_events_missing_file(self, tmp_path, capsys):
+        code = main(["events", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_monitor_replays_a_file(self, recorded_run, capsys):
+        code = main([
+            "monitor", str(recorded_run["events"]), "--interval", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "event timeline" in out
+        assert "update" in out
+
+    def test_diagnose_clean_run_exits_zero(self, recorded_run, capsys):
+        code = main(["diagnose", str(recorded_run["events"])])
+        assert code == 0
+        assert "all invariants hold" in capsys.readouterr().out
+
+    def test_diagnose_corrupted_replay_exits_nonzero(
+        self, recorded_run, tmp_path, capsys
+    ):
+        import json as _json
+
+        rows = [
+            _json.loads(line)
+            for line in recorded_run["events"].read_text().splitlines()
+        ]
+        victim = next(
+            row for row in rows
+            if row["kind"] == "safe_region" and row.get("region")
+        )
+        victim["pos"] = [victim["region"][2] + 1.0, victim["pos"][1]]
+        corrupted = tmp_path / "corrupted.jsonl"
+        corrupted.write_text(
+            "".join(_json.dumps(row) + "\n" for row in rows)
+        )
+        code = main(["diagnose", str(corrupted)])
+        assert code == 1
+        assert "containment" in capsys.readouterr().out
+
+    def test_stats_renders_timeseries_section(self, recorded_run, capsys):
+        code = main(["stats", str(recorded_run["metrics"])])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[timeseries]" in out
+        assert "p50" in out and "p99" in out

@@ -1,0 +1,193 @@
+"""Tests for the invariant checker / anomaly detector over event streams."""
+
+import random
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery
+from repro.core.server import DatabaseServer, ServerConfig
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs import EventLog, diagnose, read_events
+
+
+def _recorded_run(ticks=60, num_objects=40, seed=11):
+    rng = random.Random(seed)
+    live = {i: Point(rng.random(), rng.random()) for i in range(num_objects)}
+    log = EventLog(capacity=500_000)
+    server = DatabaseServer(
+        lambda oid: live[oid],
+        ServerConfig(grid_m=8, max_speed=0.05),
+        events=log,
+    )
+    server.load_objects(live.items())
+    server.register_query(RangeQuery(Rect(0.2, 0.2, 0.7, 0.7), query_id="r1"))
+    server.register_query(KNNQuery(Point(0.4, 0.6), 4, query_id="k1"))
+    for t in range(1, ticks + 1):
+        for oid in rng.sample(sorted(live), 6):
+            p = live[oid]
+            live[oid] = Point(
+                min(max(p.x + rng.uniform(-0.04, 0.04), 0.0), 1.0),
+                min(max(p.y + rng.uniform(-0.04, 0.04), 0.0), 1.0),
+            )
+            server.handle_location_update(oid, live[oid], time=float(t))
+    return log
+
+
+class TestCleanRun:
+    def test_default_scenario_has_zero_violations(self):
+        log = _recorded_run()
+        report = diagnose([e.to_dict() for e in log.events()])
+        assert report.events_seen == len(log)
+        assert report.violations == []
+        assert report.ok
+
+    def test_accepts_event_objects_directly(self):
+        log = _recorded_run(ticks=10)
+        assert diagnose(list(log.events())).ok
+
+    def test_jsonl_round_trip_diagnoses_identically(self, tmp_path):
+        log = _recorded_run(ticks=20)
+        path = tmp_path / "flight.jsonl"
+        log.dump(path)
+        live = diagnose([e.to_dict() for e in log.events()])
+        replayed = diagnose(read_events(path))
+        assert replayed.events_seen == live.events_seen
+        assert replayed.ok == live.ok
+        assert len(replayed.findings) == len(live.findings)
+
+
+class TestCorruptedReplay:
+    def test_stale_safe_region_is_flagged(self, tmp_path):
+        """A deliberately corrupted replay — a safe region installed for a
+        position outside its rectangle — must surface as a containment
+        violation (the quarantine-soundness invariant)."""
+        log = _recorded_run(ticks=20)
+        path = tmp_path / "flight.jsonl"
+        log.dump(path)
+        rows = read_events(path)
+        victims = [
+            row for row in rows
+            if row["kind"] == "safe_region" and row.get("region")
+        ]
+        assert victims
+        # Push the recorded position outside the granted rectangle.
+        corrupt = victims[len(victims) // 2]
+        min_x, _, max_x, _ = corrupt["region"]
+        corrupt["pos"] = [max_x + 0.25, corrupt["pos"][1]]
+
+        report = diagnose(rows)
+        assert not report.ok
+        assert len(report.violations) == 1
+        violation = report.violations[0]
+        assert violation.check == "containment"
+        assert violation.seq == corrupt["seq"]
+        assert "lost its own location" in violation.detail
+
+    def test_corrupt_shrink_push_is_flagged(self):
+        rows = [{
+            "seq": 1, "t": 3.0, "kind": "shrink_push", "cause": None,
+            "oid": 5, "region": [0.0, 0.0, 0.1, 0.1], "pos": [0.9, 0.9],
+        }]
+        report = diagnose(rows)
+        assert [f.check for f in report.violations] == ["containment"]
+
+    def test_boundary_position_is_tolerated(self):
+        rows = [{
+            "seq": 1, "t": 0.0, "kind": "safe_region", "cause": None,
+            "oid": 1, "region": [0.0, 0.0, 0.5, 0.5], "pos": [0.5, 0.0],
+        }]
+        assert diagnose(rows).ok
+
+
+class TestAnomalies:
+    def test_probe_cascade_detected_past_threshold(self):
+        rows = [{"seq": 1, "t": 0.0, "kind": "update", "cause": None}]
+        rows += [
+            {"seq": 1 + i, "t": 0.0, "kind": "probe", "cause": 1, "oid": i}
+            for i in range(1, 5)
+        ]
+        report = diagnose(rows, probe_cascade_threshold=3)
+        assert report.ok  # anomalies never flip ok
+        assert [f.check for f in report.anomalies] == ["probe_cascade"]
+        anomaly = report.anomalies[0]
+        assert anomaly.seq == 1  # anchored at the root, not a probe
+        assert "--chain 1" in anomaly.detail
+
+    def test_probe_cascade_counts_transitively(self):
+        # update -> reevaluation -> probes: all probes share the root.
+        rows = [
+            {"seq": 1, "t": 0.0, "kind": "update", "cause": None},
+            {"seq": 2, "t": 0.0, "kind": "reevaluation", "cause": 1},
+            {"seq": 3, "t": 0.0, "kind": "probe", "cause": 2},
+            {"seq": 4, "t": 0.0, "kind": "probe", "cause": 2},
+        ]
+        assert diagnose(rows, probe_cascade_threshold=1).anomalies
+        assert not diagnose(rows, probe_cascade_threshold=2).anomalies
+
+    def test_shrink_storm_detected_within_window(self):
+        rows = [
+            {"seq": i, "t": 0.1 * i, "kind": "shrink_push", "cause": None,
+             "oid": i}
+            for i in range(6)  # six pushes inside [0, 1)
+        ]
+        report = diagnose(rows, shrink_storm_threshold=5)
+        assert [f.check for f in report.anomalies] == ["shrink_storm"]
+        assert not diagnose(rows, shrink_storm_threshold=6).anomalies
+
+    def test_shrink_storm_respects_window_boundaries(self):
+        rows = [
+            {"seq": i, "t": float(i), "kind": "shrink_push", "cause": None}
+            for i in range(10)  # one push per window: never a storm
+        ]
+        assert not diagnose(rows, shrink_storm_threshold=1).anomalies
+
+    def test_shrink_storm_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            diagnose([], shrink_storm_window=0.0)
+
+
+class TestGroundTruth:
+    def test_off_by_default(self):
+        rows = [{"seq": 1, "t": 1.0, "kind": "sample", "cause": None,
+                 "matches": 0, "comparisons": 5}]
+        report = diagnose(rows)
+        assert "ground_truth" not in report.checks
+        assert report.ok
+
+    def test_divergence_is_a_violation_when_enabled(self):
+        rows = [
+            {"seq": 1, "t": 1.0, "kind": "sample", "cause": None,
+             "matches": 5, "comparisons": 5},
+            {"seq": 2, "t": 2.0, "kind": "sample", "cause": None,
+             "matches": 3, "comparisons": 5},
+        ]
+        report = diagnose(rows, check_ground_truth=True)
+        assert "ground_truth" in report.checks
+        assert len(report.violations) == 1
+        assert report.violations[0].seq == 2
+        assert "2/5" in report.violations[0].detail
+
+
+class TestReport:
+    def test_render_clean(self):
+        text = diagnose([]).render()
+        assert "0 events" in text
+        assert "all invariants hold" in text
+
+    def test_render_orders_violations_before_anomalies(self):
+        rows = [{"seq": 1, "t": 0.0, "kind": "update", "cause": None}]
+        rows += [
+            {"seq": 1 + i, "t": 0.0, "kind": "probe", "cause": 1}
+            for i in range(1, 4)
+        ]
+        rows.append({
+            "seq": 50, "t": 0.0, "kind": "safe_region", "cause": None,
+            "oid": 2, "region": [0.0, 0.0, 0.1, 0.1], "pos": [0.5, 0.5],
+        })
+        report = diagnose(rows, probe_cascade_threshold=2)
+        assert [f.severity for f in report.findings] == [
+            "violation", "anomaly",
+        ]
+        text = report.render()
+        assert text.index("containment") < text.index("probe_cascade")

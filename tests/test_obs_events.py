@@ -1,0 +1,227 @@
+"""Tests for the structured-event stream and flight recorder."""
+
+import json
+import random
+
+import pytest
+
+from repro.core.queries import KNNQuery, RangeQuery
+from repro.core.server import DatabaseServer, ServerConfig
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs import (
+    EVENT_KINDS,
+    NULL_EVENT_LOG,
+    EventLog,
+    causal_chain,
+    filter_events,
+    read_events,
+    timeline,
+)
+
+
+class TestEventLog:
+    def test_emit_assigns_ascending_seq_and_time(self):
+        log = EventLog()
+        log.set_time(2.5)
+        first = log.emit("update", oid=1)
+        second = log.emit("probe", cause=first, oid=2)
+        assert second == first + 1
+        events = log.events()
+        assert [e.seq for e in events] == [first, second]
+        assert all(e.t == 2.5 for e in events)
+        assert events[1].cause == first
+
+    def test_ring_buffer_retains_only_capacity(self):
+        log = EventLog(capacity=10)
+        for i in range(25):
+            log.emit("update", oid=i)
+        assert len(log) == 10
+        assert log.total_emitted == 25
+        assert [e.data["oid"] for e in log.events()] == list(range(15, 25))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_to_dict_flattens_data(self):
+        log = EventLog()
+        log.set_time(1.0)
+        seq = log.emit("probe", cause=None, oid=7, pos=(0.5, 0.5))
+        row = log.events()[0].to_dict()
+        assert row == {
+            "seq": seq, "t": 1.0, "kind": "probe", "cause": None,
+            "oid": 7, "pos": (0.5, 0.5),
+        }
+
+    def test_sink_streams_every_event_despite_small_ring(self, tmp_path):
+        sink = tmp_path / "events.jsonl"
+        log = EventLog(capacity=2, sink=sink)
+        for i in range(9):
+            log.emit("update", oid=i)
+        log.close()
+        rows = read_events(sink)
+        assert len(rows) == 9  # the ring kept 2, the sink kept all
+        assert [row["oid"] for row in rows] == list(range(9))
+
+    def test_dump_spills_ring_as_jsonl(self, tmp_path):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit("update", oid=i)
+        out = tmp_path / "flight.jsonl"
+        assert log.dump(out) == 3
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert [row["oid"] for row in rows] == [2, 3, 4]
+
+    def test_null_log_is_inert(self, tmp_path):
+        assert NULL_EVENT_LOG.enabled is False
+        assert NULL_EVENT_LOG.emit("update", oid=1) == 0
+        assert NULL_EVENT_LOG.events() == []
+        assert len(NULL_EVENT_LOG) == 0
+        assert NULL_EVENT_LOG.total_emitted == 0
+        assert NULL_EVENT_LOG.dump(tmp_path / "nothing.jsonl") == 0
+        assert not (tmp_path / "nothing.jsonl").exists()
+
+
+class TestFilterAndChain:
+    def _rows(self):
+        return [
+            {"seq": 1, "t": 0.0, "kind": "update", "cause": None, "oid": 3},
+            {"seq": 2, "t": 0.0, "kind": "reevaluation", "cause": 1,
+             "query": "q1", "oid": 3},
+            {"seq": 3, "t": 0.0, "kind": "probe", "cause": 2, "oid": 9},
+            {"seq": 4, "t": 0.0, "kind": "result_change", "cause": 2,
+             "query": "q1"},
+            {"seq": 5, "t": 7.0, "kind": "update", "cause": None, "oid": 9},
+        ]
+
+    def test_filter_by_kind_oid_query_and_time(self):
+        rows = self._rows()
+        assert [e["seq"] for e in filter_events(rows, kind="update")] == [1, 5]
+        assert [e["seq"] for e in filter_events(rows, oid=9)] == [3, 5]
+        # Stringified ids match too (JSON round-trips may change types).
+        assert [e["seq"] for e in filter_events(rows, oid="9")] == [3, 5]
+        assert [e["seq"] for e in filter_events(rows, query="q1")] == [2, 4]
+        assert [e["seq"] for e in filter_events(rows, t_min=1.0)] == [5]
+        assert [e["seq"] for e in filter_events(rows, t_max=1.0)] == [1, 2, 3, 4]
+
+    def test_chain_from_leaf_recovers_whole_tree(self):
+        rows = self._rows()
+        chain = causal_chain(rows, 3)  # start from the probe
+        assert [e["seq"] for e in chain] == [1, 2, 3, 4]
+
+    def test_chain_from_root_and_unknown_seq(self):
+        rows = self._rows()
+        assert [e["seq"] for e in causal_chain(rows, 5)] == [5]
+        assert causal_chain(rows, 99) == []
+
+    def test_chain_survives_cause_outside_window(self):
+        # Ring truncation can drop the root; the walk stops gracefully.
+        rows = [
+            {"seq": 10, "t": 1.0, "kind": "reevaluation", "cause": 2},
+            {"seq": 11, "t": 1.0, "kind": "probe", "cause": 10},
+        ]
+        assert [e["seq"] for e in causal_chain(rows, 11)] == [10, 11]
+
+
+class TestTimeline:
+    def test_buckets_by_interval_and_counts_kinds(self):
+        rows = [
+            {"seq": 1, "t": 0.2, "kind": "update"},
+            {"seq": 2, "t": 0.9, "kind": "probe"},
+            {"seq": 3, "t": 2.4, "kind": "update"},
+        ]
+        table = timeline(rows, interval=1.0)
+        assert [row["t0"] for row in table] == [0.0, 2.0]
+        assert table[0]["update"] == 1 and table[0]["probe"] == 1
+        assert table[1]["update"] == 1
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            timeline([], interval=0.0)
+
+
+def _drive_server(events, ticks=200, num_objects=30, seed=3):
+    """A small SRB world driven for ``ticks`` update rounds."""
+    rng = random.Random(seed)
+    live = {i: Point(rng.random(), rng.random()) for i in range(num_objects)}
+    server = DatabaseServer(
+        lambda oid: live[oid],
+        ServerConfig(grid_m=8, max_speed=0.05),
+        events=events,
+    )
+    server.load_objects(live.items())
+    server.register_query(RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="r1"))
+    server.register_query(KNNQuery(Point(0.5, 0.5), 3, query_id="k1"))
+    for t in range(1, ticks + 1):
+        for oid in rng.sample(sorted(live), 5):
+            p = live[oid]
+            live[oid] = Point(
+                min(max(p.x + rng.uniform(-0.05, 0.05), 0.0), 1.0),
+                min(max(p.y + rng.uniform(-0.05, 0.05), 0.0), 1.0),
+            )
+            server.handle_location_update(oid, live[oid], time=float(t))
+    server.validate()
+    return server
+
+
+class TestServerIntegration:
+    def test_200_tick_run_replays_full_probe_causal_chain(self):
+        """The ISSUE acceptance path: update → reevaluation → probe →
+        result_change, reconstructed from the flight recorder alone."""
+        log = EventLog(capacity=200_000)
+        _drive_server(log, ticks=200)
+        rows = [e.to_dict() for e in log.events()]
+        assert {row["kind"] for row in rows} <= EVENT_KINDS
+
+        probes = [
+            row for row in rows
+            if row["kind"] == "probe" and row["cause"] is not None
+        ]
+        assert probes, "the run issued no caused probes"
+        full_chains = 0
+        for probe in probes:
+            chain = causal_chain(rows, probe["seq"])
+            kinds = [row["kind"] for row in chain]
+            roots = [row for row in chain if row["cause"] is None]
+            assert len(roots) == 1
+            assert roots[0]["kind"] in ("update", "query_registered")
+            if roots[0]["kind"] == "update":
+                # Probes under an update are always issued from within a
+                # query reevaluation.
+                assert "reevaluation" in kinds
+                if "result_change" in kinds:
+                    full_chains += 1
+        assert full_chains, (
+            "no probe chain spanned update -> reevaluation -> probe "
+            "-> result_change"
+        )
+        # Probes chain to the reevaluation they were issued under.
+        by_seq = {row["seq"]: row for row in rows}
+        assert any(
+            by_seq[probe["cause"]]["kind"] == "reevaluation"
+            for probe in probes
+            if probe["cause"] in by_seq
+        )
+
+    def test_event_times_follow_the_update_clock(self):
+        log = EventLog(capacity=200_000)
+        _drive_server(log, ticks=20)
+        updates = [e for e in log.events() if e.kind == "update"]
+        assert updates[0].t == 1.0
+        assert updates[-1].t == 20.0
+
+    def test_no_event_log_attached_emits_nothing(self):
+        server = _drive_server(None, ticks=5)
+        assert server.events is NULL_EVENT_LOG
+
+    def test_server_stats_match_event_counts(self):
+        log = EventLog(capacity=200_000)
+        server = _drive_server(log, ticks=50)
+        kinds = {}
+        for event in log.events():
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        assert kinds.get("update", 0) == server.stats.location_updates
+        assert kinds.get("probe", 0) == server.stats.probes
+        assert kinds.get("shrink_push", 0) == server.stats.safe_region_pushes
+        assert kinds.get("result_change", 0) == server.stats.result_changes

@@ -1,0 +1,140 @@
+"""Exporter edge cases: quantiles, JSONL round-trips, snapshot rendering."""
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    load_metrics,
+    render_snapshot,
+    write_jsonl,
+)
+
+
+def _exported(*observations, buckets=(0.001, 0.01, 0.1, 1.0)):
+    h = Histogram("h", buckets=buckets)
+    for value in observations:
+        h.observe(value)
+    return h.to_dict()
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_returns_none(self):
+        assert histogram_quantile(_exported(), 0.5) is None
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(_exported(0.5), 1.5)
+        with pytest.raises(ValueError):
+            histogram_quantile(_exported(0.5), -0.1)
+
+    def test_single_observation_collapses_to_it(self):
+        # min == max pins every quantile to the exact observation, even
+        # though the bucket bound alone would report 0.01.
+        data = _exported(0.004)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram_quantile(data, q) == pytest.approx(0.004)
+
+    def test_overflow_only_histogram_reports_exact_max(self):
+        # Every observation past the last bucket: no bucket ever reaches
+        # the target, so the estimate falls through to the observed max.
+        data = _exported(5.0, 7.0, 9.0)
+        assert data["overflow"] == 3
+        assert histogram_quantile(data, 0.5) == pytest.approx(9.0)
+        assert histogram_quantile(data, 0.5) == data["max"]
+
+    def test_estimate_is_bucket_upper_bound_clamped_to_range(self):
+        # 10 observations at 0.005 and 10 at 0.05: the median bucket is
+        # le_0.01, and max clamping leaves the bound intact.
+        data = _exported(*([0.005] * 10 + [0.05] * 10))
+        assert histogram_quantile(data, 0.5) == pytest.approx(0.01)
+        # p95 lands in le_0.1 but clamps down to the observed max.
+        assert histogram_quantile(data, 0.95) == pytest.approx(0.05)
+
+    def test_zero_quantile_reports_first_non_empty_bucket(self):
+        data = _exported(*([0.005] * 10 + [0.05] * 10))
+        assert histogram_quantile(data, 0.0) == pytest.approx(0.01)
+
+
+class TestJsonlRoundTrip:
+    def _populated(self, probes=3):
+        registry = MetricsRegistry()
+        registry.counter("server.probes").inc(probes)
+        registry.gauge("index.size").set(10.0 + probes)
+        registry.histogram("span.update.seconds").observe(0.001 * probes)
+        return registry
+
+    def test_appending_sink_reads_back_latest_snapshot(self, tmp_path):
+        """The dedup fix: an appending JSONL sink repeats instrument
+        names; load_metrics must fold them last-write-wins instead of
+        keeping the first (stale) line."""
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(self._populated(probes=3), path)
+        latest = self._populated(probes=8)
+        write_jsonl(latest, path, append=True)
+        assert len(path.read_text().splitlines()) == 6
+
+        document = load_metrics(path)
+        snapshot = document["schemes"]["run"]
+        assert snapshot == latest.to_dict()
+        assert snapshot["counters"]["server.probes"] == 8
+        assert snapshot["gauges"]["index.size"] == 18.0
+
+    def test_single_line_jsonl_is_not_mistaken_for_a_document(self, tmp_path):
+        """A one-line JSONL file parses as valid JSON; it must still be
+        folded as JSON-lines, not wrapped as a bogus scheme snapshot."""
+        registry = MetricsRegistry()
+        registry.counter("server.probes").inc(5)
+        path = tmp_path / "one.jsonl"
+        assert write_jsonl(registry, path) == 1
+
+        document = load_metrics(path)
+        assert document["schemes"]["run"]["counters"] == {"server.probes": 5}
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        write_jsonl(self._populated(), path)
+        with open(path, "a") as sink:
+            sink.write("\n   \n")
+        assert load_metrics(path)["schemes"]["run"]["counters"]
+
+
+class TestRenderSnapshot:
+    def test_histogram_rows_carry_quantile_columns(self):
+        registry = MetricsRegistry()
+        span = registry.histogram("span.update.seconds")
+        for value in [0.005] * 19 + [0.5]:
+            span.observe(value)
+        text = render_snapshot(registry.to_dict(), title="SRB")
+        header = next(
+            line for line in text.splitlines() if "p50" in line
+        )
+        assert "p95" in header and "p99" in header
+        row = next(
+            line for line in text.splitlines()
+            if line.startswith("span.update.seconds")
+        )
+        # p50 sits in the le_0.01 bucket; p99 clamps to the 0.5 max.
+        assert "0.01" in row
+        assert "0.5" in row
+
+    def test_timeseries_section_renders_summary_rows(self):
+        snapshot = {
+            "counters": {}, "gauges": {}, "histograms": {},
+            "timeseries": {
+                "server.probes": {"t": [1.0, 2.0, 3.0], "v": [2, 9, 11]},
+            },
+        }
+        text = render_snapshot(snapshot)
+        assert "[timeseries]" in text
+        row = next(
+            line for line in text.splitlines()
+            if line.startswith("server.probes")
+        )
+        assert "3" in row  # points
+        assert "11" in row  # last == peak
+
+    def test_empty_timeseries_section_is_omitted(self):
+        snapshot = {"counters": {"c": 1}, "timeseries": {}}
+        assert "[timeseries]" not in render_snapshot(snapshot)
