@@ -23,7 +23,11 @@ style overrides of the laptop-scale defaults; ``compare --metrics-out
 FILE`` additionally records per-phase span timings and counters
 (docs/OBSERVABILITY.md describes the vocabulary) plus per-checkpoint
 time series, and ``compare --events-out/--flight-recorder`` records the
-structured-event stream of the SRB scheme.
+structured-event stream of the SRB scheme.  ``--faults
+drop=0.05,dup=0.02,delay=2 --fault-seed N`` injects deterministic
+channel/probe faults into the SRB run (docs/ROBUSTNESS.md); pipe the
+resulting recorder through ``diagnose`` to check the robustness
+invariants.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ import sys
 
 from repro.analysis import expected_escape_time, simulate_escape_time
 from repro.experiments import figures, format_table, run_schemes, sweep
+from repro.faults import FaultPlan
 from repro.geometry import Point, Rect
 from repro.obs import (
     EventLog,
@@ -78,9 +83,28 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="batch-geometry backend (repro.kernels); "
                              "'both' runs each backend and verifies the "
                              "reports match (compare only)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject channel/probe faults, e.g. "
+                             "'drop=0.05,dup=0.02,delay=2,probe_timeout=0.1' "
+                             "(docs/ROBUSTNESS.md); delay counts ticks of "
+                             "the sample interval")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the fault-injection PRNGs "
+                             "(independent of --seed)")
+    parser.add_argument("--retransmit-timeout", type=float, default=None,
+                        help="how long a client waits for its safe region "
+                             "before resending a report (faulted runs "
+                             "only; default covers the worst faulted "
+                             "round trip)")
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
+    if args.faults is not None:
+        try:
+            FaultPlan.parse(args.faults)
+        except ValueError as error:
+            print(f"bad --faults spec: {error}", file=sys.stderr)
+            raise SystemExit(2) from None
     return figures.BENCH_BASE.with_overrides(
         num_objects=args.objects,
         num_queries=args.queries,
@@ -100,6 +124,9 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
             if args.kernel_backend == "both"
             else args.kernel_backend
         ),
+        fault_spec=args.faults,
+        fault_seed=args.fault_seed,
+        retransmit_timeout=args.retransmit_timeout,
     )
 
 
@@ -280,6 +307,9 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         probe_cascade_threshold=args.probe_cascade_threshold,
         shrink_storm_threshold=args.shrink_storm_threshold,
         shrink_storm_window=args.shrink_storm_window,
+        retry_storm_threshold=args.retry_storm_threshold,
+        retry_storm_window=args.retry_storm_window,
+        stuck_degraded_timeout=args.stuck_degraded_timeout,
         check_ground_truth=args.ground_truth,
     )
     print(report.render())
@@ -439,6 +469,18 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose_cmd.add_argument(
         "--shrink-storm-window", type=float, default=1.0,
         help="storm-detection window in simulated time",
+    )
+    diagnose_cmd.add_argument(
+        "--retry-storm-threshold", type=int, default=30,
+        help="max probe retries per window before flagging a storm",
+    )
+    diagnose_cmd.add_argument(
+        "--retry-storm-window", type=float, default=1.0,
+        help="retry-storm window in simulated time",
+    )
+    diagnose_cmd.add_argument(
+        "--stuck-degraded-timeout", type=float, default=5.0,
+        help="max time an object may stay degraded without recovery",
     )
     diagnose_cmd.add_argument(
         "--ground-truth", action="store_true",

@@ -16,11 +16,18 @@ class ResultChange:
 
     ``old`` / ``new`` are the query's ``result_snapshot()`` values before
     and after the triggering event; application servers receive these.
+
+    ``degraded`` flags result members whose positions the server could
+    not refresh (probe timeouts / budget exhaustion, docs/ROBUSTNESS.md):
+    their membership is based on a stale position widened to the
+    reachability circle, so consumers must treat them as *possibly*
+    in the result rather than confirmed — flagged, never silently wrong.
     """
 
     query_id: str
     old: object
     new: object
+    degraded: tuple = ()
 
     @property
     def changed(self) -> bool:
@@ -37,6 +44,9 @@ class UpdateOutcome:
       (server-initiated updates), mapped to the fresh safe regions sent to
       those objects.
     * ``changes`` — per-query result deltas to push to application servers.
+    * ``missed`` — objects the server tried to probe but could not reach
+      (timeouts past the retry budget); they entered degraded mode and
+      have no deliverable safe region this round (docs/ROBUSTNESS.md).
     * ``queries_checked`` / ``queries_reevaluated`` — bookkeeping used by
       the experiments (grid-index filtering effectiveness).
     """
@@ -44,6 +54,7 @@ class UpdateOutcome:
     safe_region: Rect | None = None
     probed: dict[ObjectId, Rect] = field(default_factory=dict)
     changes: list[ResultChange] = field(default_factory=list)
+    missed: list[ObjectId] = field(default_factory=list)
     queries_checked: int = 0
     queries_reevaluated: int = 0
 
@@ -73,6 +84,7 @@ class BatchOutcome:
 
     regions: dict[ObjectId, Rect] = field(default_factory=dict)
     changes: list[ResultChange] = field(default_factory=list)
+    missed: list[ObjectId] = field(default_factory=list)
     queries_checked: int = 0
     queries_reevaluated: int = 0
 
@@ -82,5 +94,16 @@ class BatchOutcome:
             self.regions[oid] = outcome.safe_region
         self.regions.update(outcome.probed)
         self.changes.extend(outcome.changes)
+        if self.missed:
+            # A later report or successful probe supersedes an earlier
+            # miss — the object is reachable again.
+            reached = {oid, *outcome.probed}
+            self.missed = [t for t in self.missed if t not in reached]
+        for target in outcome.missed:
+            if target not in self.missed:
+                self.missed.append(target)
+            # An unreachable object has no deliverable region: a stale
+            # one from an earlier report in the batch must not ship.
+            self.regions.pop(target, None)
         self.queries_checked += outcome.queries_checked
         self.queries_reevaluated += outcome.queries_reevaluated

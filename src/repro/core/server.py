@@ -28,6 +28,7 @@ from repro.core.reevaluation import (
 )
 from repro.core.results import BatchOutcome, ResultChange, UpdateOutcome
 from repro.core.safe_region import compute_safe_region, knn_safe_region
+from repro.faults import ProbeTimeout
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.bulk import bulk_load
@@ -93,6 +94,27 @@ class ServerConfig:
     #: relief's probes (see benchmarks/test_ablations.py).  Enable for
     #: deployments with very fine position polling and no probe budget.
     anti_storm_relief: bool = False
+    #: Robustness knobs (docs/ROBUSTNESS.md).  A probe attempt that the
+    #: channel reports as lost (``repro.faults.ProbeTimeout``) is retried
+    #: up to ``probe_retries`` times with exponential backoff starting at
+    #: ``probe_timeout`` time units; ``probe_budget`` caps the probe
+    #: attempts any single update or registration may spend (``None`` =
+    #: unlimited).  When an object stays unreachable it enters *degraded
+    #: mode*: its effective region widens to the §6.1 reachability circle
+    #: so query answers stay conservative, and results referencing it are
+    #: flagged rather than silently wrong.
+    probe_timeout: float = 0.05
+    probe_retries: int = 2
+    probe_budget: int | None = None
+    #: What ``handle_location_update`` does with a report for an id it
+    #: does not know (delayed/duplicated report after deregistration):
+    #: ``"raise"`` (strict, the default) or ``"drop"`` (count + event).
+    on_unknown_object: str = "raise"
+    #: Speed bound used *only* to widen degraded objects' regions when
+    #: ``max_speed`` (which also enables the §6.1 shrink machinery) is
+    #: unset.  ``None`` with ``max_speed`` unset degrades to the whole
+    #: workspace — the only conservative region without a speed bound.
+    degraded_max_speed: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.steadiness <= 1.0:
@@ -104,6 +126,19 @@ class ServerConfig:
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}"
             )
+        if self.probe_timeout <= 0:
+            raise ValueError("probe_timeout must be positive")
+        if self.probe_retries < 0:
+            raise ValueError("probe_retries must be non-negative")
+        if self.probe_budget is not None and self.probe_budget < 1:
+            raise ValueError("probe_budget must be positive when set")
+        if self.on_unknown_object not in ("raise", "drop"):
+            raise ValueError(
+                "on_unknown_object must be 'raise' or 'drop', "
+                f"got {self.on_unknown_object!r}"
+            )
+        if self.degraded_max_speed is not None and self.degraded_max_speed <= 0:
+            raise ValueError("degraded_max_speed must be positive when set")
 
 
 @dataclass(slots=True)
@@ -137,6 +172,14 @@ class ServerStats:
     queries_reevaluated: int = 0
     result_changes: int = 0
     cpu_seconds: float = 0.0
+    # Robustness counters (docs/ROBUSTNESS.md).  ``probes`` counts only
+    # answered probes (they are the billable messages); timed-out
+    # attempts and their retries are tallied separately.
+    probe_timeouts: int = 0
+    probe_retries: int = 0
+    unknown_updates: int = 0
+    time_regressions: int = 0
+    degraded_entries: int = 0
 
 
 class DatabaseServer:
@@ -174,6 +217,13 @@ class DatabaseServer:
         )
         self._m_sr_skipped = self.metrics.counter("server.sr_recompute.skipped")
         self._m_fastpath = self.metrics.counter("server.update.fastpath")
+        self._m_probe_timeouts = self.metrics.counter("server.probes.timeouts")
+        self._m_probe_retries = self.metrics.counter("server.probes.retries")
+        self._m_unknown = self.metrics.counter("server.updates.unknown_object")
+        self._m_time_regressions = self.metrics.counter(
+            "server.updates.time_regression"
+        )
+        self._g_degraded = self.metrics.gauge("server.objects.degraded")
         self._caches_on = self.config.enable_caches
         self.kernels = Kernels(
             self.config.kernel_backend, metrics=self.metrics,
@@ -197,6 +247,30 @@ class DatabaseServer:
             events=self.events,
         )
         self._objects: dict[ObjectId, ObjectState] = {}
+        #: Unreachable objects (docs/ROBUSTNESS.md): oid -> time the
+        #: object entered degraded mode.  While degraded, the installed
+        #: region is the §6.1 reachability circle's bounding box around
+        #: the last report — conservative by construction — and query
+        #: results referencing the object carry a ``degraded`` flag.
+        self._degraded: dict[ObjectId, float] = {}
+        degraded_speed = (
+            self.config.max_speed
+            if self.config.max_speed is not None
+            else self.config.degraded_max_speed
+        )
+        self._degraded_model = (
+            ReachabilityModel(degraded_speed)
+            if degraded_speed is not None
+            else None
+        )
+        #: Server-side monotonic clock: the latest update time processed.
+        #: Reports carrying an earlier time (reordered channel) are
+        #: clamped to it and counted (``server.updates.time_regression``).
+        self._clock = 0.0
+        # Per-operation probe accounting: attempts spent against
+        # ``probe_budget`` and targets whose probes failed this round.
+        self._probe_spent = 0
+        self._failed_probes: set[ObjectId] = set()
         self.stats = ServerStats()
         # Safe regions whose interior margin falls below this floor
         # trigger the anti-storm relief (see relieve_tight_safe_region).
@@ -226,6 +300,18 @@ class DatabaseServer:
     def queries(self) -> frozenset[Query]:
         """All registered queries."""
         return self.query_index.all_queries()
+
+    @property
+    def clock(self) -> float:
+        """The server's monotonic time: the latest update time processed."""
+        return self._clock
+
+    def degraded_objects(self) -> dict[ObjectId, float]:
+        """Currently unreachable objects, mapped to degraded-entry time."""
+        return dict(self._degraded)
+
+    def is_degraded(self, oid: ObjectId) -> bool:
+        return oid in self._degraded
 
     def validate(self) -> None:
         """Check server-wide invariants (tests); see also ``RStarTree.validate``."""
@@ -348,6 +434,8 @@ class DatabaseServer:
         del self._objects[oid]
         self.positions.discard(oid)
         self.object_index.delete(oid)
+        if self._degraded.pop(oid, None) is not None:
+            self._g_degraded.set(len(self._degraded))
 
     # ------------------------------------------------------------------
     # Query registration (Algorithm 1, lines 2-7)
@@ -363,6 +451,10 @@ class DatabaseServer:
         then receive freshly recomputed safe regions.
         """
         with self._trace.span("server.register_query"):
+            self._probe_spent = 0
+            self._failed_probes.clear()
+            self._clock = max(self._clock, time)
+            self._refresh_degraded(self._clock)
             if self.events.enabled:
                 self.events.set_time(time)
                 self._cause = self.events.emit(
@@ -447,10 +539,35 @@ class DatabaseServer:
         Returns the new safe region for the updater (``safe_region``), new
         safe regions for every probed object (``probed``), and the result
         deltas to push to application servers (``changes``).
+
+        A report for an unknown id — what a delayed or duplicated message
+        produces after a deregistration — follows
+        ``ServerConfig.on_unknown_object``: ``"raise"`` (strict default)
+        or ``"drop"`` (counted, evented, returns an empty outcome).
         """
-        state = self._objects[oid]
+        state = self._objects.get(oid)
+        if state is None:
+            return self._handle_unknown_update(oid, position, time)
         previous = state.p_lst
         return self._process_update(oid, position, previous, time)
+
+    def _handle_unknown_update(
+        self, oid: ObjectId, position: Point, time: float
+    ) -> UpdateOutcome:
+        if self.config.on_unknown_object == "raise":
+            raise KeyError(
+                f"location update for unknown object {oid!r} "
+                "(set ServerConfig.on_unknown_object='drop' to tolerate "
+                "late reports for deregistered objects)"
+            )
+        self.stats.unknown_updates += 1
+        self._m_unknown.inc()
+        if self.events.enabled:
+            self.events.set_time(max(time, self._clock))
+            self.events.emit(
+                "unknown_update", oid=oid, pos=(position.x, position.y)
+            )
+        return UpdateOutcome()
 
     def handle_location_updates(
         self, reports: Iterable[tuple[ObjectId, Point]], time: float = 0.0
@@ -466,14 +583,25 @@ class DatabaseServer:
         reports themselves (destination cell, then submission order), not
         on any cache state, so batched runs are reproducible with caches
         on or off.
+
+        A batch holding several reports for the *same* object (duplicated
+        or retransmitted messages) disables the cell grouping: sorting
+        such reports by destination cell could run them out of submission
+        order and land the object on the wrong final position, so the
+        whole batch falls back to plain submission order — the documented
+        sequential contract holds either way.
         """
         reports = list(reports)
-        # One columnar pass computes every destination cell (identical to
-        # per-report ``grid.cell_of``); the sort key is unchanged.
-        cells = self.query_index.cells_of_points(
-            [position for _, position in reports]
-        )
-        ordered = sorted(range(len(reports)), key=lambda i: (cells[i], i))
+        oids = [oid for oid, _ in reports]
+        if len(set(oids)) != len(oids):
+            ordered: Iterable[int] = range(len(reports))
+        else:
+            # One columnar pass computes every destination cell (identical
+            # to per-report ``grid.cell_of``); the sort key is unchanged.
+            cells = self.query_index.cells_of_points(
+                [position for _, position in reports]
+            )
+            ordered = sorted(range(len(reports)), key=lambda i: (cells[i], i))
         batch = BatchOutcome()
         for i in ordered:
             oid, position = reports[i]
@@ -492,6 +620,10 @@ class DatabaseServer:
         with self._trace.span("server.update"):
             self.stats.location_updates += 1
             self._m_updates.inc()
+            self._probe_spent = 0
+            self._failed_probes.clear()
+            time = self._advance_clock(oid, time)
+            self._refresh_degraded(time)
             events = self.events
             if events.enabled:
                 events.set_time(time)
@@ -504,6 +636,9 @@ class DatabaseServer:
                         if previous is not None else None
                     ),
                 )
+            if self._degraded and oid in self._degraded:
+                # The object reported: it is reachable again.
+                self._exit_degraded(oid, time)
             try:
                 outcome = None
                 if self._caches_on and previous is not None:
@@ -681,6 +816,16 @@ class DatabaseServer:
         while queue:
             target = queue.pop(0)
             queued.discard(target)
+            if target in self._failed_probes:
+                # Unreachable this round: the widened degraded region
+                # installed by ``_apply_probes`` stands — recomputing a
+                # safe region around the stale fix would be unsound, and
+                # there is no client to deliver one to anyway.
+                shrunk_only.pop(target, None)
+                if target not in outcome.missed:
+                    outcome.missed.append(target)
+                completed.add(target)
+                continue
             state = self._objects[target]
             target_pos = state.p_lst
             stamp = state.sr_stamp
@@ -900,8 +1045,21 @@ class DatabaseServer:
                 if reevaluation.quarantine_changed:
                     self.query_index.update(query)
                 after = _snapshot(query)
+                degraded_members: tuple = ()
+                if self._degraded or self._failed_probes:
+                    # Flag result members whose membership rests on a
+                    # stale position: consumers see "possibly in the
+                    # result", never a silently wrong answer.
+                    unreachable = self._failed_probes | set(self._degraded)
+                    degraded_members = tuple(sorted(
+                        (o for o in query.results if o in unreachable),
+                        key=repr,
+                    ))
                 outcome.changes.append(
-                    ResultChange(query.query_id, before, after)
+                    ResultChange(
+                        query.query_id, before, after,
+                        degraded=degraded_members,
+                    )
                 )
                 if before != after:
                     self.stats.result_changes += 1
@@ -912,6 +1070,10 @@ class DatabaseServer:
                             case=getattr(reevaluation, "case", ""),
                             before=_event_snapshot(before),
                             after=_event_snapshot(after),
+                            **(
+                                {"degraded": list(degraded_members)}
+                                if degraded_members else {}
+                            ),
                         )
                 self.stats.queries_reevaluated += 1
             finally:
@@ -922,20 +1084,72 @@ class DatabaseServer:
     # ------------------------------------------------------------------
     def _make_probe(self, probed: dict[ObjectId, Point], time: float):
         def probe(target: ObjectId) -> Point:
-            position = self._oracle(target)
+            position = self._attempt_probe(target)
+            if position is None:
+                # Unreachable past the retry budget: answer with the last
+                # report so evaluation can finish, remember the failure so
+                # ``_apply_probes`` widens the object's region to the
+                # reachability circle instead of pointifying a stale fix.
+                self._failed_probes.add(target)
+                position = self._objects[target].p_lst
+            else:
+                self._failed_probes.discard(target)
+                self.stats.probes += 1
+                self._m_probes.inc()
+                if self.events.enabled:
+                    # cause is read at call time: probes issued during a
+                    # query's reevaluation chain to that reevaluation
+                    # event.
+                    self.events.emit(
+                        "probe", cause=self._cause, oid=target,
+                        pos=(position.x, position.y),
+                    )
             probed[target] = position
-            self.stats.probes += 1
-            self._m_probes.inc()
-            if self.events.enabled:
-                # cause is read at call time: probes issued during a
-                # query's reevaluation chain to that reevaluation event.
-                self.events.emit(
-                    "probe", cause=self._cause, oid=target,
-                    pos=(position.x, position.y),
-                )
             return position
 
         return probe
+
+    def _attempt_probe(self, target: ObjectId) -> Point | None:
+        """One probe with bounded retry, backoff, and the per-op budget.
+
+        Returns the answered position, or ``None`` when every attempt
+        timed out or the budget ran dry — the caller degrades the object.
+        """
+        config = self.config
+        for attempt in range(config.probe_retries + 1):
+            if (
+                config.probe_budget is not None
+                and self._probe_spent >= config.probe_budget
+            ):
+                self.stats.probe_timeouts += 1
+                self._m_probe_timeouts.inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "probe_timeout", cause=self._cause, oid=target,
+                        attempt=attempt, reason="budget",
+                    )
+                return None
+            if attempt:
+                self.stats.probe_retries += 1
+                self._m_probe_retries.inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "probe_retry", cause=self._cause, oid=target,
+                        attempt=attempt,
+                        backoff=config.probe_timeout * (2 ** (attempt - 1)),
+                    )
+            self._probe_spent += 1
+            try:
+                return self._oracle(target)
+            except ProbeTimeout:
+                self.stats.probe_timeouts += 1
+                self._m_probe_timeouts.inc()
+                if self.events.enabled:
+                    self.events.emit(
+                        "probe_timeout", cause=self._cause, oid=target,
+                        attempt=attempt, reason="timeout",
+                    )
+        return None
 
     def _make_constrain(self, time: float):
         if self._reachability is None:
@@ -962,6 +1176,15 @@ class DatabaseServer:
             for target, position in probed.items():
                 state = self._objects[target]
                 previous_positions[target] = state.p_lst
+                if target in self._failed_probes:
+                    # No fresh fix: keep the stale report and its time (the
+                    # silence keeps growing) and widen the installed region
+                    # to the reachability circle — conservative, never a
+                    # stale point the object may have left.
+                    self._enter_degraded(target, time)
+                    continue
+                if self._degraded and target in self._degraded:
+                    self._exit_degraded(target, time)
                 state.p_lst = position
                 self.positions.set(target, position)
                 state.last_update_time = time
@@ -1001,6 +1224,104 @@ class DatabaseServer:
                     )
                 applied[target] = region
             return applied
+
+    def _advance_clock(self, oid: ObjectId, time: float) -> float:
+        """Clamp ``time`` to the server's monotonic clock.
+
+        A reordered channel can deliver an older report after a newer
+        one; accepting its earlier timestamp would run the event log and
+        the per-object ``last_update_time`` backwards (corrupting
+        timeline ordering and the reachability silence computation), so
+        the regression is counted, evented, and clamped.
+        """
+        if time < self._clock:
+            self.stats.time_regressions += 1
+            self._m_time_regressions.inc()
+            if self.events.enabled:
+                self.events.set_time(self._clock)
+                self.events.emit(
+                    "time_regression", oid=oid, got=time, clock=self._clock
+                )
+            return self._clock
+        self._clock = time
+        return time
+
+    def _degraded_region(self, state: ObjectState, now: float) -> Rect:
+        """The widest region the object can occupy while unreachable.
+
+        The §6.1 reachability circle around the last report, grown at the
+        maximum speed for the silence duration, clipped to the workspace;
+        without any speed bound the whole workspace is the only
+        conservative answer.
+        """
+        model = self._degraded_model
+        if model is None:
+            return self.config.space
+        bbox = model.circle(
+            state.p_lst, state.last_update_time, now
+        ).bounding_rect()
+        clipped = bbox.intersection(self.config.space)
+        if clipped is None:  # p_lst outside the workspace: clock skew
+            return Rect.from_point(self.config.space.clamp_point(state.p_lst))
+        return clipped
+
+    def _refresh_degraded(self, now: float) -> None:
+        """Re-widen every degraded region to the current silence duration.
+
+        The reachability circle grows while an object stays unreachable;
+        a region frozen at degradation time would eventually stop
+        containing the object and silently poison distance bounds.  Run
+        at the top of every update/registration — one dict check when no
+        object is degraded.
+        """
+        if not self._degraded:
+            return
+        for oid in self._degraded:
+            state = self._objects[oid]
+            region = self._degraded_region(state, now)
+            if region != state.safe_region:
+                state.safe_region = region
+                self.object_index.update(oid, region)
+
+    def _enter_degraded(self, oid: ObjectId, now: float) -> None:
+        """Mark ``oid`` unreachable and install its widened region."""
+        state = self._objects[oid]
+        first = oid not in self._degraded
+        if first:
+            self._degraded[oid] = now
+            self.stats.degraded_entries += 1
+            self._g_degraded.set(len(self._degraded))
+        region = self._degraded_region(state, now)
+        state.safe_region = region
+        state.sr_stamp = None
+        self.object_index.update(oid, region)
+        if self.events.enabled:
+            if first:
+                self.events.emit(
+                    "degraded_enter", cause=self._cause, oid=oid,
+                    silent_since=state.last_update_time,
+                )
+            # ``degraded`` marks the install as a server-side widening
+            # (no client push) for the diagnose containment exemption.
+            self.events.emit(
+                "safe_region", cause=self._cause, oid=oid,
+                region=(region.min_x, region.min_y,
+                        region.max_x, region.max_y),
+                pos=(state.p_lst.x, state.p_lst.y),
+                degraded=True,
+            )
+
+    def _exit_degraded(self, oid: ObjectId, now: float) -> None:
+        """A fresh position arrived for a degraded object."""
+        entered = self._degraded.pop(oid, None)
+        if entered is None:
+            return
+        self._g_degraded.set(len(self._degraded))
+        if self.events.enabled:
+            self.events.emit(
+                "degraded_exit", cause=self._cause, oid=oid,
+                duration=now - entered,
+            )
 
     def _install_safe_region(self, oid: ObjectId, region: Rect) -> None:
         state = self._objects[oid]

@@ -14,6 +14,20 @@ tests assert.
 Only the built-in query types (:class:`RangeQuery`, :class:`KNNQuery`)
 are serialised; extension queries should be re-registered by the
 application after restore (they may hold application references).
+
+Format history:
+
+* **1** — objects, queries, core config.
+* **2** — adds the server clock, the degraded-object set, and the
+  fault-handling config fields (``probe_timeout`` / ``probe_retries`` /
+  ``probe_budget`` / ``on_unknown_object`` / ``degraded_max_speed``).
+  Version-1 snapshots still load: the new fields default to a healthy,
+  faults-off server.
+
+For crash recovery, :func:`replay_updates` feeds a flight-recorder
+JSONL tail (``update`` events after the snapshot time) back through
+``handle_location_update``, catching the restored server up to the
+moment of the crash (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -29,7 +43,7 @@ from repro.index.bulk import bulk_load
 
 ObjectId = Hashable
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 
 def _rect_to_list(rect: Rect) -> list[float]:
@@ -78,8 +92,15 @@ def snapshot_server(server: DatabaseServer) -> dict:
             "p_lst": [state.p_lst.x, state.p_lst.y],
             "last_update_time": state.last_update_time,
         }
+    degraded = {
+        json.dumps(oid): entered
+        for oid, entered in sorted(
+            server.degraded_objects().items(), key=lambda kv: repr(kv[0])
+        )
+    }
     return {
         "version": FORMAT_VERSION,
+        "time": server.clock,
         "config": {
             "grid_m": server.config.grid_m,
             "space": _rect_to_list(server.config.space),
@@ -90,21 +111,33 @@ def snapshot_server(server: DatabaseServer) -> dict:
             "batch_range_regions": server.config.batch_range_regions,
             "anti_storm_relief": server.config.anti_storm_relief,
             "kernel_backend": server.config.kernel_backend,
+            "probe_timeout": server.config.probe_timeout,
+            "probe_retries": server.config.probe_retries,
+            "probe_budget": server.config.probe_budget,
+            "on_unknown_object": server.config.on_unknown_object,
+            "degraded_max_speed": server.config.degraded_max_speed,
         },
         "queries": queries,
         "objects": objects,
+        "degraded": degraded,
     }
 
 
 def restore_server(payload: dict, position_oracle) -> DatabaseServer:
     """Rebuild a server from a snapshot dict and a fresh probe channel."""
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in (1, FORMAT_VERSION):
         raise ValueError(f"unsupported snapshot version: {version!r}")
     config_data = dict(payload["config"])
     config_data["space"] = _rect_from_list(config_data["space"])
-    # Snapshots written before the kernels subsystem carry no backend.
+    # Snapshots written before the kernels subsystem carry no backend;
+    # version-1 snapshots predate the fault-handling fields entirely.
     config_data.setdefault("kernel_backend", "numpy")
+    config_data.setdefault("probe_timeout", 0.05)
+    config_data.setdefault("probe_retries", 2)
+    config_data.setdefault("probe_budget", None)
+    config_data.setdefault("on_unknown_object", "raise")
+    config_data.setdefault("degraded_max_speed", None)
     server = DatabaseServer(
         position_oracle=position_oracle, config=ServerConfig(**config_data)
     )
@@ -145,7 +178,53 @@ def restore_server(payload: dict, position_oracle) -> DatabaseServer:
         else:
             raise ValueError(f"unknown query type {entry['type']!r}")
         server.query_index.insert(query)
+
+    server._clock = payload.get("time", 0.0)
+    for key, entered in payload.get("degraded", {}).items():
+        oid = json.loads(key)
+        if oid in server._objects:
+            server._degraded[oid] = entered
+    if server._degraded:
+        server._g_degraded.set(len(server._degraded))
     return server
+
+
+def replay_updates(
+    server: DatabaseServer, events: list, after: float | None = None
+) -> tuple[int, int]:
+    """Catch a restored server up from a flight-recorder tail.
+
+    Feeds every ``update`` event in ``events`` (dicts, as read by
+    :func:`repro.obs.events.read_events`) with ``t >= after`` back
+    through ``handle_location_update``; ``after`` defaults to the
+    restored server's snapshot clock, so the natural call is
+    ``replay_updates(server, read_events(recorder_path))``.
+
+    Returns ``(replayed, skipped)``; a replayed stream may legitimately
+    skip events — objects deregistered after the snapshot, or oids the
+    snapshot never knew (registered and dropped inside the tail).
+    JSON round-tripping turns tuple oids into lists, so list oids are
+    converted back to tuples before lookup.
+    """
+    cutoff = server.clock if after is None else after
+    replayed = 0
+    skipped = 0
+    for event in events:
+        if event.get("kind") != "update":
+            continue
+        t = event.get("t", 0.0)
+        if t < cutoff:
+            continue
+        oid = event.get("oid")
+        if isinstance(oid, list):
+            oid = tuple(oid)
+        pos = event.get("pos")
+        if pos is None or oid not in server._objects:
+            skipped += 1
+            continue
+        server.handle_location_update(oid, Point(pos[0], pos[1]), t)
+        replayed += 1
+    return replayed, skipped
 
 
 def dump_server(server: DatabaseServer, handle: IO[str]) -> None:

@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the client–server protocol.
+
+The paper's protocol (Algorithm 1, Section 3) assumes a perfectly
+reliable channel: every exit report arrives exactly once, in order, and
+every server probe answers instantly.  This module makes the opposite
+assumption testable: a :class:`FaultPlan` describes an unreliable world
+— reports dropped, duplicated, or delayed; probes timing out or
+answering with stale positions — and :class:`FaultyChannel` applies it
+deterministically, so any faulted run is reproducible from its seed.
+
+Two layers consume this module:
+
+* the simulator (:mod:`repro.simulation.engine`) routes both protocol
+  directions and the probe channel through :class:`FaultyChannel`
+  instances (``Scenario.fault_spec`` / ``repro compare --faults``);
+* the server (:mod:`repro.core.server`) understands
+  :class:`ProbeTimeout` — a probe attempt that will never answer — and
+  responds with bounded retry, exponential backoff, and degraded mode
+  (docs/ROBUSTNESS.md).
+
+Determinism contract: each channel owns one PRNG seeded from
+``(plan.seed, channel name)`` and consumes it once per message (or probe
+attempt) in send order.  The event-driven simulator processes events in
+a deterministic order, so the whole faulted run replays bit-identically
+for a fixed ``(scenario seed, fault seed)`` pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+
+
+class ProbeTimeout(Exception):
+    """A server-initiated probe attempt that will never answer.
+
+    Raised by the position oracle (the probe channel) to signal one
+    timed-out attempt; the server retries with exponential backoff up to
+    ``ServerConfig.probe_retries`` times before degrading the object.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """Declarative description of an unreliable deployment.
+
+    Message faults (both protocol directions, applied per message):
+
+    * ``drop`` — probability a message is lost in transit.
+    * ``dup`` — probability a message is delivered twice (the duplicate
+      gets its own independent delay).
+    * ``delay`` — maximum extra delivery delay, in whole ticks; each
+      delivered copy is delayed by a uniform integer in ``[0, delay]``
+      ticks, which also reorders messages relative to each other.
+
+    Probe faults (the server-initiated probe channel, per attempt):
+
+    * ``probe_timeout`` — probability one probe attempt times out
+      (:class:`ProbeTimeout`); retries draw fresh outcomes.
+    * ``probe_stale`` — probability a probe answers with the position
+      ``stale_age`` ticks in the past instead of the current one.
+
+    The tick length is the consumer's choice; the simulator uses the
+    scenario's ``sample_interval``.  ``seed`` fixes every random
+    decision (see the module docstring's determinism contract).
+    """
+
+    drop: float = 0.0
+    dup: float = 0.0
+    delay: int = 0
+    probe_timeout: float = 0.0
+    probe_stale: float = 0.0
+    stale_age: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "probe_timeout", "probe_stale"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value!r}")
+        if self.drop >= 1.0:
+            raise ValueError("drop=1 would sever the channel entirely")
+        if self.delay < 0 or self.delay != int(self.delay):
+            raise ValueError(f"delay must be a whole tick count: {self.delay!r}")
+        if self.stale_age < 0:
+            raise ValueError(f"stale_age must be non-negative: {self.stale_age!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a ``key=value,key=value`` CLI spec.
+
+        Example: ``drop=0.05,dup=0.02,delay=2,probe_timeout=0.1``.
+        Unknown keys raise ``ValueError`` listing the vocabulary.
+        """
+        known = {f.name for f in fields(cls)} - {"seed"}
+        values: dict = {"seed": seed}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ValueError(
+                    f"unknown fault key {key!r}; known: {', '.join(sorted(known))}"
+                )
+            raw = raw.strip()
+            values[key] = (
+                int(raw) if key in ("delay", "stale_age") else float(raw)
+            )
+        return cls(**values)
+
+    def describe(self) -> str:
+        """The plan as a round-trippable ``key=value`` spec string."""
+        parts = []
+        for f in fields(self):
+            if f.name == "seed":
+                continue
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value:g}")
+        return ",".join(parts) or "none"
+
+    @property
+    def message_faults(self) -> bool:
+        """True when the plan perturbs the message channels at all."""
+        return self.drop > 0.0 or self.dup > 0.0 or self.delay > 0
+
+    @property
+    def probe_faults(self) -> bool:
+        return self.probe_timeout > 0.0 or self.probe_stale > 0.0
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    def channel(self, name: str) -> "FaultyChannel":
+        """An independent deterministic channel named ``name``."""
+        return FaultyChannel(self, name)
+
+
+class FaultyChannel:
+    """One direction of an unreliable channel, deterministically seeded.
+
+    Each call to :meth:`deliveries` consumes the channel's PRNG once per
+    decision and describes the fate of the *next* message; each call to
+    :meth:`probe_outcome` the fate of the next probe attempt.  Counters
+    (``sent`` / ``dropped`` / ``duplicated`` / ``delayed``) make fault
+    realisations inspectable in tests and reports.
+    """
+
+    __slots__ = ("plan", "name", "sent", "dropped", "duplicated",
+                 "delayed", "_rng")
+
+    def __init__(self, plan: FaultPlan, name: str) -> None:
+        self.plan = plan
+        self.name = name
+        self.sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+        # random.Random seeds strings via their bytes (not hash()), so
+        # the stream is stable across processes and interpreter runs.
+        self._rng = random.Random(f"faults:{plan.seed}:{name}")
+
+    def deliveries(self) -> list[int]:
+        """Tick delays of each delivered copy of the next message.
+
+        ``[]`` means the message was dropped; two entries mean it was
+        duplicated.  ``[0]`` is a clean, undelayed delivery.
+        """
+        plan = self.plan
+        rng = self._rng
+        self.sent += 1
+        if plan.drop and rng.random() < plan.drop:
+            self.dropped += 1
+            return []
+        copies = [rng.randint(0, plan.delay) if plan.delay else 0]
+        if plan.dup and rng.random() < plan.dup:
+            self.duplicated += 1
+            copies.append(rng.randint(0, plan.delay) if plan.delay else 1)
+        if any(copies):
+            self.delayed += 1
+        return copies
+
+    def probe_outcome(self) -> str:
+        """Fate of the next probe attempt: ``ok`` | ``timeout`` | ``stale``."""
+        plan = self.plan
+        self.sent += 1
+        roll = self._rng.random()
+        if plan.probe_timeout and roll < plan.probe_timeout:
+            self.dropped += 1
+            return "timeout"
+        if plan.probe_stale and roll < plan.probe_timeout + plan.probe_stale:
+            self.delayed += 1
+            return "stale"
+        return "ok"

@@ -13,6 +13,12 @@ back via :func:`~repro.obs.events.read_events`) and produces a
   soundness underlying Propositions 5.2–5.5: a safe region is an
   inscribed rectangle of the intersection of quarantine constraints,
   which by construction covers the object's last reported location).
+  Regions flagged ``degraded`` are exempt: a degraded region is widened
+  around a *stale* position precisely because the true one is unknown
+  (docs/ROBUSTNESS.md), so last-report containment is not its contract.
+* ``monotonic_time`` — event timestamps must never decrease along the
+  stream; the :class:`~repro.obs.events.EventLog` clock clamps
+  regressions, so a decreasing ``t`` means the recorder is corrupt.
 * ``ground_truth`` — with ``check_ground_truth=True``, every ``sample``
   event must report all queries matching the exact results (only sound
   when the run had zero communication delay; with ``tau > 0`` transient
@@ -25,6 +31,14 @@ back via :func:`~repro.obs.events.read_events`) and produces a
 * ``shrink_storm`` — more than ``shrink_storm_threshold`` shrink pushes
   landed within one ``shrink_storm_window`` of simulated time (the
   §6.1 downlink-budget failure mode the anti-storm relief exists for).
+* ``retry_storm`` — more than ``retry_storm_threshold`` probe retries
+  within one ``retry_storm_window`` of simulated time: the retry
+  machinery is amplifying an outage instead of riding it out.
+* ``stuck_degraded`` — an object entered degraded mode and never left
+  it for more than ``stuck_degraded_timeout`` before the stream ended;
+  conservative answers are still correct but uselessly wide.
+* ``time_regression`` — the stream records clamped backwards-time
+  updates (reordered reports); legal, but worth knowing about.
 """
 
 from __future__ import annotations
@@ -103,6 +117,9 @@ def diagnose(
     probe_cascade_threshold: int = 10,
     shrink_storm_threshold: int = 25,
     shrink_storm_window: float = 1.0,
+    retry_storm_threshold: int = 30,
+    retry_storm_window: float = 1.0,
+    stuck_degraded_timeout: float = 5.0,
     check_ground_truth: bool = False,
     eps: float = 1e-9,
 ) -> DiagnosticsReport:
@@ -111,16 +128,25 @@ def diagnose(
         event if isinstance(event, dict) else event.to_dict()
         for event in events
     ]
-    checks = ["containment", "probe_cascade", "shrink_storm"]
+    checks = [
+        "containment", "monotonic_time", "probe_cascade", "shrink_storm",
+        "retry_storm", "stuck_degraded", "time_regression",
+    ]
     if check_ground_truth:
         checks.append("ground_truth")
     report = DiagnosticsReport(events_seen=len(rows), checks=tuple(checks))
 
     _check_containment(rows, report, eps)
+    _check_monotonic_time(rows, report)
     _check_probe_cascades(rows, report, probe_cascade_threshold)
     _check_shrink_storms(
         rows, report, shrink_storm_threshold, shrink_storm_window
     )
+    _check_retry_storms(
+        rows, report, retry_storm_threshold, retry_storm_window
+    )
+    _check_stuck_degraded(rows, report, stuck_degraded_timeout)
+    _check_time_regressions(rows, report)
     if check_ground_truth:
         _check_ground_truth(rows, report)
     report.findings.sort(
@@ -133,6 +159,11 @@ def _check_containment(rows, report, eps) -> None:
     """Installed regions and shrink pushes contain their own positions."""
     for event in rows:
         if event.get("kind") not in ("safe_region", "shrink_push"):
+            continue
+        if event.get("degraded"):
+            # Degraded regions are widened around a *stale* position —
+            # the true one is unreachable — so this invariant does not
+            # apply to them (docs/ROBUSTNESS.md).
             continue
         region = event.get("region")
         pos = event.get("pos")
@@ -208,6 +239,111 @@ def _check_shrink_storms(rows, report, threshold, window) -> None:
                     f"(threshold {threshold})"
                 ),
             ))
+
+
+def _check_monotonic_time(rows, report) -> None:
+    """Recorded timestamps never decrease along the stream.
+
+    The :class:`~repro.obs.events.EventLog` clock clamps backwards time
+    at emission, so a decreasing ``t`` in a recorded stream means the
+    recorder itself is corrupt (or rows were reordered after the fact).
+    """
+    prev_t = None
+    prev_seq = None
+    for event in rows:
+        t = event.get("t")
+        if t is None:
+            continue
+        if prev_t is not None and t < prev_t:
+            report.findings.append(Finding(
+                check="monotonic_time",
+                severity="violation",
+                t=t,
+                seq=event.get("seq"),
+                detail=(
+                    f"timestamp went backwards: t={t:g} after t={prev_t:g} "
+                    f"(seq #{prev_seq})"
+                ),
+            ))
+        prev_t = t
+        prev_seq = event.get("seq")
+
+
+def _check_retry_storms(rows, report, threshold, window) -> None:
+    """Probe retries must not saturate the probe channel in one window."""
+    if window <= 0:
+        raise ValueError("retry_storm_window must be positive")
+    buckets: dict[int, list[dict]] = {}
+    for event in rows:
+        if event.get("kind") != "probe_retry":
+            continue
+        buckets.setdefault(int(event.get("t", 0.0) / window), []).append(event)
+    for slot, retries in sorted(buckets.items()):
+        if len(retries) > threshold:
+            report.findings.append(Finding(
+                check="retry_storm",
+                severity="anomaly",
+                t=slot * window,
+                seq=retries[0].get("seq"),
+                detail=(
+                    f"{len(retries)} probe retries within window "
+                    f"[{slot * window:g}, {(slot + 1) * window:g}) "
+                    f"(threshold {threshold}); the retry machinery is "
+                    f"amplifying an outage"
+                ),
+            ))
+
+
+def _check_stuck_degraded(rows, report, timeout) -> None:
+    """No object may stay degraded for longer than ``timeout``.
+
+    Conservative answers remain correct while degraded, but a region
+    widened for that long covers so much space it is useless; a stuck
+    episode usually means the probe channel is dead or the object left.
+    """
+    if timeout <= 0:
+        raise ValueError("stuck_degraded_timeout must be positive")
+    open_episodes: dict[str, dict] = {}
+    end_t = 0.0
+    for event in rows:
+        end_t = max(end_t, event.get("t", 0.0))
+        kind = event.get("kind")
+        if kind == "degraded_enter":
+            open_episodes[str(event.get("oid"))] = event
+        elif kind in ("degraded_exit", "update"):
+            # A fresh source report ends the episode just like a
+            # successful probe does.
+            open_episodes.pop(str(event.get("oid")), None)
+    for oid, enter in sorted(open_episodes.items()):
+        duration = end_t - enter.get("t", 0.0)
+        if duration > timeout:
+            report.findings.append(Finding(
+                check="stuck_degraded",
+                severity="anomaly",
+                t=enter.get("t"),
+                seq=enter.get("seq"),
+                detail=(
+                    f"oid={oid} degraded for {duration:g} without recovery "
+                    f"by stream end (timeout {timeout:g})"
+                ),
+            ))
+
+
+def _check_time_regressions(rows, report) -> None:
+    """Surface clamped backwards-time updates as one aggregate anomaly."""
+    regressions = [e for e in rows if e.get("kind") == "time_regression"]
+    if regressions:
+        first = regressions[0]
+        report.findings.append(Finding(
+            check="time_regression",
+            severity="anomaly",
+            t=first.get("t"),
+            seq=first.get("seq"),
+            detail=(
+                f"{len(regressions)} update(s) carried a time earlier than "
+                f"the server clock and were clamped (reordered reports)"
+            ),
+        ))
 
 
 def _check_ground_truth(rows, report) -> None:

@@ -29,6 +29,8 @@ kind                emitted when
 update              the server processes a source-initiated update
 fastpath            that update was elided by the zero-churn fast path
 probe               the server probes an object's exact position
+probe_timeout       a probe attempt timed out (or hit the probe budget)
+probe_retry         a timed-out probe is retried (with backoff)
 shrink_push         a §6.1 reachability shrink is installed and pushed
 reevaluation        one affected query is incrementally reevaluated
 result_change       a reevaluation changed a query's result set
@@ -38,6 +40,10 @@ cache_invalidation  a grid cell's membership generation is bumped
 kernel_fallback     a kernel call is served by the scalar path
 query_registered    a query enters monitoring
 sample              the simulator takes an accuracy checkpoint
+degraded_enter      an unreachable object enters degraded mode
+degraded_exit       a fresh position ends an object's degraded episode
+unknown_update      a report for an unknown object id was dropped
+time_regression     an update carried a time earlier than the clock
 =================== ====================================================
 """
 
@@ -62,6 +68,12 @@ EVENT_KINDS = frozenset({
     "kernel_fallback",
     "query_registered",
     "sample",
+    "probe_timeout",
+    "probe_retry",
+    "degraded_enter",
+    "degraded_exit",
+    "unknown_update",
+    "time_regression",
 })
 
 
@@ -107,13 +119,24 @@ class EventLog:
             raise ValueError("flight recorder capacity must be positive")
         self.capacity = capacity
         self.now = 0.0
+        self.time_regressions = 0
         self._seq = 0
         self._ring: deque[Event] = deque(maxlen=capacity)
         self._sink = open(sink, "w") if sink is not None else None
 
     # ------------------------------------------------------------------
     def set_time(self, t: float) -> None:
-        """Advance the log clock; subsequent events default to ``t``."""
+        """Advance the log clock; subsequent events default to ``t``.
+
+        The clock is monotone: an earlier ``t`` (a reordered report) is
+        rejected so ``timeline()`` bucketing and per-tick sampling stay
+        ordered.  Rejections are counted in ``time_regressions``; the
+        server additionally emits a ``time_regression`` event so
+        :func:`repro.obs.diagnose.diagnose` can surface them.
+        """
+        if t < self.now:
+            self.time_regressions += 1
+            return
         self.now = t
 
     def emit(self, kind: str, cause: int | None = None, **data) -> int:
@@ -161,6 +184,7 @@ class NullEventLog:
 
     enabled = False
     now = 0.0
+    time_regressions = 0
 
     def set_time(self, t: float) -> None:
         pass

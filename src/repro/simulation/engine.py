@@ -9,10 +9,21 @@ installs its new safe region ``tau`` after the server computes it.
 
 Event kinds, in processing priority at equal timestamps:
 
-1. ``exit``         — a client crosses its safe-region boundary (sends).
-2. ``recv_update``  — the server receives a source-initiated update.
-3. ``recv_region``  — a client installs a safe region from the server.
-4. ``sample``       — an accuracy checkpoint is taken.
+1. ``exit``           — a client crosses its safe-region boundary (sends).
+2. ``recv_update``    — the server receives a source-initiated update.
+3. ``recv_region``    — a client installs a safe region from the server.
+4. ``sample``         — an accuracy checkpoint is taken.
+5. ``client_timeout`` — a client gives up waiting for its safe region
+   and retransmits its report (fault injection only).
+
+With ``Scenario.fault_spec`` set, both protocol directions and the
+probe channel run through :class:`repro.faults.FaultyChannel`: reports
+and regions can be dropped, duplicated, or delayed whole ticks of
+``sample_interval`` (which reorders them), and probes can time out
+(:class:`repro.faults.ProbeTimeout`, handled by the server's retry +
+degraded-mode machinery) or answer stale.  Clients arm a retransmit
+timer per report so a lost message in either direction cannot silence
+an object forever (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ import math
 
 from repro.core.queries import Query
 from repro.core.server import DatabaseServer, ServerConfig
+from repro.faults import ProbeTimeout
 from repro.kernels import Kernels
 from repro.mobility.client import MobileClient
 from repro.mobility.waypoint import RandomWaypointModel
@@ -40,6 +52,7 @@ _PRIO_EXIT = 0
 _PRIO_RECV_UPDATE = 1
 _PRIO_RECV_REGION = 2
 _PRIO_SAMPLE = 3
+_PRIO_TIMEOUT = 4
 
 
 
@@ -96,6 +109,36 @@ class SRBSimulation:
                 queries,
                 kernels=Kernels(scenario.kernel_backend),
             )
+        #: Fault injection (docs/ROBUSTNESS.md).  ``None`` reproduces the
+        #: paper's perfectly reliable channel bit-for-bit; otherwise both
+        #: protocol directions and the probe channel are independently
+        #: seeded :class:`~repro.faults.FaultyChannel` instances, and
+        #: ``delay`` in the plan counts ticks of ``sample_interval``.
+        self.faults = scenario.fault_plan()
+        self._fault_tick = scenario.sample_interval
+        if self.faults is not None and self.faults.message_faults:
+            self._up = self.faults.channel("uplink")
+            self._down = self.faults.channel("downlink")
+        else:
+            self._up = self._down = None
+        self._probe_channel = (
+            self.faults.channel("probe")
+            if self.faults is not None and self.faults.probe_faults
+            else None
+        )
+        if self._up is not None:
+            # Worst faulted round trip: both propagation legs plus the
+            # maximum injected lag, padded a tick so a maximally delayed
+            # region still beats the timer.
+            self._retransmit_timeout = (
+                scenario.retransmit_timeout
+                if scenario.retransmit_timeout is not None
+                else 2.0 * scenario.delay
+                + (self.faults.delay + 2) * self._fault_tick
+            )
+        else:
+            self._retransmit_timeout = None
+        faulted = self.faults is not None
         self.server = DatabaseServer(
             position_oracle=self._probe_oracle,
             metrics=self.metrics,
@@ -112,6 +155,14 @@ class SRBSimulation:
                 anti_storm_relief=scenario.anti_storm_relief,
                 enable_caches=scenario.enable_caches,
                 kernel_backend=scenario.kernel_backend,
+                # Under faults, duplicated/reordered reports are normal
+                # traffic — never crash on them — and degraded regions
+                # get the waypoint model's hard speed bound so widening
+                # stays tight (§6.1) even when reachability is off.
+                on_unknown_object="drop" if faulted else "raise",
+                degraded_max_speed=(
+                    scenario.max_speed if faulted else None
+                ),
             ),
         )
         self.costs = CommunicationCosts()
@@ -127,7 +178,21 @@ class SRBSimulation:
         heapq.heappush(self._heap, (t, priority, next(self._seq), kind, payload))
 
     def _probe_oracle(self, oid):
-        """Server-initiated probe: the client's exact current position."""
+        """Server-initiated probe: the client's exact current position.
+
+        With probe faults injected, one attempt can time out
+        (:class:`ProbeTimeout` — the server retries with backoff) or
+        answer with the position ``stale_age`` ticks in the past.
+        """
+        if self._probe_channel is not None:
+            outcome = self._probe_channel.probe_outcome()
+            if outcome == "timeout":
+                raise ProbeTimeout(f"probe of {oid!r} timed out")
+            if outcome == "stale":
+                stale_t = max(
+                    self._now - self.faults.stale_age * self._fault_tick, 0.0
+                )
+                return self.clients[oid].position_at(stale_t)
         return self.clients[oid].position_at(self._now)
 
     # ------------------------------------------------------------------
@@ -163,7 +228,7 @@ class SRBSimulation:
         counters = {
             kind: event_counter(f"sim.events.{kind}")
             for kind in ("exit", "retry", "recv_update", "recv_region",
-                         "sample")
+                         "sample", "client_timeout")
         }
         with self._trace.span("sim.run"):
             self._bootstrap()
@@ -182,6 +247,8 @@ class SRBSimulation:
                     self._on_recv_update(*payload)
                 elif kind == "recv_region":
                     self._on_recv_region(*payload)
+                elif kind == "client_timeout":
+                    self._on_client_timeout(*payload)
                 else:
                     self._on_sample()
         self.server.refresh_index_gauges()
@@ -199,6 +266,12 @@ class SRBSimulation:
             # stats`` renders the extra section.
             snapshot = dict(snapshot)
             snapshot["timeseries"] = self.sampler.to_dict()
+        extras = {
+            "reevaluations": self.server.stats.queries_reevaluated,
+            "result_changes": self.server.stats.result_changes,
+        }
+        if self.faults is not None:
+            extras["faults"] = self._fault_summary()
         return SchemeReport(
             scheme="SRB",
             num_objects=scenario.num_objects,
@@ -208,26 +281,79 @@ class SRBSimulation:
             costs=self.costs,
             cpu_seconds=self.server.stats.cpu_seconds,
             total_distance=total_distance,
-            extras={
-                "reevaluations": self.server.stats.queries_reevaluated,
-                "result_changes": self.server.stats.result_changes,
-            },
+            extras=extras,
             metrics=snapshot,
         )
+
+    def _fault_summary(self) -> dict:
+        """Realised fault statistics for the report (faulted runs only)."""
+        summary: dict = {"plan": self.faults.describe()}
+        for label, channel in (
+            ("uplink", self._up),
+            ("downlink", self._down),
+            ("probe", self._probe_channel),
+        ):
+            if channel is not None:
+                summary[label] = {
+                    "sent": channel.sent,
+                    "dropped": channel.dropped,
+                    "duplicated": channel.duplicated,
+                    "delayed": channel.delayed,
+                }
+        stats = self.server.stats
+        summary["server"] = {
+            "probe_timeouts": stats.probe_timeouts,
+            "probe_retries": stats.probe_retries,
+            "unknown_updates": stats.unknown_updates,
+            "time_regressions": stats.time_regressions,
+            "degraded_entries": stats.degraded_entries,
+        }
+        return summary
 
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
     def _send_update(self, client: MobileClient) -> None:
-        position = client.position_at(self._now)
         client.begin_update()
+        self._transmit(client)
+
+    def _transmit(self, client: MobileClient) -> None:
+        """Send (or resend) a client's report over the uplink.
+
+        Each transmission reads the client's *current* position — a
+        retransmission after a lost round trip reports where the object
+        is now, not where it was when the lost report was sent.
+        """
+        position = client.position_at(self._now)
         self.costs.updates += 1
-        self._schedule(
-            self._now + self.scenario.delay,
-            _PRIO_RECV_UPDATE,
-            "recv_update",
-            (client.oid, position),
-        )
+        base = self._now + self.scenario.delay
+        if self._up is None:
+            self._schedule(
+                base, _PRIO_RECV_UPDATE, "recv_update", (client.oid, position)
+            )
+        else:
+            for lag in self._up.deliveries():
+                self._schedule(
+                    base + lag * self._fault_tick,
+                    _PRIO_RECV_UPDATE,
+                    "recv_update",
+                    (client.oid, position),
+                )
+        if self._retransmit_timeout is not None:
+            timeout_at = self._now + self._retransmit_timeout
+            if timeout_at <= self.scenario.duration:
+                self._schedule(
+                    timeout_at,
+                    _PRIO_TIMEOUT,
+                    "client_timeout",
+                    (client.oid, client.epoch),
+                )
+
+    def _on_client_timeout(self, oid, epoch: int) -> None:
+        """Retransmit a report whose round trip evidently got lost."""
+        client = self.clients[oid]
+        if client.awaiting and epoch == client.epoch:
+            self._transmit(client)
 
     def _on_exit(self, oid, epoch: int) -> None:
         client = self.clients[oid]
@@ -257,16 +383,29 @@ class SRBSimulation:
             return
         self._send_update(client)
 
+    def _deliver_region(self, target, region) -> None:
+        """Send one safe region down to a client, through the faults."""
+        base = self._now + self.scenario.delay
+        if self._down is None:
+            self._schedule(base, _PRIO_RECV_REGION, "recv_region", (target, region))
+            return
+        for lag in self._down.deliveries():
+            self._schedule(
+                base + lag * self._fault_tick,
+                _PRIO_RECV_REGION,
+                "recv_region",
+                (target, region),
+            )
+
     def _on_recv_update(self, oid, position) -> None:
         outcome = self.server.handle_location_update(oid, position, self._now)
-        deliver_at = self._now + self.scenario.delay
-        self._schedule(
-            deliver_at, _PRIO_RECV_REGION, "recv_region", (oid, outcome.safe_region)
-        )
+        if outcome.safe_region is not None:
+            self._deliver_region(oid, outcome.safe_region)
         for target, region in outcome.probed.items():
-            self._schedule(
-                deliver_at, _PRIO_RECV_REGION, "recv_region", (target, region)
-            )
+            self._deliver_region(target, region)
+        # ``outcome.missed`` targets have no deliverable region — they
+        # went degraded server-side and recover at their next probe or
+        # their own next boundary-crossing report.
 
     def _on_recv_region(self, oid, region) -> None:
         client = self.clients[oid]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
+from repro.faults import FaultPlan
 from repro.geometry.rect import Rect
 from repro.workloads.generator import WorkloadConfig
 
@@ -65,6 +66,17 @@ class Scenario:
     #: Batch-geometry backend (``repro.kernels``): ``"numpy"`` or the
     #: bit-identical ``"python"`` fallback (``--kernel-backend``).
     kernel_backend: str = "numpy"
+    #: Fault injection (docs/ROBUSTNESS.md): a ``FaultPlan`` spec string
+    #: such as ``"drop=0.05,dup=0.02,delay=2"`` (``--faults``), or
+    #: ``None`` for the paper's perfectly reliable channel.  ``delay``
+    #: here counts *ticks* of ``sample_interval``.
+    fault_spec: str | None = None
+    fault_seed: int = 0
+    #: How long a client waits for its new safe region before
+    #: retransmitting the report (lost uplink or downlink).  ``None``
+    #: derives a bound covering the worst faulted round trip.  Only
+    #: active when ``fault_spec`` is set.
+    retransmit_timeout: float | None = None
     space: Rect = UNIT_SPACE
 
     def __post_init__(self) -> None:
@@ -83,6 +95,11 @@ class Scenario:
                 "kernel_backend must be 'numpy' or 'python', "
                 f"got {self.kernel_backend!r}"
             )
+        if self.fault_spec is not None:
+            # Fail fast on a malformed spec — parse() raises ValueError.
+            FaultPlan.parse(self.fault_spec)
+        if self.retransmit_timeout is not None and self.retransmit_timeout <= 0:
+            raise ValueError("retransmit_timeout must be positive")
 
     @property
     def max_speed(self) -> float:
@@ -111,6 +128,12 @@ class Scenario:
             interval = self.sample_interval / 5.0
         count = int(math.floor(self.duration / interval))
         return [round(i * interval, 9) for i in range(1, count + 1)]
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The parsed, seeded :class:`FaultPlan`, or ``None`` (reliable)."""
+        if self.fault_spec is None:
+            return None
+        return FaultPlan.parse(self.fault_spec, seed=self.fault_seed)
 
     def with_overrides(self, **kwargs) -> "Scenario":
         """A copy with the given fields replaced."""

@@ -64,7 +64,8 @@ def test_workflow_parses_and_validates(workflow):
 
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {
-        "lint", "test", "bench-smoke", "bench-hotpath", "bench-kernels"
+        "lint", "test", "bench-smoke", "bench-hotpath", "bench-kernels",
+        "fault-matrix",
     }
 
 
@@ -165,6 +166,35 @@ def test_bench_jobs_upload_flight_recorder_on_failure(workflow):
         upload = failure_uploads[0]["with"]
         assert "flight" in upload["path"], name
         assert upload["if-no-files-found"] == "ignore", name
+
+
+def test_fault_matrix_runs_canned_profiles_through_diagnose(workflow):
+    """The fault-matrix job drives the simulator under the three canned
+    fault profiles and replays each recorder through ``repro diagnose``
+    (which exits 1 on invariant violations), archiving the recorder when
+    the job fails (docs/ROBUSTNESS.md)."""
+    job = workflow["jobs"]["fault-matrix"]
+    profiles = job["strategy"]["matrix"]["profile"]
+    assert {p["name"] for p in profiles} == {
+        "lossy", "dup-reorder", "probe-timeout"
+    }
+    specs = {p["name"]: p["spec"] for p in profiles}
+    assert "drop=" in specs["lossy"] and "dup=" in specs["lossy"]
+    assert "dup=" in specs["dup-reorder"] and "delay=" in specs["dup-reorder"]
+    assert "probe_timeout=" in specs["probe-timeout"]
+    runs = _runs(job)
+    compare = [i for i, run in enumerate(runs)
+               if "repro compare" in run and "--faults" in run
+               and "--fault-seed" in run and "--flight-recorder" in run]
+    diagnose = [i for i, run in enumerate(runs)
+                if "repro diagnose" in run]
+    assert compare and diagnose
+    assert compare[0] < diagnose[0], "must record before diagnosing"
+    failure_uploads = [
+        step for step in _uploads(job) if step.get("if") == "failure()"
+    ]
+    assert len(failure_uploads) == 1
+    assert failure_uploads[0]["with"]["if-no-files-found"] == "ignore"
 
 
 def test_bench_jobs_gate_throughput_against_stashed_baseline(workflow):

@@ -1,0 +1,123 @@
+"""Tests for the deterministic fault-injection layer (repro.faults)."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultyChannel, ProbeTimeout
+
+
+class TestFaultPlanParsing:
+    def test_parse_full_spec(self):
+        plan = FaultPlan.parse(
+            "drop=0.05,dup=0.02,delay=2,probe_timeout=0.1,"
+            "probe_stale=0.05,stale_age=3",
+            seed=9,
+        )
+        assert plan.drop == 0.05
+        assert plan.dup == 0.02
+        assert plan.delay == 2
+        assert plan.probe_timeout == 0.1
+        assert plan.probe_stale == 0.05
+        assert plan.stale_age == 3
+        assert plan.seed == 9
+
+    def test_parse_tolerates_spaces_and_empty_parts(self):
+        plan = FaultPlan.parse(" drop = 0.1 , , dup=0.2 ")
+        assert plan.drop == 0.1
+        assert plan.dup == 0.2
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            FaultPlan.parse("lose=0.5")
+
+    def test_seed_not_settable_via_spec(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("seed=3")
+
+    def test_describe_round_trips(self):
+        plan = FaultPlan.parse("drop=0.05,dup=0.02,delay=2")
+        assert FaultPlan.parse(plan.describe()) == plan
+        assert FaultPlan().describe() == "none"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop=1.0)  # would sever the channel
+        with pytest.raises(ValueError):
+            FaultPlan(dup=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(delay=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(stale_age=-2)
+
+    def test_fault_classification(self):
+        assert not FaultPlan().message_faults
+        assert not FaultPlan().probe_faults
+        assert FaultPlan(drop=0.1).message_faults
+        assert FaultPlan(delay=1).message_faults
+        assert FaultPlan(probe_timeout=0.1).probe_faults
+        assert not FaultPlan(probe_timeout=0.1).message_faults
+
+    def test_with_seed(self):
+        assert FaultPlan(drop=0.1).with_seed(5).seed == 5
+
+
+class TestFaultyChannel:
+    def test_clean_plan_delivers_everything_undelayed(self):
+        channel = FaultPlan().channel("uplink")
+        assert [channel.deliveries() for _ in range(50)] == [[0]] * 50
+        assert channel.dropped == channel.duplicated == channel.delayed == 0
+
+    def test_deterministic_for_fixed_seed(self):
+        plan = FaultPlan(drop=0.3, dup=0.2, delay=3, seed=42)
+        a = [plan.channel("up").deliveries() for _ in range(200)]
+        b = [plan.channel("up").deliveries() for _ in range(200)]
+        assert a == b
+
+    def test_independent_streams_per_channel_name(self):
+        plan = FaultPlan(drop=0.3, dup=0.2, delay=3, seed=42)
+        up = [plan.channel("up").deliveries() for _ in range(200)]
+        down = [plan.channel("down").deliveries() for _ in range(200)]
+        assert up != down
+
+    def test_seed_changes_the_stream(self):
+        a = [FaultPlan(drop=0.3, seed=1).channel("c").deliveries()
+             for _ in range(200)]
+        b = [FaultPlan(drop=0.3, seed=2).channel("c").deliveries()
+             for _ in range(200)]
+        assert a != b
+
+    def test_drop_rate_realised(self):
+        channel = FaultPlan(drop=0.25, seed=0).channel("c")
+        fates = [channel.deliveries() for _ in range(2000)]
+        dropped = sum(1 for f in fates if not f)
+        assert channel.sent == 2000
+        assert channel.dropped == dropped
+        assert 0.18 < dropped / 2000 < 0.32
+
+    def test_duplication_and_delay(self):
+        channel = FaultPlan(dup=0.5, delay=4, seed=3).channel("c")
+        fates = [channel.deliveries() for _ in range(500)]
+        assert any(len(f) == 2 for f in fates)
+        assert all(0 <= lag <= 4 for f in fates for lag in f)
+        assert channel.duplicated == sum(1 for f in fates if len(f) == 2)
+
+    def test_probe_outcomes(self):
+        channel = FaultPlan(
+            probe_timeout=0.4, probe_stale=0.3, seed=5
+        ).channel("probe")
+        outcomes = [channel.probe_outcome() for _ in range(2000)]
+        counts = {o: outcomes.count(o) for o in ("ok", "timeout", "stale")}
+        assert 0.3 < counts["timeout"] / 2000 < 0.5
+        assert 0.2 < counts["stale"] / 2000 < 0.4
+        assert counts["ok"] > 0
+        assert channel.dropped == counts["timeout"]
+
+    def test_probe_outcomes_deterministic(self):
+        plan = FaultPlan(probe_timeout=0.5, seed=8)
+        a = [plan.channel("p").probe_outcome() for _ in range(100)]
+        b = [plan.channel("p").probe_outcome() for _ in range(100)]
+        assert a == b
+
+
+def test_probe_timeout_is_an_exception():
+    assert issubclass(ProbeTimeout, Exception)
+    assert isinstance(FaultyChannel(FaultPlan(), "x"), FaultyChannel)

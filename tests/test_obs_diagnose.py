@@ -147,6 +147,85 @@ class TestAnomalies:
             diagnose([], shrink_storm_window=0.0)
 
 
+class TestRobustnessChecks:
+    def test_degraded_region_exempt_from_containment(self):
+        """A degraded region is widened around a stale position — the
+        true one is unknown — so containment must not fire on it."""
+        rows = [{
+            "seq": 1, "t": 2.0, "kind": "safe_region", "cause": None,
+            "oid": 3, "region": [0.0, 0.0, 0.1, 0.1], "pos": [0.9, 0.9],
+            "degraded": True,
+        }]
+        assert diagnose(rows).ok
+        rows[0]["degraded"] = False
+        assert not diagnose(rows).ok
+
+    def test_monotonic_time_violation(self):
+        rows = [
+            {"seq": 1, "t": 2.0, "kind": "update", "cause": None},
+            {"seq": 2, "t": 1.0, "kind": "probe", "cause": 1},
+        ]
+        report = diagnose(rows)
+        assert [f.check for f in report.violations] == ["monotonic_time"]
+        assert report.violations[0].seq == 2
+
+    def test_retry_storm_detected_within_window(self):
+        rows = [
+            {"seq": i, "t": 0.1 * i, "kind": "probe_retry", "cause": None,
+             "oid": i, "attempt": 1}
+            for i in range(6)
+        ]
+        report = diagnose(rows, retry_storm_threshold=5)
+        assert [f.check for f in report.anomalies] == ["retry_storm"]
+        assert not diagnose(rows, retry_storm_threshold=6).anomalies
+        with pytest.raises(ValueError):
+            diagnose([], retry_storm_window=0.0)
+
+    def test_stuck_degraded_detected(self):
+        rows = [
+            {"seq": 1, "t": 1.0, "kind": "degraded_enter", "cause": None,
+             "oid": 7},
+            {"seq": 2, "t": 9.0, "kind": "sample", "cause": None},
+        ]
+        report = diagnose(rows, stuck_degraded_timeout=5.0)
+        assert [f.check for f in report.anomalies] == ["stuck_degraded"]
+        assert "oid=7" in report.anomalies[0].detail
+
+    def test_recovered_episode_not_stuck(self):
+        for recovery in ("degraded_exit", "update"):
+            rows = [
+                {"seq": 1, "t": 1.0, "kind": "degraded_enter", "cause": None,
+                 "oid": 7},
+                {"seq": 2, "t": 2.0, "kind": recovery, "cause": None,
+                 "oid": 7},
+                {"seq": 3, "t": 9.0, "kind": "sample", "cause": None},
+            ]
+            assert not diagnose(rows, stuck_degraded_timeout=5.0).anomalies
+
+    def test_short_open_episode_not_stuck(self):
+        rows = [
+            {"seq": 1, "t": 8.0, "kind": "degraded_enter", "cause": None,
+             "oid": 7},
+            {"seq": 2, "t": 9.0, "kind": "sample", "cause": None},
+        ]
+        assert not diagnose(rows, stuck_degraded_timeout=5.0).anomalies
+        with pytest.raises(ValueError):
+            diagnose([], stuck_degraded_timeout=0.0)
+
+    def test_time_regressions_aggregated_as_one_anomaly(self):
+        rows = [
+            {"seq": i, "t": 1.0, "kind": "time_regression", "cause": None,
+             "oid": i, "got": 0.5, "clock": 1.0}
+            for i in range(1, 4)
+        ]
+        report = diagnose(rows)
+        assert report.ok
+        anomalies = [f for f in report.anomalies
+                     if f.check == "time_regression"]
+        assert len(anomalies) == 1
+        assert "3 update(s)" in anomalies[0].detail
+
+
 class TestGroundTruth:
     def test_off_by_default(self):
         rows = [{"seq": 1, "t": 1.0, "kind": "sample", "cause": None,

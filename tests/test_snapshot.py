@@ -11,10 +11,12 @@ from repro.core.extensions import CircleRangeQuery
 from repro.core.snapshot import (
     dump_server,
     load_server,
+    replay_updates,
     restore_server,
     snapshot_server,
 )
 from repro.geometry import Point, Rect
+from repro.obs import EventLog, read_events
 
 
 def build_server(seed=0, n=120):
@@ -42,7 +44,7 @@ class TestSnapshotShape:
         _, _, server = build_server()
         payload = snapshot_server(server)
         assert json.loads(json.dumps(payload)) == payload
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert len(payload["queries"]) == 8
         assert len(payload["objects"]) == 120
 
@@ -55,6 +57,65 @@ class TestSnapshotShape:
     def test_unknown_version_rejected(self):
         with pytest.raises(ValueError):
             restore_server({"version": 99}, lambda oid: None)
+
+    def test_version_1_snapshot_still_loads(self):
+        """Pre-fault-era snapshots carry neither clock, degraded set,
+        nor the fault-handling config fields — they must restore to a
+        healthy faults-off server."""
+        _, positions, server = build_server(seed=11, n=30)
+        payload = snapshot_server(server)
+        legacy = json.loads(json.dumps(payload))
+        legacy["version"] = 1
+        del legacy["time"]
+        del legacy["degraded"]
+        for key in ("probe_timeout", "probe_retries", "probe_budget",
+                    "on_unknown_object", "degraded_max_speed"):
+            del legacy["config"][key]
+        restored = restore_server(legacy, lambda oid: positions[oid])
+        assert restored.object_count == 30
+        assert restored.clock == 0.0
+        assert restored.degraded_objects() == {}
+        assert restored.config.on_unknown_object == "raise"
+        restored.validate()
+
+    def test_fault_state_round_trips(self):
+        """Clock, degraded set, and fault config survive the round trip."""
+        from repro.faults import ProbeTimeout
+
+        positions = {oid: Point(0.1 * oid + 0.05, 0.5) for oid in range(8)}
+
+        def oracle(oid):
+            if oid == 3:
+                raise ProbeTimeout(oid)
+            return positions[oid]
+
+        server = DatabaseServer(
+            position_oracle=oracle,
+            config=ServerConfig(
+                probe_timeout=0.125, probe_retries=1, probe_budget=64,
+                on_unknown_object="drop", degraded_max_speed=0.02,
+            ),
+        )
+        server.load_objects(positions.items())
+        # Registration probes every object whose safe region straddles
+        # the query boundary; oid 3 times out and enters degraded mode.
+        server.register_query(
+            RangeQuery(Rect(0.3, 0.4, 0.35, 0.6), query_id="r"), time=1.5
+        )
+        assert server.is_degraded(3)
+        assert server.clock == 1.5
+
+        payload = json.loads(json.dumps(snapshot_server(server)))
+        assert payload["version"] == 2
+        restored = restore_server(payload, oracle)
+        assert restored.clock == server.clock
+        assert restored.degraded_objects() == server.degraded_objects()
+        assert restored.config.probe_timeout == 0.125
+        assert restored.config.probe_retries == 1
+        assert restored.config.probe_budget == 64
+        assert restored.config.on_unknown_object == "drop"
+        assert restored.config.degraded_max_speed == 0.02
+        restored.validate()
 
 
 class TestRoundTrip:
@@ -115,6 +176,82 @@ class TestRoundTrip:
         with open(path) as handle:
             restored = load_server(handle, lambda oid: positions[oid])
         assert restored.object_count == 40
+        restored.validate()
+
+    def test_flight_recorder_replay_catches_up(self, tmp_path):
+        """Crash recovery (docs/ROBUSTNESS.md): restore a mid-flight
+        snapshot, replay the flight-recorder tail, and end up with the
+        same query results as the server that never crashed."""
+        rng = random.Random(23)
+        positions = {
+            oid: Point(rng.random(), rng.random()) for oid in range(50)
+        }
+        script = []
+        t = 0.0
+        for _ in range(120):
+            t += 0.01
+            oid = rng.randrange(50)
+            script.append((round(t, 9), oid, Point(rng.random(), rng.random())))
+        # Duplicate a few reports (same oid, later time) — the faulted
+        # stream shape a recovered server must also digest.
+        script.extend(
+            (round(t + 0.01 * (i + 1), 9), oid, target)
+            for i, (_, oid, target) in enumerate(script[::40])
+        )
+        script.sort()
+
+        server_box = [None]
+
+        def oracle(oid):
+            # Answer probes with the object's last scripted position as
+            # of the probing server's clock — identical answers for the
+            # live run and the replay, which is what makes recovery
+            # deterministic.
+            best = positions[oid]
+            for when, who, target in script:
+                if when > server_box[0].clock:
+                    break
+                if who == oid:
+                    best = target
+            return best
+
+        sink = tmp_path / "recorder.jsonl"
+        log = EventLog(capacity=16, sink=sink)  # tiny ring; sink has all
+        live = DatabaseServer(position_oracle=oracle, events=log)
+        server_box[0] = live
+        live.load_objects(positions.items())
+        for i in range(6):
+            x, y = rng.random() * 0.8, rng.random() * 0.8
+            live.register_query(
+                RangeQuery(Rect(x, y, x + 0.2, y + 0.2), query_id=f"r{i}")
+            )
+
+        payload = None
+        for when, oid, target in script:
+            live.handle_location_update(oid, target, when)
+            if payload is None and when >= 0.6:
+                payload = json.loads(json.dumps(snapshot_server(live)))
+        log.close()
+        assert payload is not None and payload["time"] >= 0.6
+
+        restored = restore_server(payload, oracle)
+        server_box[0] = restored
+        assert restored.clock == payload["time"]
+        replayed, skipped = replay_updates(
+            restored, read_events(sink)
+        )
+        assert replayed > 0
+        assert skipped == 0
+
+        results_live = {
+            q.query_id: q.result_snapshot() for q in live.queries()
+        }
+        results_restored = {
+            q.query_id: q.result_snapshot() for q in restored.queries()
+        }
+        assert results_live == results_restored
+        for oid in positions:
+            assert restored.safe_region_of(oid) == live.safe_region_of(oid)
         restored.validate()
 
     def test_string_object_ids(self):
