@@ -96,6 +96,18 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                              "before resending a report (faulted runs "
                              "only; default covers the worst faulted "
                              "round trip)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="split the grid across this many shard "
+                             "servers behind a routing coordinator "
+                             "(docs/SHARDING.md); 0 = single server")
+    parser.add_argument("--shard-workers", type=int, default=0,
+                        help="run each shard as a multiprocessing worker "
+                             "(> 0) instead of in-process (0); requires "
+                             "--shards")
+    parser.add_argument("--kill-shard", default=None, metavar="SHARD@TIME",
+                        help="shard-failure drill: kill that shard at "
+                             "that simulation time and continue in "
+                             "degraded mode (requires --shards >= 2)")
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -105,29 +117,36 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
         except ValueError as error:
             print(f"bad --faults spec: {error}", file=sys.stderr)
             raise SystemExit(2) from None
-    return figures.BENCH_BASE.with_overrides(
-        num_objects=args.objects,
-        num_queries=args.queries,
-        mean_speed=args.speed,
-        mean_period=args.period,
-        q_len=args.q_len,
-        k_max=args.k_max,
-        grid_m=args.grid_m,
-        delay=args.delay,
-        duration=args.duration,
-        seed=args.seed,
-        use_reachability=args.reachability,
-        steadiness=args.steadiness,
-        enable_caches=not args.no_caches,
-        kernel_backend=(
-            "numpy"
-            if args.kernel_backend == "both"
-            else args.kernel_backend
-        ),
-        fault_spec=args.faults,
-        fault_seed=args.fault_seed,
-        retransmit_timeout=args.retransmit_timeout,
-    )
+    try:
+        return figures.BENCH_BASE.with_overrides(
+            num_objects=args.objects,
+            num_queries=args.queries,
+            mean_speed=args.speed,
+            mean_period=args.period,
+            q_len=args.q_len,
+            k_max=args.k_max,
+            grid_m=args.grid_m,
+            delay=args.delay,
+            duration=args.duration,
+            seed=args.seed,
+            use_reachability=args.reachability,
+            steadiness=args.steadiness,
+            enable_caches=not args.no_caches,
+            kernel_backend=(
+                "numpy"
+                if args.kernel_backend == "both"
+                else args.kernel_backend
+            ),
+            fault_spec=args.faults,
+            fault_seed=args.fault_seed,
+            retransmit_timeout=args.retransmit_timeout,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
+            kill_shard=args.kill_shard,
+        )
+    except ValueError as error:
+        print(f"bad scenario: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _result_fields(row: dict) -> dict:

@@ -437,6 +437,144 @@ class DatabaseServer:
         if self._degraded.pop(oid, None) is not None:
             self._g_degraded.set(len(self._degraded))
 
+    def evict_object(self, oid: ObjectId, time: float = 0.0) -> UpdateOutcome:
+        """Remove ``oid`` and repair every query result referencing it.
+
+        Unlike :meth:`remove_object` (a pure teardown), eviction keeps
+        registered query results correct: range results drop the member,
+        kNN results that held it are re-evaluated from scratch over the
+        remaining objects, and every object probed during the refill gets
+        a fresh safe region through the usual ingest / location-manager
+        machinery.  This is the migration primitive of the sharded
+        deployment (``repro.sharding``): the object keeps existing, but
+        on another shard, so this shard must stop answering for it.
+        """
+        state = self._objects.get(oid)
+        if state is None:
+            raise KeyError(f"cannot evict unknown object {oid!r}")
+        with self._trace.span("server.evict_object"):
+            self._probe_spent = 0
+            self._failed_probes.clear()
+            self._clock = max(self._clock, time)
+            self._refresh_degraded(self._clock)
+            if self.events.enabled:
+                self.events.set_time(self._clock)
+                self._cause = self.events.emit(
+                    "evict", oid=oid, pos=(state.p_lst.x, state.p_lst.y)
+                )
+            try:
+                outcome = self._evict_object(oid, self._clock)
+            finally:
+                self._cause = None
+        self.refresh_index_gauges()
+        self.stats.cpu_seconds = self._trace.cpu_seconds
+        return outcome
+
+    def _evict_object(self, oid: ObjectId, time: float) -> UpdateOutcome:
+        probed: dict[ObjectId, Point] = {}
+        shrunk_only: dict[ObjectId, Rect] = {}
+        previous_positions: dict[ObjectId, Point] = {}
+        probe = self._make_probe(probed, time)
+        constrain = self._make_constrain(time)
+        outcome = UpdateOutcome()
+
+        # Take the object out of the indexes *first*: the kNN refills
+        # below evaluate over the object index and must not resurrect it.
+        self.remove_object(oid)
+
+        # Membership, not geometry, decides which queries need repair: a
+        # result member may sit anywhere inside the quarantine area, so
+        # scanning the registered queries is the only sound filter.
+        referencing = sorted(
+            (q for q in self.query_index.all_queries() if oid in q.results),
+            key=lambda q: q.query_id,
+        )
+        events = self.events
+        for query in referencing:
+            before = _snapshot(query)
+            probes_before = set(probed)
+            parent_cause = self._cause
+            if events.enabled:
+                self._cause = events.emit(
+                    "reevaluation", cause=parent_cause,
+                    query=query.query_id, oid=oid,
+                )
+            try:
+                if isinstance(query, RangeQuery):
+                    query.results.discard(oid)
+                    shrunk: dict[ObjectId, Rect] = {}
+                    quarantine_changed = False
+                elif isinstance(query, KNNQuery):
+                    evaluation = evaluate_knn(
+                        self.object_index,
+                        query.center,
+                        query.k,
+                        probe,
+                        order_sensitive=query.order_sensitive,
+                        constrain=constrain,
+                        kernels=self.kernels,
+                    )
+                    query.results = list(evaluation.results)
+                    query.radius = evaluation.radius
+                    shrunk = evaluation.shrunk
+                    quarantine_changed = True
+                else:
+                    # Extension queries own their membership semantics; a
+                    # set-style discard is the only generic repair.
+                    query.results.discard(oid)
+                    shrunk = {}
+                    quarantine_changed = False
+                fresh = {
+                    target: pos
+                    for target, pos in probed.items()
+                    if target not in probes_before
+                }
+                previous_positions.update(self._apply_probes(fresh, time))
+                shrunk_only.update(self._apply_shrinks(shrunk, probed))
+                if quarantine_changed:
+                    self.query_index.update(query)
+                after = _snapshot(query)
+                degraded_members: tuple = ()
+                if self._degraded or self._failed_probes:
+                    unreachable = self._failed_probes | set(self._degraded)
+                    degraded_members = tuple(sorted(
+                        (o for o in query.results if o in unreachable),
+                        key=repr,
+                    ))
+                outcome.changes.append(
+                    ResultChange(
+                        query.query_id, before, after,
+                        degraded=degraded_members,
+                    )
+                )
+                if before != after:
+                    self.stats.result_changes += 1
+                    if events.enabled:
+                        events.emit(
+                            "result_change", cause=self._cause,
+                            query=query.query_id, case="evict",
+                            before=_event_snapshot(before),
+                            after=_event_snapshot(after),
+                            **(
+                                {"degraded": list(degraded_members)}
+                                if degraded_members else {}
+                            ),
+                        )
+                self.stats.queries_reevaluated += 1
+            finally:
+                self._cause = parent_cause
+        outcome.queries_reevaluated = len(outcome.changes)
+
+        self._ingest_reports(
+            list(probed.items()), probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time,
+        )
+        self._location_manager_phase(
+            list(probed), {}, probe, probed, previous_positions,
+            shrunk_only, constrain, outcome, time, updater=None,
+        )
+        return outcome
+
     # ------------------------------------------------------------------
     # Query registration (Algorithm 1, lines 2-7)
     # ------------------------------------------------------------------

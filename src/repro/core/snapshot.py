@@ -123,13 +123,15 @@ def snapshot_server(server: DatabaseServer) -> dict:
     }
 
 
-def restore_server(payload: dict, position_oracle) -> DatabaseServer:
-    """Rebuild a server from a snapshot dict and a fresh probe channel."""
-    version = payload.get("version")
-    if version not in (1, FORMAT_VERSION):
-        raise ValueError(f"unsupported snapshot version: {version!r}")
-    config_data = dict(payload["config"])
-    config_data["space"] = _rect_from_list(config_data["space"])
+def config_from_payload(config_data: dict) -> ServerConfig:
+    """Rebuild a :class:`ServerConfig` from a snapshot's ``config`` block.
+
+    Shared by the single-server and sharded (``repro.sharding.snapshot``)
+    restore paths so version-compat defaults never fork.
+    """
+    config_data = dict(config_data)
+    if not isinstance(config_data["space"], Rect):
+        config_data["space"] = _rect_from_list(config_data["space"])
     # Snapshots written before the kernels subsystem carry no backend;
     # version-1 snapshots predate the fault-handling fields entirely.
     config_data.setdefault("kernel_backend", "numpy")
@@ -138,8 +140,17 @@ def restore_server(payload: dict, position_oracle) -> DatabaseServer:
     config_data.setdefault("probe_budget", None)
     config_data.setdefault("on_unknown_object", "raise")
     config_data.setdefault("degraded_max_speed", None)
+    return ServerConfig(**config_data)
+
+
+def restore_server(payload: dict, position_oracle) -> DatabaseServer:
+    """Rebuild a server from a snapshot dict and a fresh probe channel."""
+    version = payload.get("version")
+    if version not in (1, FORMAT_VERSION):
+        raise ValueError(f"unsupported snapshot version: {version!r}")
     server = DatabaseServer(
-        position_oracle=position_oracle, config=ServerConfig(**config_data)
+        position_oracle=position_oracle,
+        config=config_from_payload(payload["config"]),
     )
 
     pairs = []

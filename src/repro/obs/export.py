@@ -32,11 +32,13 @@ def write_jsonl(registry, path: str | Path, append: bool = False) -> int:
     """
     snapshot = registry.to_dict()
     lines = []
-    for name, value in sorted(snapshot["counters"].items()):
+    # ``.get``: a registry that recorded nothing of a kind (a shard
+    # worker that processed zero updates) may omit the whole section.
+    for name, value in sorted(snapshot.get("counters", {}).items()):
         lines.append({"kind": "counter", "name": name, "value": value})
-    for name, value in sorted(snapshot["gauges"].items()):
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
         lines.append({"kind": "gauge", "name": name, "value": value})
-    for name, data in sorted(snapshot["histograms"].items()):
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
         lines.append(data)
     mode = "a" if append else "w"
     with open(path, mode) as sink:
@@ -80,14 +82,17 @@ def _fold_jsonl(text: str) -> dict:
             continue
         entry = json.loads(raw)
         kind = entry.get("kind")
+        name = entry.get("name")
+        if name is None:
+            continue  # not an instrument line; tolerate foreign sinks
         # Plain dict assignment keyed by name: a later line for the same
         # instrument (an appended snapshot) replaces the earlier one.
         if kind == "counter":
-            snapshot["counters"][entry["name"]] = entry["value"]
+            snapshot["counters"][name] = entry.get("value", 0)
         elif kind == "gauge":
-            snapshot["gauges"][entry["name"]] = entry["value"]
+            snapshot["gauges"][name] = entry.get("value", 0.0)
         elif kind == "histogram":
-            snapshot["histograms"][entry["name"]] = entry
+            snapshot["histograms"][name] = entry
     return snapshot
 
 
@@ -183,6 +188,14 @@ def render_document(document: dict) -> str:
     parts = []
     for scheme, snapshot in document.get("schemes", {}).items():
         parts.append(render_snapshot(snapshot, title=scheme))
+        # Sharded runs nest one registry snapshot per shard
+        # (docs/SHARDING.md); render each as its own section.
+        for shard, shard_snapshot in sorted(
+            snapshot.get("shards", {}).items()
+        ):
+            parts.append(
+                render_snapshot(shard_snapshot, title=f"{scheme} / {shard}")
+            )
     if not parts:
         return "(no schemes in metrics document)"
     return "\n\n".join(parts)

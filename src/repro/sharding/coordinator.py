@@ -1,0 +1,758 @@
+"""The sharded deployment's coordinator (docs/SHARDING.md).
+
+:class:`ShardedServer` presents the single-server surface —
+``load_objects`` / ``register_query`` / ``handle_location_update(s)`` /
+``stats`` — over N per-cell shards.  It owns all cross-shard state:
+
+* the **home table** (object → shard), updated when an update's
+  destination cell is owned by a different shard: the old home evicts
+  (``DatabaseServer.evict_object`` repairs its local results) and the
+  new home adds the object;
+* the **merged views** — the caller's original query objects, whose
+  ``results``/``radius`` the coordinator maintains from per-shard
+  partial results.  Range results are the union of the holders'
+  partials; kNN pools each holder's local members (with their
+  safe-region distance bounds) and re-ranks them with
+  ``kernels.top_k_rows``, exact distances first, object id on ties;
+* the **fan-out ledger** (query → holder shards).  A kNN view's merged
+  radius is the conservative bound ``max_dist`` of its k-th pooled
+  candidate; whenever the bound's circle reaches cells of a non-holder,
+  the query is registered there too (sticky), so the merged top-k can
+  never miss an object a holder does not see.
+
+Shards run in-process (``n_workers=0`` — deterministic, and results
+are pinned equivalent to the single-server baseline in
+``tests/test_sharding_equivalence.py``) or as one ``multiprocessing``
+worker each (``repro.sharding.worker``), escaping the GIL.
+
+A dead shard (``kill_shard`` — the failure drill) stays in the merge as
+a *frozen* partial: its members remain in results but are flagged
+``degraded``, never silently dropped, until the objects re-home by
+reporting — routing falls over to each cell's rendezvous runner-up.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import fields as _dataclass_fields
+from typing import Hashable, Iterable
+
+from repro.core.queries import KNNQuery, Query, RangeQuery
+from repro.core.results import BatchOutcome, ResultChange, UpdateOutcome
+from repro.core.server import PositionOracle, ServerConfig, ServerStats
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.kernels import Kernels
+from repro.obs import NULL_EVENT_LOG, NULL_REGISTRY, MetricsRegistry
+from repro.sharding.backend import ShardBackend, query_spec
+from repro.sharding.router import ShardRouter
+from repro.sharding.shardmap import ShardMap
+from repro.sharding.worker import WorkerShard
+
+ObjectId = Hashable
+
+
+class InProcessShard:
+    """Shard handle running its backend on the coordinator's thread."""
+
+    def __init__(self, shard_id: int, config: ServerConfig, oracle,
+                 metrics_enabled: bool = False, events=None) -> None:
+        self.shard_id = shard_id
+        self._oracle = oracle
+        registry = MetricsRegistry() if metrics_enabled else None
+        self.backend = ShardBackend(
+            shard_id, config, oracle, metrics=registry, events=events
+        )
+        self.alive = True
+
+    def call(self, name: str, *args):
+        if name == "restore":
+            self.backend.restore(args[0], self._oracle)
+            return None
+        return getattr(self.backend, name)(*args)
+
+    def kill(self) -> None:
+        self.alive = False
+        self.backend = None  # frozen: the process is "gone"
+
+    def close(self) -> None:
+        self.alive = False
+
+
+class ShardedServer:
+    """Coordinator over N cell-owned shards (see module docstring)."""
+
+    def __init__(
+        self,
+        position_oracle: PositionOracle,
+        config: ServerConfig | None = None,
+        n_shards: int = 2,
+        n_workers: int = 0,
+        metrics=None,
+        events=None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if n_workers < 0:
+            raise ValueError("n_workers must be non-negative")
+        self.config = config or ServerConfig()
+        self.n_shards = n_shards
+        #: Any non-zero worker count runs one process per shard; the
+        #: knob is a mode bit kept numeric for CLI symmetry.
+        self.n_workers = n_shards if n_workers else 0
+        self._oracle = position_oracle
+        self.metrics = NULL_REGISTRY if metrics is None else metrics
+        self.events = NULL_EVENT_LOG if events is None else events
+        self.map = ShardMap(n_shards, self.config.grid_m)
+        self.router = ShardRouter(self.map, self.config.space)
+        self.kernels = Kernels(self.config.kernel_backend)
+        space = self.config.space
+        self._diameter = math.hypot(space.width, space.height)
+
+        self._homes: dict[ObjectId, int] = {}
+        self._home_counts = [0] * n_shards
+        self._views: dict[str, Query] = {}
+        self._partials: dict[str, dict[int, dict]] = {}
+        self._holders: dict[str, set[int]] = {}
+        self._dead: set[int] = set()
+        self._dead_at: dict[int, float] = {}
+        self._clock = 0.0
+        self._merged_changes = 0
+        #: Degraded-member flags of the last merge, per query id.
+        self._merge_degraded: dict[str, frozenset] = {}
+        #: Views whose partials changed as a side effect (registration
+        #: probes on a shard flipping other local results); drained by
+        #: every top-level operation.
+        self._dirty: set[str] = set()
+        self._stats_cache: dict[int, ServerStats] = {}
+        self._metrics_cache: dict[int, dict] = {}
+        self._busy = [0.0] * n_shards
+        #: Coordinator compute: routing plus merging, the serial part of
+        #: the scaling model (benchmarks/test_shards_bench.py).
+        self.route_seconds = 0.0
+        self.merge_seconds = 0.0
+
+        self._m_migrations = self.metrics.counter("shard.migrations")
+        self._m_fanout_reg = self.metrics.counter("shard.fanout.registrations")
+        self._m_expansions = self.metrics.counter("shard.fanout.expansions")
+        self._m_dead_routed = self.metrics.counter("shard.dead_routed")
+        self._c_updates = [
+            self.metrics.counter(f"shard.updates.s{i}") for i in range(n_shards)
+        ]
+        self._g_objects = [
+            self.metrics.gauge(f"shard.objects.s{i}") for i in range(n_shards)
+        ]
+        self._g_imbalance = self.metrics.gauge("shard.objects.imbalance")
+        self._g_dead = self.metrics.gauge("shard.dead")
+
+        metrics_enabled = self.metrics.enabled
+        if self.n_workers:
+            self._shards: list = [
+                WorkerShard(i, self.config, position_oracle, metrics_enabled)
+                for i in range(n_shards)
+            ]
+        else:
+            # In-process shards share the coordinator's event log: one
+            # causally ordered stream, exactly like the single server.
+            self._shards = [
+                InProcessShard(
+                    i, self.config, position_oracle, metrics_enabled,
+                    events=self.events,
+                )
+                for i in range(n_shards)
+            ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, oid: ObjectId) -> bool:
+        return oid in self._homes
+
+    @property
+    def object_count(self) -> int:
+        return len(self._homes)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._views)
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def queries(self) -> frozenset[Query]:
+        return frozenset(self._views.values())
+
+    def shard_of_object(self, oid: ObjectId) -> int:
+        return self._homes[oid]
+
+    def dead_shards(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    def shard_object_counts(self) -> list[int]:
+        return list(self._home_counts)
+
+    def holders_of(self, query_id: str) -> frozenset[int]:
+        return frozenset(self._holders[query_id])
+
+    def safe_region_of(self, oid: ObjectId) -> Rect:
+        home = self._homes[oid]
+        if home in self._dead:
+            raise KeyError(f"object {oid!r} is homed on dead shard {home}")
+        return self._shards[home].call("safe_region", oid)
+
+    def degraded_objects(self) -> dict[ObjectId, float]:
+        merged: dict[ObjectId, float] = {}
+        for i in self._live():
+            merged.update(self._shards[i].call("info")["degraded"])
+        for oid, home in self._homes.items():
+            if home in self._dead:
+                merged.setdefault(oid, self._dead_at[home])
+        return merged
+
+    def shard_busy_seconds(self) -> list[float]:
+        """Per-shard compute seconds (dead shards: frozen at kill)."""
+        busy = list(self._busy)
+        for i in self._live():
+            if self._shards[i].alive:
+                busy[i] = self._shards[i].call("info")["busy"]
+        return busy
+
+    def validate(self) -> None:
+        for i in self._live():
+            self._shards[i].call("validate")
+            info = self._shards[i].call("info")
+            expected = sorted(
+                (oid for oid, home in self._homes.items() if home == i),
+                key=repr,
+            )
+            assert info["oids"] == expected, f"home table desync on shard {i}"
+
+    def refresh_index_gauges(self) -> None:
+        if not self.metrics.enabled:
+            return
+        live = self._live()
+        for i in range(self.n_shards):
+            self._g_objects[i].set(self._home_counts[i])
+        counts = [self._home_counts[i] for i in live]
+        if counts and sum(counts):
+            self._g_imbalance.set(max(counts) * len(counts) / sum(counts))
+        self._g_dead.set(len(self._dead))
+        if not self.n_workers:
+            for i in live:
+                self._shards[i].call("refresh_index_gauges")
+
+    @property
+    def stats(self) -> ServerStats:
+        """Summed per-shard counters; merged-view result changes.
+
+        Per-message cost accounting survives sharding unchanged:
+        ``probes`` and ``safe_region_pushes`` are real messages wherever
+        they originate, so the sum is the system's message bill.
+        ``result_changes`` counts *merged-view* changes — per-shard
+        local flips that cancel out in the merge are not deliverable
+        deltas.  ``cpu_seconds`` sums shard compute (wall-clock on a
+        multi-core host is the max, not the sum; the shard benchmark
+        models that explicitly).
+        """
+        agg = ServerStats()
+        for i in range(self.n_shards):
+            shard_stats = self._shard_stats(i)
+            for f in _dataclass_fields(ServerStats):
+                setattr(
+                    agg, f.name,
+                    getattr(agg, f.name) + getattr(shard_stats, f.name),
+                )
+        agg.result_changes = self._merged_changes
+        return agg
+
+    def shard_metrics_snapshots(self) -> dict[str, dict]:
+        """Per-shard metric registries, keyed ``shard<i>`` (live only)."""
+        out = {}
+        if not self.metrics.enabled:
+            return out
+        for i in self._live():
+            if self._shards[i].alive:
+                snapshot = self._shards[i].call("metrics_snapshot")
+            else:
+                snapshot = self._metrics_cache.get(i)
+            if snapshot is not None:
+                out[f"shard{i}"] = snapshot
+        return out
+
+    # ------------------------------------------------------------------
+    # Object population
+    # ------------------------------------------------------------------
+    def load_objects(
+        self, positions: Iterable[tuple[ObjectId, Point]], time: float = 0.0
+    ) -> dict[ObjectId, Rect]:
+        self._clock = max(self._clock, time)
+        start = _time.process_time()
+        excluding = frozenset(self._dead)
+        by_shard: dict[int, list] = {}
+        for oid, position in positions:
+            if oid in self._homes:
+                raise KeyError(f"object {oid!r} already loaded")
+            shard = self.router.shard_for_point(position, excluding)
+            self._homes[oid] = shard
+            self._home_counts[shard] += 1
+            by_shard.setdefault(shard, []).append(
+                (oid, (position.x, position.y))
+            )
+        self.route_seconds += _time.process_time() - start
+        regions: dict[ObjectId, Rect] = {}
+        for shard in sorted(by_shard):
+            resp = self._shards[shard].call("load", by_shard[shard], time)
+            regions.update(resp["regions"])
+        self.refresh_index_gauges()
+        return regions
+
+    # ------------------------------------------------------------------
+    # Query registration
+    # ------------------------------------------------------------------
+    def register_query(self, query: Query, time: float = 0.0) -> UpdateOutcome:
+        qid = query.query_id
+        if qid in self._views:
+            raise ValueError(f"query {qid!r} already registered")
+        spec = query_spec(query)  # raises TypeError for extension types
+        del spec
+        self._clock = max(self._clock, time)
+        excluding = frozenset(self._dead)
+        if isinstance(query, RangeQuery):
+            targets = sorted(self.router.shards_for_rect(query.rect, excluding))
+        else:
+            # A fresh kNN query has no distance bound yet: only a global
+            # evaluation can find the true top-k, so every live shard
+            # evaluates once; the bound then prunes the fan-out.
+            targets = sorted(self._live())
+        self._views[qid] = query
+        self._partials[qid] = {}
+        self._holders[qid] = set()
+        outcome = UpdateOutcome()
+        for shard in targets:
+            self._register_on(qid, shard, time, outcome)
+        # The initial merge is the registration itself, not a result
+        # change — mirror the single server, which reports it as a
+        # ``ResultChange(qid, None, snapshot)`` without counting it.
+        self._dirty.discard(qid)
+        self._remerge(qid, time, outcome=None, count=False)
+        if isinstance(query, KNNQuery):
+            self._prune(qid)
+        outcome.changes.insert(0, ResultChange(
+            qid, None, query.result_snapshot(),
+            degraded=self._degraded_members(qid),
+        ))
+        self._drain_dirty(time, outcome)
+        return outcome
+
+    def deregister_query(self, query: Query) -> None:
+        qid = query.query_id
+        if qid not in self._views:
+            raise KeyError(f"query {qid!r} is not registered")
+        for shard in sorted(self._holders[qid]):
+            if shard not in self._dead:
+                self._shards[shard].call("deregister", qid)
+        del self._views[qid]
+        del self._partials[qid]
+        del self._holders[qid]
+
+    # ------------------------------------------------------------------
+    # Location updates
+    # ------------------------------------------------------------------
+    def handle_location_update(
+        self, oid: ObjectId, position: Point, time: float = 0.0
+    ) -> UpdateOutcome:
+        self._clock = max(self._clock, time)
+        start = _time.process_time()
+        plan = self._plan_report(oid, position)
+        per_shard: dict[int, list[tuple]] = {}
+        for shard, op in plan:
+            per_shard.setdefault(shard, []).append(op)
+        self.route_seconds += _time.process_time() - start
+        responses = self._dispatch(per_shard, time)
+        start = _time.process_time()
+        outcome = UpdateOutcome()
+        affected = self._absorb_responses(responses)
+        for shard, op in plan:
+            shard_outcome = responses[shard]["outcomes"].pop(0)
+            self._fold_outcome(outcome, shard_outcome)
+        for qid in sorted(affected):
+            self._dirty.discard(qid)
+            self._remerge(qid, time, outcome)
+        self._drain_dirty(time, outcome)
+        self.merge_seconds += _time.process_time() - start
+        return outcome
+
+    def handle_location_updates(
+        self, reports: Iterable[tuple[ObjectId, Point]], time: float = 0.0
+    ) -> BatchOutcome:
+        """Batched same-tick reports, mirroring the single server's order.
+
+        The deterministic (destination cell, submission index) order —
+        with the duplicate-id fallback to plain submission order — is
+        computed coordinator-side, then split into per-shard op streams
+        that preserve each shard's subsequence.  Shard states are
+        therefore identical whether the streams run interleaved
+        in-process or concurrently in workers: shards share no state,
+        only the coordinator's merge joins them.
+        """
+        self._clock = max(self._clock, time)
+        start = _time.process_time()
+        reports = list(reports)
+        oids = [oid for oid, _ in reports]
+        if len(set(oids)) != len(oids):
+            ordered: Iterable[int] = range(len(reports))
+            cells: list | None = None
+        else:
+            cells = self.router.grid.cells_of_points(
+                [position for _, position in reports]
+            )
+            ordered = sorted(
+                range(len(reports)), key=lambda i: (cells[i], i)
+            )
+        plan: list[tuple[int, tuple]] = []
+        for i in ordered:
+            oid, position = reports[i]
+            plan.extend(self._plan_report(
+                oid, position, cells[i] if cells is not None else None
+            ))
+        per_shard: dict[int, list[tuple]] = {}
+        for shard, op in plan:
+            per_shard.setdefault(shard, []).append(op)
+        self.route_seconds += _time.process_time() - start
+
+        responses = self._dispatch(per_shard, time)
+
+        start = _time.process_time()
+        batch = BatchOutcome()
+        affected = self._absorb_responses(responses)
+        for shard, op in plan:
+            batch.merge(op[1], responses[shard]["outcomes"].pop(0))
+        merged = UpdateOutcome()
+        for qid in sorted(affected):
+            self._dirty.discard(qid)
+            self._remerge(qid, time, merged)
+        self._drain_dirty(time, merged)
+        batch.changes.extend(merged.changes)
+        batch.regions.update(merged.probed)
+        self.merge_seconds += _time.process_time() - start
+        self.refresh_index_gauges()
+        return batch
+
+    # ------------------------------------------------------------------
+    # Failure drill
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: int, time: float | None = None) -> UpdateOutcome:
+        """Hard-stop one shard and contain the damage (docs/SHARDING.md).
+
+        The dead shard's last known partials stay in every merge as
+        frozen, ``degraded``-flagged members — conservative, never
+        silently dropped.  Routing falls over to each cell's
+        rendezvous runner-up, queries are re-registered on the shards
+        adopting territory, and each frozen object heals the moment it
+        next reports (it migrates to its fall-over home).
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"no such shard: {shard_id}")
+        if shard_id in self._dead:
+            raise ValueError(f"shard {shard_id} is already dead")
+        if len(self._dead) + 1 == self.n_shards:
+            raise ValueError("cannot kill the last live shard")
+        now = self._clock if time is None else max(time, self._clock)
+        self._clock = now
+        # Freeze the accounting before the state disappears.
+        self._stats_cache[shard_id] = self._shards[shard_id].call("stats")
+        self._busy[shard_id] = self._shards[shard_id].call("info")["busy"]
+        self._dead.add(shard_id)
+        self._dead_at[shard_id] = now
+        self._shards[shard_id].kill()
+        if self.events.enabled:
+            self.events.set_time(now)
+            self.events.emit("shard_killed", shard=shard_id)
+        excluding = frozenset(self._dead)
+        outcome = UpdateOutcome()
+        for qid in sorted(self._views):
+            self._holders[qid].discard(shard_id)
+            view = self._views[qid]
+            if isinstance(view, RangeQuery):
+                needed = self.router.shards_for_rect(view.rect, excluding)
+            else:
+                radius = view.radius if view.radius > 0 else self._diameter
+                needed = self.router.shards_for_circle(
+                    Circle(view.center, radius), excluding
+                )
+            for shard in sorted(needed - self._holders[qid]):
+                self._register_on(qid, shard, now, outcome)
+            self._dirty.discard(qid)
+            self._remerge(qid, now, outcome)
+        self._drain_dirty(now, outcome)
+        self.refresh_index_gauges()
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the shards down, freezing their final stats first.
+
+        ``stats`` / ``shard_busy_seconds`` / ``shard_metrics_snapshots``
+        keep answering from the frozen values, so a report can be
+        assembled after the worker processes are gone.
+        """
+        for i in self._live():
+            shard = self._shards[i]
+            if not shard.alive:
+                continue
+            self._stats_cache[i] = shard.call("stats")
+            self._busy[i] = shard.call("info")["busy"]
+            snapshot = shard.call("metrics_snapshot")
+            if snapshot is not None:
+                self._metrics_cache[i] = snapshot
+            shard.close()
+
+    def __enter__(self) -> "ShardedServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _live(self) -> list[int]:
+        return [i for i in range(self.n_shards) if i not in self._dead]
+
+    def _shard_stats(self, shard_id: int) -> ServerStats:
+        if shard_id in self._dead or not self._shards[shard_id].alive:
+            return self._stats_cache.get(shard_id, ServerStats())
+        return self._shards[shard_id].call("stats")
+
+    def _plan_report(
+        self, oid: ObjectId, position: Point, cell=None
+    ) -> list[tuple[int, tuple]]:
+        """The per-shard ops one report expands to; updates the home table.
+
+        ``cell`` short-circuits the cell lookup when the batch path has
+        already computed it for the deterministic ordering.
+        """
+        excluding = frozenset(self._dead)
+        if cell is not None:
+            target = self.map.shard_of(cell, excluding)
+        else:
+            target = self.router.shard_for_point(position, excluding)
+        home = self._homes.get(oid)
+        pos = (position.x, position.y)
+        self._c_updates[target].inc()
+        if home is None or home == target:
+            # Unknown ids ride the update op: the owning shard applies
+            # its configured raise/drop policy and does the counting.
+            return [(target, ("update", oid, pos))]
+        self._m_migrations.inc()
+        ops: list[tuple[int, tuple]] = []
+        if home in self._dead:
+            self._m_dead_routed.inc()
+        else:
+            ops.append((home, ("evict", oid)))
+        ops.append((target, ("add", oid, pos)))
+        self._homes[oid] = target
+        self._home_counts[home] -= 1
+        self._home_counts[target] += 1
+        return ops
+
+    def _dispatch(
+        self, per_shard: dict[int, list[tuple]], time: float
+    ) -> dict[int, dict]:
+        """Run each shard's op stream; workers run them concurrently."""
+        if not self.n_workers:
+            return {
+                shard: self._shards[shard].call("batch", ops, time)
+                for shard, ops in sorted(per_shard.items())
+            }
+        from multiprocessing.connection import wait
+
+        pending: dict = {}
+        for shard, ops in sorted(per_shard.items()):
+            self._shards[shard].send_op("batch", ops, time)
+            pending[self._shards[shard].conn] = shard
+        responses: dict[int, dict] = {}
+        while pending:
+            for conn in wait(list(pending)):
+                shard = pending[conn]
+                done = self._shards[shard].service()
+                if done is not None:
+                    responses[shard] = done[1]
+                    del pending[conn]
+        return responses
+
+    def _absorb_responses(self, responses: dict[int, dict]) -> set[str]:
+        """Store refreshed partials and busy time; return affected qids."""
+        affected: set[str] = set()
+        for shard, resp in responses.items():
+            self._busy[shard] = resp["busy"]
+            for qid, partial in resp["partials"].items():
+                if qid in self._partials:
+                    self._partials[qid][shard] = partial
+                    affected.add(qid)
+        return affected
+
+    @staticmethod
+    def _fold_outcome(into: UpdateOutcome, outcome: UpdateOutcome) -> None:
+        if outcome.safe_region is not None:
+            into.safe_region = outcome.safe_region
+        into.probed.update(outcome.probed)
+        for missed in outcome.missed:
+            if missed not in into.missed:
+                into.missed.append(missed)
+        into.queries_checked += outcome.queries_checked
+        into.queries_reevaluated += outcome.queries_reevaluated
+
+    def _register_on(
+        self, qid: str, shard: int, time: float,
+        outcome: UpdateOutcome | None,
+    ) -> None:
+        spec = query_spec(self._views[qid])
+        resp = self._shards[shard].call("register", spec, time)
+        self._holders[qid].add(shard)
+        self._partials[qid][shard] = resp["partial"]
+        for other, partial in resp["partials"].items():
+            if other != qid and other in self._partials:
+                self._partials[other][shard] = partial
+                self._dirty.add(other)
+        self._m_fanout_reg.inc()
+        if outcome is not None:
+            self._fold_outcome(outcome, resp["outcome"])
+
+    def _drain_dirty(
+        self, time: float, outcome: UpdateOutcome | None
+    ) -> None:
+        """Remerge views whose partials changed as side effects.
+
+        Remerging can register queries on further shards (fan-out
+        expansion), whose evaluation probes can dirty yet more views;
+        registrations are sticky and per-(query, shard) unique, so the
+        drain terminates.
+        """
+        while self._dirty:
+            qid = min(self._dirty)
+            self._dirty.discard(qid)
+            if qid in self._views:
+                self._remerge(qid, time, outcome)
+
+    def _prune(self, qid: str) -> None:
+        """Drop holders outside a kNN view's conservative bound.
+
+        Sound because the bound circle covers every cell that can hold
+        a top-k member (docs/SHARDING.md); the expansion in ``_remerge``
+        re-registers a pruned shard the moment the bound grows back
+        over its territory.  One-shot at registration — no churn.
+        """
+        view = self._views[qid]
+        if view.radius <= 0 or view.radius >= self._diameter:
+            return
+        excluding = frozenset(self._dead)
+        needed = self.router.shards_for_circle(
+            Circle(view.center, view.radius), excluding
+        )
+        for shard in sorted(self._holders[qid] - needed):
+            self._shards[shard].call("deregister", qid)
+            self._holders[qid].discard(shard)
+            self._partials[qid].pop(shard, None)
+
+    def _degraded_members(self, qid: str) -> tuple:
+        view = self._views[qid]
+        flagged = self._merge_degraded.get(qid, frozenset())
+        return tuple(sorted(
+            (oid for oid in view.results if oid in flagged), key=repr
+        ))
+
+    def _remerge(
+        self, qid: str, time: float, outcome: UpdateOutcome | None,
+        count: bool = True,
+    ) -> None:
+        """Recompute one merged view from current partials.
+
+        For kNN views, runs the fan-out fixpoint: after each merge the
+        conservative bound may cover cells of non-holders; those shards
+        are registered (their registration evaluates local objects) and
+        the merge repeats.  The bound only shrinks as holders join, so
+        the loop visits each shard at most once.
+        """
+        view = self._views[qid]
+        before = view.result_snapshot()
+        for _ in range(self.n_shards + 1):
+            degraded = self._recompute_view(qid)
+            if not isinstance(view, KNNQuery):
+                break
+            radius = view.radius if view.radius > 0 else self._diameter
+            needed = self.router.shards_for_circle(
+                Circle(view.center, radius), frozenset(self._dead)
+            )
+            missing = sorted(needed - self._holders[qid])
+            if not missing:
+                break
+            for shard in missing:
+                self._register_on(qid, shard, time, outcome)
+            self._m_expansions.inc(len(missing))
+        self._merge_degraded[qid] = frozenset(degraded)
+        after = view.result_snapshot()
+        if outcome is not None:
+            outcome.changes.append(
+                ResultChange(qid, before, after, degraded=degraded)
+            )
+        if count and before != after:
+            self._merged_changes += 1
+
+    def _recompute_view(self, qid: str) -> tuple:
+        """One merge pass; returns the degraded-member flags."""
+        view = self._views[qid]
+        parts = self._partials[qid]
+        if isinstance(view, RangeQuery):
+            merged: set = set()
+            degraded: set = set()
+            for shard in sorted(parts):
+                partial = parts[shard]
+                dead = shard in self._dead
+                flagged = set(partial["degraded"])
+                for oid in partial["results"]:
+                    if dead and self._homes.get(oid, shard) != shard:
+                        continue  # re-homed: the live shard answers now
+                    merged.add(oid)
+                    if dead or oid in flagged:
+                        degraded.add(oid)
+            view.results = merged
+            return tuple(sorted(degraded & merged, key=repr))
+
+        pool: dict = {}
+        flagged_src: dict = {}
+        # Live rows first: a frozen row must never shadow a live one.
+        for shard in sorted(parts, key=lambda s: (s in self._dead, s)):
+            partial = parts[shard]
+            dead = shard in self._dead
+            flagged = set(partial["degraded"])
+            for row in partial["rows"]:
+                oid = row[0]
+                if oid in pool:
+                    continue
+                if dead and self._homes.get(oid, shard) != shard:
+                    continue
+                pool[oid] = row
+                flagged_src[oid] = dead or oid in flagged
+        try:
+            rows = sorted(pool.values())
+        except TypeError:  # unorderable object ids
+            rows = sorted(pool.values(), key=lambda r: repr(r[0]))
+        top = self.kernels.top_k_rows(
+            [r[1] for r in rows], [r[2] for r in rows],
+            view.center.x, view.center.y, view.k,
+        )
+        view.results = [rows[i][0] for i in top]
+        bounds = sorted(r[3] for r in rows)
+        if len(bounds) >= view.k:
+            view.radius = bounds[view.k - 1]
+        else:
+            view.radius = self._diameter
+        return tuple(sorted(
+            (oid for oid in view.results if flagged_src.get(oid)), key=repr
+        ))

@@ -1,0 +1,111 @@
+"""Deterministic cell → shard partition map (rendezvous hashing).
+
+The sharded deployment (docs/SHARDING.md) splits the M x M query grid's
+cells across N shards.  The assignment must be
+
+* **total** — every cell has exactly one owner for every live-shard set;
+* **deterministic across processes** — the router runs in the
+  coordinator and in every worker, and all of them must agree without
+  coordination.  Python's builtin ``hash`` is salted per process, so the
+  map hashes with :func:`hashlib.blake2b` instead;
+* **stable under resharding** — growing N to N+1 must move few cells.
+
+Rendezvous (highest-random-weight) hashing gives all three: each cell
+is owned by the shard with the highest keyed hash weight, so adding a
+shard only moves the cells the *new* shard wins (1/(N+1) of them in
+expectation), and removing a shard only moves that shard's cells — to
+each cell's runner-up, which is exactly the fail-over rule the
+coordinator uses when a shard dies mid-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections.abc import Iterable
+
+CellId = tuple[int, int]
+
+_DIGEST_SIZE = 8  # 64-bit weights: ties are a 2^-64 coincidence
+
+
+def _weight(cell: CellId, shard: int) -> int:
+    """The rendezvous weight of ``(cell, shard)`` — process-independent."""
+    payload = struct.pack(">qqq", cell[0], cell[1], shard)
+    return int.from_bytes(
+        hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest(), "big"
+    )
+
+
+class ShardMap:
+    """Owner lookup for every cell of an ``grid_m`` x ``grid_m`` grid."""
+
+    __slots__ = ("n_shards", "grid_m", "_owners")
+
+    def __init__(self, n_shards: int, grid_m: int) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        if grid_m < 1:
+            raise ValueError("grid_m must be positive")
+        self.n_shards = n_shards
+        self.grid_m = grid_m
+        # The full-health owner table is dense and small (M^2 cells);
+        # precomputing it keeps the per-update routing at one dict hit.
+        self._owners: dict[CellId, int] = {
+            (i, j): self._rank((i, j))[0]
+            for i in range(grid_m)
+            for j in range(grid_m)
+        }
+
+    def _rank(self, cell: CellId) -> list[int]:
+        """Shards ordered by descending weight (ties broken by id)."""
+        return sorted(
+            range(self.n_shards),
+            key=lambda shard: (-_weight(cell, shard), shard),
+        )
+
+    def shard_of(
+        self, cell: CellId, excluding: frozenset[int] = frozenset()
+    ) -> int:
+        """The live owner of ``cell``.
+
+        ``excluding`` names dead shards; the cell falls over to its
+        highest-weight surviving shard, so routing stays total as long
+        as one shard lives.
+        """
+        if not excluding:
+            return self._owners[cell]
+        for shard in self._rank(cell):
+            if shard not in excluding:
+                return shard
+        raise ValueError("every shard is excluded")
+
+    def shards_of(
+        self,
+        cells: Iterable[CellId],
+        excluding: frozenset[int] = frozenset(),
+    ) -> set[int]:
+        """The set of live owners covering ``cells``."""
+        return {self.shard_of(cell, excluding) for cell in cells}
+
+    def cells_of(
+        self, shard: int, excluding: frozenset[int] = frozenset()
+    ) -> list[CellId]:
+        """All cells owned by ``shard``, in row-major order."""
+        return [
+            cell
+            for cell in sorted(self._owners)
+            if self.shard_of(cell, excluding) == shard
+        ]
+
+    def counts(
+        self, excluding: frozenset[int] = frozenset()
+    ) -> dict[int, int]:
+        """Cells owned per live shard — the balance/skew diagnostic."""
+        tallies = {
+            shard: 0 for shard in range(self.n_shards)
+            if shard not in excluding
+        }
+        for cell in self._owners:
+            tallies[self.shard_of(cell, excluding)] += 1
+        return tallies

@@ -1,0 +1,118 @@
+"""Snapshot v2 save/load for the sharded deployment.
+
+A sharded checkpoint is a thin envelope around one core snapshot
+(:mod:`repro.core.snapshot`, format v2) **per shard** — each shard's
+payload round-trips through the exact machinery the single server uses,
+so the per-shard format never forks.  The envelope adds only what the
+coordinator owns: the shard count (the cell → shard map is a pure
+function of ``(n_shards, grid_m)``, so it needs no serialising) and the
+coordinator clock.  Only healthy clusters checkpoint: a dead shard's
+frozen partials are transient containment state, not durable data.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.snapshot import FORMAT_VERSION, snapshot_server
+from repro.sharding.coordinator import ShardedServer
+
+
+def snapshot_shards(sharded: ShardedServer) -> dict:
+    """Checkpoint every shard of a healthy cluster."""
+    if sharded.dead_shards():
+        raise ValueError("cannot snapshot a cluster with dead shards")
+    if sharded.n_workers:
+        payloads = [
+            shard.call("snapshot") for shard in sharded._shards
+        ]
+    else:
+        payloads = [
+            snapshot_server(shard.backend.server)
+            for shard in sharded._shards
+        ]
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "sharded",
+        "n_shards": sharded.n_shards,
+        "time": sharded.clock,
+        "shards": payloads,
+    }
+
+
+def restore_shards(
+    payload: dict,
+    position_oracle,
+    n_workers: int = 0,
+    metrics=None,
+    events=None,
+) -> ShardedServer:
+    """Rebuild a :class:`ShardedServer` from :func:`snapshot_shards` output.
+
+    Each shard restores through :func:`repro.core.snapshot.restore_server`;
+    the coordinator then rebuilds its own state — home table from the
+    shard object tables, merged views from the restored per-shard query
+    copies — so the result continues exactly where the checkpoint left
+    off (pinned in ``tests/test_sharding_snapshot.py``).
+    """
+    if payload.get("kind") != "sharded":
+        raise ValueError("not a sharded snapshot (missing kind='sharded')")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {payload.get('version')!r}"
+        )
+    shard_payloads = payload["shards"]
+    config_payload = shard_payloads[0]["config"]
+    from repro.core.snapshot import config_from_payload
+
+    config = config_from_payload(config_payload)
+    sharded = ShardedServer(
+        position_oracle,
+        config,
+        n_shards=payload["n_shards"],
+        n_workers=n_workers,
+        metrics=metrics,
+        events=events,
+    )
+    sharded._clock = payload["time"]
+    for shard_id, shard_payload in enumerate(shard_payloads):
+        sharded._shards[shard_id].call("restore", shard_payload)
+        for key in shard_payload["objects"]:
+            oid = json.loads(key)
+            oid = tuple(oid) if isinstance(oid, list) else oid
+            sharded._homes[oid] = shard_id
+            sharded._home_counts[shard_id] += 1
+        for spec in shard_payload["queries"]:
+            qid = spec["query_id"]
+            if qid not in sharded._views:
+                sharded._views[qid] = _view_from_snapshot_spec(spec)
+                sharded._partials[qid] = {}
+                sharded._holders[qid] = set()
+            sharded._holders[qid].add(shard_id)
+    for qid in sorted(sharded._views):
+        for shard_id in sorted(sharded._holders[qid]):
+            partials = sharded._shards[shard_id].call(
+                "query_partials", [qid]
+            )
+            sharded._partials[qid][shard_id] = partials[qid]
+        sharded._remerge(qid, sharded._clock, outcome=None, count=False)
+    sharded._dirty.clear()
+    return sharded
+
+
+def _view_from_snapshot_spec(spec: dict):
+    """A merged-view query object from a core-snapshot query payload."""
+    from repro.core.queries import KNNQuery, RangeQuery
+    from repro.geometry.point import Point
+    from repro.geometry.rect import Rect
+
+    if spec["type"] == "range":
+        return RangeQuery(Rect(*spec["rect"]), query_id=spec["query_id"])
+    if spec["type"] == "knn":
+        cx, cy = spec["center"]
+        return KNNQuery(
+            Point(cx, cy), spec["k"],
+            order_sensitive=spec["order_sensitive"],
+            query_id=spec["query_id"],
+        )
+    raise ValueError(f"unknown query type in snapshot: {spec['type']!r}")

@@ -139,11 +139,7 @@ class SRBSimulation:
         else:
             self._retransmit_timeout = None
         faulted = self.faults is not None
-        self.server = DatabaseServer(
-            position_oracle=self._probe_oracle,
-            metrics=self.metrics,
-            events=self.events,
-            config=ServerConfig(
+        server_config = ServerConfig(
                 grid_m=scenario.grid_m,
                 space=scenario.space,
                 max_speed=(
@@ -163,8 +159,27 @@ class SRBSimulation:
                 degraded_max_speed=(
                     scenario.max_speed if faulted else None
                 ),
-            ),
         )
+        if scenario.shards:
+            from repro.sharding import ShardedServer
+
+            # Spatially sharded deployment (docs/SHARDING.md): same
+            # config per shard, merged results behind the same API.
+            self.server = ShardedServer(
+                self._probe_oracle,
+                server_config,
+                n_shards=scenario.shards,
+                n_workers=scenario.shard_workers,
+                metrics=self.metrics,
+                events=self.events,
+            )
+        else:
+            self.server = DatabaseServer(
+                position_oracle=self._probe_oracle,
+                metrics=self.metrics,
+                events=self.events,
+                config=server_config,
+            )
         self.costs = CommunicationCosts()
         self.accuracy = AccuracyAccumulator()
         self._now = 0.0
@@ -221,6 +236,9 @@ class SRBSimulation:
                 self._schedule(exit_at, _PRIO_EXIT, "exit", (oid, client.epoch))
         for t in self.scenario.sample_times():
             self._schedule(t, _PRIO_SAMPLE, "sample", None)
+        if self.scenario.kill_shard is not None:
+            shard_id, kill_at = self.scenario.parsed_kill_shard()
+            self._schedule(kill_at, _PRIO_EXIT, "kill_shard", shard_id)
 
     def run(self) -> SchemeReport:
         """Execute the full scenario and return the report."""
@@ -228,7 +246,7 @@ class SRBSimulation:
         counters = {
             kind: event_counter(f"sim.events.{kind}")
             for kind in ("exit", "retry", "recv_update", "recv_region",
-                         "sample", "client_timeout")
+                         "sample", "client_timeout", "kill_shard")
         }
         with self._trace.span("sim.run"):
             self._bootstrap()
@@ -249,6 +267,8 @@ class SRBSimulation:
                     self._on_recv_region(*payload)
                 elif kind == "client_timeout":
                     self._on_client_timeout(*payload)
+                elif kind == "kill_shard":
+                    self.server.kill_shard(payload, time=t)
                 else:
                     self._on_sample()
         self.server.refresh_index_gauges()
@@ -260,6 +280,11 @@ class SRBSimulation:
             self.server.stats, updates=self.costs.updates
         )
         snapshot = self.metrics.to_dict() if self.metrics.enabled else {}
+        if scenario.shards and self.metrics.enabled:
+            # One metrics section per live shard rides on the snapshot
+            # (``repro stats`` renders them alongside the coordinator's).
+            snapshot = dict(snapshot)
+            snapshot["shards"] = self.server.shard_metrics_snapshots()
         if self.sampler is not None:
             # Per-tick series ride on the metrics snapshot so one
             # ``--metrics-out`` document carries both shapes; ``repro
@@ -272,6 +297,17 @@ class SRBSimulation:
         }
         if self.faults is not None:
             extras["faults"] = self._fault_summary()
+        if scenario.shards:
+            extras["shards"] = {
+                "n_shards": scenario.shards,
+                "n_workers": self.server.n_workers,
+                "dead": sorted(self.server.dead_shards()),
+                "objects": self.server.shard_object_counts(),
+                "busy_seconds": self.server.shard_busy_seconds(),
+                "route_seconds": self.server.route_seconds,
+                "merge_seconds": self.server.merge_seconds,
+            }
+            self.server.close()
         return SchemeReport(
             scheme="SRB",
             num_objects=scenario.num_objects,

@@ -72,6 +72,17 @@ class Scenario:
     #: here counts *ticks* of ``sample_interval``.
     fault_spec: str | None = None
     fault_seed: int = 0
+    #: Spatial sharding (docs/SHARDING.md): split the grid across this
+    #: many shard servers behind a routing coordinator (``--shards``).
+    #: ``0`` runs the paper's single server.
+    shards: int = 0
+    #: ``> 0`` runs each shard as a ``multiprocessing`` worker process;
+    #: ``0`` keeps shards in-process, which is result-equivalent to the
+    #: single-server baseline (``--shard-workers``).
+    shard_workers: int = 0
+    #: Shard-failure drill: ``"SHARD@TIME"`` kills that shard mid-run
+    #: and the cluster continues in degraded mode (``--kill-shard``).
+    kill_shard: str | None = None
     #: How long a client waits for its new safe region before
     #: retransmitting the report (lost uplink or downlink).  ``None``
     #: derives a bound covering the worst faulted round trip.  Only
@@ -100,6 +111,23 @@ class Scenario:
             FaultPlan.parse(self.fault_spec)
         if self.retransmit_timeout is not None and self.retransmit_timeout <= 0:
             raise ValueError("retransmit_timeout must be positive")
+        if self.shards < 0:
+            raise ValueError("shards must be non-negative")
+        if self.shard_workers and not self.shards:
+            raise ValueError("shard_workers requires shards > 0")
+        if self.kill_shard is not None:
+            shard_id, kill_at = self.parsed_kill_shard()
+            if not self.shards:
+                raise ValueError("kill_shard requires shards > 0")
+            if not 0 <= shard_id < self.shards:
+                raise ValueError(
+                    f"kill_shard names shard {shard_id}, "
+                    f"but there are only {self.shards}"
+                )
+            if self.shards < 2:
+                raise ValueError("cannot kill the only shard")
+            if not 0 < kill_at <= self.duration:
+                raise ValueError("kill_shard time must fall inside the run")
 
     @property
     def max_speed(self) -> float:
@@ -128,6 +156,19 @@ class Scenario:
             interval = self.sample_interval / 5.0
         count = int(math.floor(self.duration / interval))
         return [round(i * interval, 9) for i in range(1, count + 1)]
+
+    def parsed_kill_shard(self) -> tuple[int, float]:
+        """The ``kill_shard`` spec as ``(shard_id, time)``."""
+        if self.kill_shard is None:
+            raise ValueError("no kill_shard spec set")
+        try:
+            shard_text, _, time_text = self.kill_shard.partition("@")
+            return int(shard_text), float(time_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"kill_shard must look like 'SHARD@TIME', "
+                f"got {self.kill_shard!r}"
+            ) from exc
 
     def fault_plan(self) -> FaultPlan | None:
         """The parsed, seeded :class:`FaultPlan`, or ``None`` (reliable)."""

@@ -65,8 +65,33 @@ def test_workflow_parses_and_validates(workflow):
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {
         "lint", "test", "bench-smoke", "bench-hotpath", "bench-kernels",
-        "fault-matrix",
+        "bench-shards", "fault-matrix",
     }
+
+
+def test_concurrency_cancels_superseded_pr_runs(workflow):
+    """Follow-up pushes to a PR cancel the superseded run; main never
+    cancels, so every merge keeps its full CI record."""
+    concurrency = workflow["concurrency"]
+    assert "github.ref" in concurrency["group"]
+    cancel = str(concurrency["cancel-in-progress"])
+    assert "refs/heads/main" in cancel and "!=" in cancel
+
+
+def test_every_job_caches_pip(workflow):
+    """All jobs install from pip, so all jobs must restore the pip cache
+    keyed on pyproject.toml."""
+    for name, job in workflow["jobs"].items():
+        setups = [
+            step for step in job["steps"]
+            if "setup-python" in step.get("uses", "")
+        ]
+        assert setups, name
+        for step in setups:
+            assert step["with"].get("cache") == "pip", name
+            assert step["with"].get("cache-dependency-path") == (
+                "pyproject.toml"
+            ), name
 
 
 def _runs(job):
@@ -150,6 +175,25 @@ def test_bench_kernels_runs_both_backends_and_gates_on_equivalence(workflow):
     assert uploads[0]["with"]["if-no-files-found"] == "error"
 
 
+def test_bench_shards_pins_equivalence_and_uploads_baseline(workflow):
+    job = workflow["jobs"]["bench-shards"]
+    runs = _runs(job)
+    assert any(
+        "SHARDS_SMOKE=1" in run
+        and "benchmarks/test_shards_bench.py" in run
+        for run in runs
+    )
+    # A dedicated step re-reads the emitted JSON and exits non-zero when
+    # the in-process sharded replay diverged from the single server.
+    assert any("d['equivalent']" in run for run in runs)
+    uploads = _primary_uploads(job)
+    assert len(uploads) == 1
+    assert uploads[0]["with"]["path"] == (
+        "benchmarks/results/BENCH_shards.json"
+    )
+    assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
 def test_bench_jobs_upload_flight_recorder_on_failure(workflow):
     """Every bench job archives flight-recorder spills when it fails.
 
@@ -157,7 +201,8 @@ def test_bench_jobs_upload_flight_recorder_on_failure(workflow):
     and tolerates absent files — a job can fail before any recorder
     spill exists.
     """
-    for name in ("bench-smoke", "bench-hotpath", "bench-kernels"):
+    for name in ("bench-smoke", "bench-hotpath", "bench-kernels",
+                 "bench-shards"):
         job = workflow["jobs"][name]
         failure_uploads = [
             step for step in _uploads(job) if step.get("if") == "failure()"
@@ -176,16 +221,23 @@ def test_fault_matrix_runs_canned_profiles_through_diagnose(workflow):
     job = workflow["jobs"]["fault-matrix"]
     profiles = job["strategy"]["matrix"]["profile"]
     assert {p["name"] for p in profiles} == {
-        "lossy", "dup-reorder", "probe-timeout"
+        "lossy", "dup-reorder", "probe-timeout", "shard-kill"
     }
     specs = {p["name"]: p["spec"] for p in profiles}
     assert "drop=" in specs["lossy"] and "dup=" in specs["lossy"]
     assert "dup=" in specs["dup-reorder"] and "delay=" in specs["dup-reorder"]
     assert "probe_timeout=" in specs["probe-timeout"]
+    # The shard-failure drill runs the same faulted replay sharded and
+    # hard-kills one shard mid-run; containment is checked by the same
+    # diagnose step (degraded flags exempt the frozen members).
+    extras = {p["name"]: p.get("extra", "") for p in profiles}
+    assert "--shards" in extras["shard-kill"]
+    assert "--kill-shard" in extras["shard-kill"]
     runs = _runs(job)
     compare = [i for i, run in enumerate(runs)
                if "repro compare" in run and "--faults" in run
-               and "--fault-seed" in run and "--flight-recorder" in run]
+               and "--fault-seed" in run and "--flight-recorder" in run
+               and "matrix.profile.extra" in run]
     diagnose = [i for i, run in enumerate(runs)
                 if "repro diagnose" in run]
     assert compare and diagnose
@@ -207,6 +259,7 @@ def test_bench_jobs_gate_throughput_against_stashed_baseline(workflow):
     for name, artifact in (
         ("bench-hotpath", "BENCH_hotpath.json"),
         ("bench-kernels", "BENCH_kernels.json"),
+        ("bench-shards", "BENCH_shards.json"),
     ):
         runs = _runs(workflow["jobs"][name])
         stash = [

@@ -138,3 +138,65 @@ class TestRenderSnapshot:
     def test_empty_timeseries_section_is_omitted(self):
         snapshot = {"counters": {"c": 1}, "timeseries": {}}
         assert "[timeseries]" not in render_snapshot(snapshot)
+
+
+class TestMissingSections:
+    """Documents with absent sections (a shard worker that processed
+    zero updates exports no histograms) must render, write, and fold
+    without a KeyError — blank columns, exit code 0."""
+
+    def test_render_snapshot_without_histograms(self):
+        text = render_snapshot({"counters": {"shard.updates.s0": 0}})
+        assert "shard.updates.s0" in text
+
+    def test_write_jsonl_tolerates_missing_sections(self, tmp_path):
+        class Bare:
+            def to_dict(self):
+                return {"counters": {"c": 1}}  # no gauges, no histograms
+
+        path = tmp_path / "bare.jsonl"
+        assert write_jsonl(Bare(), path) == 1
+        assert load_metrics(path)["schemes"]["run"]["counters"] == {"c": 1}
+
+    def test_fold_tolerates_incomplete_instrument_lines(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        path.write_text(
+            '{"kind": "counter", "name": "c"}\n'        # no value
+            '{"kind": "gauge", "value": 3}\n'           # no name
+            '{"kind": "histogram", "name": "h"}\n'      # no count
+        )
+        document = load_metrics(path)
+        snapshot = document["schemes"]["run"]
+        assert snapshot["counters"] == {"c": 0}
+        assert "h" in snapshot["histograms"]
+
+    def test_stats_command_renders_histogramless_document(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(
+            '{"schemes": {"SRB": {"counters": {"a": 1},'
+            ' "shards": {"shard0": {"counters": {"shard.updates.s0": 0}}}}}}'
+        )
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== SRB" in out
+        assert "== SRB / shard0" in out
+
+    def test_stats_renders_blank_quantiles_for_empty_histogram(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(
+            '{"schemes": {"run": {"histograms": {"h": {"count": 0}}}}}'
+        )
+        assert main(["stats", str(path)]) == 0
+        row = next(
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("h ")
+        )
+        assert row.count("-") >= 4  # p50/p95/p99/max all blank

@@ -1,0 +1,155 @@
+"""The shard-failure drill: kill one shard mid-run, contain the damage.
+
+A killed shard's members stay in the merged results as a *frozen*
+partial — flagged degraded, never silently dropped — and heal as the
+objects re-home by reporting (routing falls over to each cell's
+rendezvous runner-up).  ``repro diagnose`` must stay green: degraded
+containment breaches are exempted, real breaches are not.
+"""
+
+import random
+
+import pytest
+
+from repro.core import KNNQuery, RangeQuery, ServerConfig
+from repro.geometry import Point, Rect
+from repro.obs import EventLog
+from repro.obs.diagnose import diagnose
+from repro.sharding import ShardedServer
+
+
+class _Oracle:
+    def __init__(self, world):
+        self.positions = dict(world)
+
+    def __call__(self, oid):
+        return self.positions[oid]
+
+
+def _cluster(n_shards=3, n=80, seed=5, events=None):
+    rng = random.Random(seed)
+    world = {f"o{i}": Point(rng.random(), rng.random()) for i in range(n)}
+    oracle = _Oracle(world)
+    cluster = ShardedServer(
+        oracle, ServerConfig(grid_m=16, max_speed=0.04),
+        n_shards=n_shards, events=events,
+    )
+    cluster.load_objects(sorted(world.items()), 0.0)
+    queries = [
+        RangeQuery(Rect(0.2, 0.2, 0.8, 0.8), query_id="r-wide"),
+        KNNQuery(Point(0.5, 0.5), 4, query_id="k-mid"),
+    ]
+    for q in queries:
+        cluster.register_query(q, 0.0)
+    return cluster, oracle, queries
+
+
+def _tick(cluster, oracle, rng, t, movers=20):
+    batch = []
+    for oid in rng.sample(sorted(oracle.positions), movers):
+        p = oracle.positions[oid]
+        q = Point(
+            min(max(p.x + rng.gauss(0, 0.02), 0.0), 1.0),
+            min(max(p.y + rng.gauss(0, 0.02), 0.0), 1.0),
+        )
+        oracle.positions[oid] = q
+        batch.append((oid, q))
+    cluster.handle_location_updates(batch, t)
+
+
+def test_kill_shard_freezes_members_and_heals_on_rehome():
+    cluster, oracle, queries = _cluster()
+    rng = random.Random(9)
+    for tick in range(1, 6):
+        _tick(cluster, oracle, rng, float(tick))
+
+    victim = 1
+    before = dict(zip(range(3), cluster.shard_object_counts()))
+    assert before[victim] > 0
+    cluster.kill_shard(victim, time=6.0)
+    assert cluster.dead_shards() == frozenset({victim})
+
+    # Containment: every member the dead shard contributed is still in
+    # the merged results, flagged degraded — never silently dropped.
+    stranded = {
+        oid for oid, home in cluster._homes.items() if home == victim
+    }
+    assert stranded
+    degraded = set(cluster.degraded_objects())
+    assert stranded <= degraded
+    for q in queries:
+        members = set(q.results)
+        assert members & stranded == members & degraded & stranded
+
+    # Healing: stranded objects re-home when they report; with everyone
+    # reporting, the dead shard drains completely.
+    for tick in range(6, 30):
+        t = float(tick) + 0.5
+        batch = []
+        for oid in sorted(oracle.positions):
+            p = oracle.positions[oid]
+            q = Point(
+                min(max(p.x + rng.gauss(0, 0.01), 0.0), 1.0),
+                min(max(p.y + rng.gauss(0, 0.01), 0.0), 1.0),
+            )
+            oracle.positions[oid] = q
+            batch.append((oid, q))
+        cluster.handle_location_updates(batch, t)
+    assert cluster.shard_object_counts()[victim] == 0
+    assert not cluster.degraded_objects()
+    cluster.validate()
+
+
+def test_kill_shard_emits_event_and_diagnose_stays_green():
+    events = EventLog()
+    cluster, oracle, _ = _cluster(events=events)
+    rng = random.Random(10)
+    for tick in range(1, 5):
+        _tick(cluster, oracle, rng, float(tick))
+    cluster.kill_shard(2, time=5.0)
+    for tick in range(5, 12):
+        _tick(cluster, oracle, rng, float(tick) + 0.5)
+    kinds = {e.kind for e in events.events()}
+    assert "shard_killed" in kinds
+    report = diagnose(events.events())
+    assert report.ok, [str(v) for v in report.violations]
+
+
+def test_updates_for_dead_shard_route_to_runner_up():
+    cluster, oracle, _ = _cluster(n_shards=2)
+    cluster.kill_shard(0, time=1.0)
+    stranded = sorted(
+        oid for oid, home in cluster._homes.items() if home == 0
+    )
+    assert stranded
+    oid = stranded[0]
+    # Report from the same position: the dead home cannot take it, so
+    # the object re-homes onto the runner-up shard.
+    cluster.handle_location_update(oid, oracle.positions[oid], 2.0)
+    assert cluster.shard_of_object(oid) == 1
+    cluster.validate()
+
+
+def test_cannot_kill_the_last_live_shard():
+    cluster, _, _ = _cluster(n_shards=2)
+    cluster.kill_shard(0, time=1.0)
+    with pytest.raises(ValueError):
+        cluster.kill_shard(1, time=2.0)
+
+
+def test_killed_worker_process_terminates():
+    rng = random.Random(3)
+    world = {f"o{i}": Point(rng.random(), rng.random()) for i in range(40)}
+    oracle = _Oracle(world)
+    with ShardedServer(
+        oracle, ServerConfig(grid_m=16), n_shards=2, n_workers=2
+    ) as cluster:
+        cluster.load_objects(sorted(world.items()), 0.0)
+        victim = cluster._shards[0]
+        cluster.kill_shard(0, time=1.0)
+        victim.process.join(timeout=10)
+        assert victim.process.exitcode is not None
+        # The survivor still serves queries.
+        q = KNNQuery(Point(0.5, 0.5), 2, query_id="k")
+        cluster.register_query(q, 2.0)
+        assert len(q.results) == 2

@@ -1,0 +1,109 @@
+"""Property tests for the cell → shard rendezvous map (docs/SHARDING.md).
+
+The map is the contract everything else in ``repro.sharding`` leans on:
+
+* **total** — every grid cell has exactly one owner in range;
+* **deterministic across processes** — the weights come from a keyed
+  BLAKE2 digest, never the salted builtin ``hash``, so a router in one
+  process and a worker in another always agree;
+* **stable under growth** — going from N to N + 1 shards only moves the
+  cells the new shard wins, about 1/(N+1) of them (the consistent-
+  hashing property that makes resharding cheap);
+* **ranked fallback** — excluding a dead shard re-homes only that
+  shard's cells, each to its rendezvous runner-up.
+"""
+
+import subprocess
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sharding import ShardMap
+
+grid_ms = st.integers(min_value=14, max_value=40)
+shard_counts = st.integers(min_value=1, max_value=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shard_counts, grid_ms)
+def test_map_is_total_and_in_range(n, m):
+    shard_map = ShardMap(n, m)
+    owners = {
+        (i, j): shard_map.shard_of((i, j))
+        for i in range(m)
+        for j in range(m)
+    }
+    assert len(owners) == m * m
+    assert all(0 <= s < n for s in owners.values())
+
+
+@settings(max_examples=60, deadline=None)
+@given(shard_counts, grid_ms)
+def test_counts_and_cells_of_agree(n, m):
+    shard_map = ShardMap(n, m)
+    counts = shard_map.counts()
+    assert sum(counts.values()) == m * m
+    for shard in range(n):
+        cells = shard_map.cells_of(shard)
+        assert counts[shard] == len(cells)
+        assert all(shard_map.shard_of(cell) == shard for cell in cells)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=7), grid_ms)
+def test_growth_moves_less_than_two_over_n_plus_one(n, m):
+    """N → N + 1 only moves cells the new shard wins (< 2/(N+1))."""
+    before = ShardMap(n, m)
+    after = ShardMap(n + 1, m)
+    moved = [
+        cell
+        for i in range(m)
+        for j in range(m)
+        if before.shard_of(cell := (i, j)) != after.shard_of(cell)
+    ]
+    # Every moved cell moved *to* the new shard, never between old ones.
+    assert all(after.shard_of(cell) == n for cell in moved)
+    # Expectation is (m*m)/(n+1); 2x slack keeps the bound flake-free
+    # at these grid sizes (>= 196 cells per draw).
+    assert len(moved) < 2 * m * m / (n + 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=8), grid_ms)
+def test_exclusion_reroutes_only_the_dead_shards_cells(n, m):
+    shard_map = ShardMap(n, m)
+    dead = frozenset({0})
+    for i in range(m):
+        for j in range(m):
+            owner = shard_map.shard_of((i, j))
+            fallback = shard_map.shard_of((i, j), excluding=dead)
+            if owner != 0:
+                assert fallback == owner
+            else:
+                assert fallback != 0
+
+
+def test_deterministic_across_processes():
+    """A fresh interpreter computes the exact same ownership table."""
+    m, n = 16, 4
+    local = [ShardMap(n, m).shard_of((i, j)) for i in range(m) for j in range(m)]
+    code = (
+        "from repro.sharding import ShardMap\n"
+        f"print([ShardMap({n}, {m}).shard_of((i, j)) "
+        f"for i in range({m}) for j in range({m})])\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, check=True,
+    )
+    assert eval(out.stdout) == local
+
+
+def test_all_shards_excluded_raises():
+    shard_map = ShardMap(2, 14)
+    try:
+        shard_map.shard_of((0, 0), excluding=frozenset({0, 1}))
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError with no live shards")
