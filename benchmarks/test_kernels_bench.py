@@ -42,6 +42,13 @@ else:
 MOVERS_PER_TICK = NUM_OBJECTS // 5
 #: Timed repetitions per backend; the best run counts.
 REPEATS = 1 if SMOKE else 3
+#: The committed full-run vectorised throughput before the tick-wide
+#: planner landed (per-report kernel dispatch only).  The batched
+#: pipeline must hold at least 2x this figure on a full run.
+PRE_PLANNER_UPDATES_PER_SEC = 27_775.8
+#: Batching health: at most this fraction of kernel-visible rows may be
+#: served by the scalar fallback on a full vectorised run.
+MAX_FALLBACK_ROW_RATIO = 0.10
 
 
 def _hotpath_cached_baseline() -> float | None:
@@ -183,6 +190,9 @@ def test_kernels_benchmark():
 
     speedup = scalar["total_seconds"] / vectorised["total_seconds"]
     baseline = _hotpath_cached_baseline()
+    rows_scanned = counters.get("kernels.rows_scanned", 0)
+    fallback_rows = counters.get("kernels.fallback_rows", 0)
+    fallback_row_ratio = fallback_rows / max(rows_scanned + fallback_rows, 1)
     document = {
         "benchmark": "kernels",
         "smoke": SMOKE,
@@ -199,8 +209,17 @@ def test_kernels_benchmark():
         "speedup": round(speedup, 3),
         "kernels": {
             "batch_calls": counters.get("kernels.batch_calls", 0),
-            "rows_scanned": counters.get("kernels.rows_scanned", 0),
+            "rows_scanned": rows_scanned,
             "fallback_calls": counters.get("kernels.fallback_calls", 0),
+            "fallback_rows": fallback_rows,
+            "fallback_row_ratio": round(fallback_row_ratio, 4),
+            "planner_plans": counters.get("kernels.planner.plans", 0),
+            "planner_rows_gathered": counters.get(
+                "kernels.planner.rows_gathered", 0
+            ),
+            "planner_dispatches": counters.get(
+                "kernels.planner.dispatches", 0
+            ),
             "rstar_height": gauges.get("rstar.height", 0),
             "rstar_nodes": gauges.get("rstar.nodes", 0),
             "grid_cells_indexed": gauges.get("grid.cells_indexed", 0),
@@ -217,10 +236,25 @@ def test_kernels_benchmark():
     assert equivalent, "kernel backends diverged — see BENCH_kernels.json"
     assert counters.get("kernels.batch_calls", 0) > 0, \
         "NumPy backend never took the batch path"
-    if not SMOKE and baseline is not None:
-        ups = document["numpy"]["updates_per_sec"]
-        assert ups > baseline, (
-            f"vectorised throughput regressed below the pre-kernels cached "
-            f"baseline: {ups} <= {baseline} "
-            f"(baseline: benchmarks/results/BENCH_hotpath.json)"
+    assert counters.get("kernels.planner.plans", 0) > 0, \
+        "tick planner never produced a plan"
+    if not SMOKE:
+        # Batching health: the tick-wide planner exists to keep rows off
+        # the scalar fallback — by rows, not calls (one huge fallback
+        # call can dominate many tiny vectorised ones).
+        assert fallback_row_ratio < MAX_FALLBACK_ROW_RATIO, (
+            f"scalar fallback served {fallback_row_ratio:.1%} of "
+            f"kernel-visible rows (cap {MAX_FALLBACK_ROW_RATIO:.0%})"
         )
+        ups = document["numpy"]["updates_per_sec"]
+        required = 2.0 * PRE_PLANNER_UPDATES_PER_SEC
+        assert ups >= required, (
+            f"batched pipeline fell below 2x the pre-planner committed "
+            f"figure: {ups} < {required}"
+        )
+        if baseline is not None:
+            assert ups > baseline, (
+                f"vectorised throughput regressed below the pre-kernels "
+                f"cached baseline: {ups} <= {baseline} "
+                f"(baseline: benchmarks/results/BENCH_hotpath.json)"
+            )

@@ -14,12 +14,16 @@ coordinator's serial CPU time.  That quotient is the replay's wall time
 on a host with one core per shard — the quantity sharding exists to
 scale — and is reproducible enough to gate in CI.
 
-Two pins ride along:
+Three pins ride along:
 
 * ``equivalent`` — the in-process mode (``n_workers=0``) must end
   bit-identical to a single unsharded ``DatabaseServer`` fed the same
   stream (per-query result snapshots and the location-update count);
-* the full run must show >= 2.5x throughput at 4 shards vs 1.
+* the full run must show >= 2.5x throughput at 4 shards vs 1;
+* an untimed metrics replay records per-shard kernel counters
+  (``shard_kernels`` in the document) and at least one shard must have
+  produced a tick plan — the columnar pipeline stays live under
+  sharding.
 
 Emits ``benchmarks/results/BENCH_shards.json`` — the tracked baseline
 gated by ``benchmarks/check_regression.py``.  ``SHARDS_SMOKE=1``
@@ -40,7 +44,21 @@ from repro.core.queries import KNNQuery, RangeQuery
 from repro.core.server import DatabaseServer, ServerConfig
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.obs import MetricsRegistry
 from repro.sharding import ShardedServer
+
+#: Per-shard kernel counters copied into the emitted document — the
+#: tick-wide planner must be live on every shard, not just the single
+#: server (each shard plans its own slice of the routed batch).
+KERNEL_COUNTERS = (
+    "kernels.batch_calls",
+    "kernels.rows_scanned",
+    "kernels.fallback_calls",
+    "kernels.fallback_rows",
+    "kernels.planner.plans",
+    "kernels.planner.rows_gathered",
+    "kernels.planner.dispatches",
+)
 
 SMOKE = os.environ.get("SHARDS_SMOKE") == "1"
 
@@ -116,7 +134,7 @@ def _run_single():
     return _final_state(server, queries)
 
 
-def _run_sharded(n_shards: int, n_workers: int):
+def _run_sharded(n_shards: int, n_workers: int, metrics=None):
     """Replay the plan against a fresh cluster; score the critical path."""
     positions, queries, plan = _build()
     live = dict(positions)
@@ -125,6 +143,7 @@ def _run_sharded(n_shards: int, n_workers: int):
         ServerConfig(grid_m=GRID_M),
         n_shards=n_shards,
         n_workers=n_workers,
+        metrics=metrics,
     )
     cluster.load_objects(sorted(live.items()), 0.0)
     for query in queries:
@@ -156,8 +175,22 @@ def _run_sharded(n_shards: int, n_workers: int):
         "wall_seconds": wall,
         "snapshots": snapshots,
     }
+    if metrics is not None:
+        run["shard_metrics"] = cluster.shard_metrics_snapshots()
     cluster.close()
     return run
+
+
+def _shard_kernel_counters(run: dict) -> dict[str, dict]:
+    """Selected kernel counters per shard, from a metrics-enabled run."""
+    out = {}
+    for shard, snapshot in sorted(run["shard_metrics"].items()):
+        counters = snapshot.get("counters", {})
+        out[shard] = {
+            name.removeprefix("kernels."): counters.get(name, 0)
+            for name in KERNEL_COUNTERS
+        }
+    return out
 
 
 def _timing(run: dict) -> dict:
@@ -198,6 +231,16 @@ def test_shards_benchmark():
             ):
                 best[n] = run
 
+    # Kernel-counter replay (untimed, in-process so one pass collects
+    # every shard's registry): proves the tick-wide planner batches on
+    # each shard of the routed stream, not just on a single server.
+    shard_kernels = _shard_kernel_counters(
+        _run_sharded(
+            n_shards=SHARD_COUNTS[-1], n_workers=0,
+            metrics=MetricsRegistry(),
+        )
+    )
+
     base = best[SHARD_COUNTS[0]]
     scaling = {
         str(n): round(
@@ -226,6 +269,7 @@ def test_shards_benchmark():
         ),
         "shards": {str(n): _timing(best[n]) for n in SHARD_COUNTS},
         "scaling_vs_one_shard": scaling,
+        "shard_kernels": shard_kernels,
         "equivalent": equivalent,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -238,6 +282,9 @@ def test_shards_benchmark():
         "in-process sharded replay diverged from the single-server "
         "baseline — see BENCH_shards.json"
     )
+    assert any(
+        k["planner.plans"] > 0 for k in shard_kernels.values()
+    ), "no shard ever produced a tick plan"
     if not SMOKE:
         at_4 = scaling["4"]
         assert at_4 >= REQUIRED_SCALING_AT_4, (

@@ -57,7 +57,6 @@ def batch_range_safe_region(
     signed zeros included); the staircase and the greedy combination stay
     scalar — they are sequential over a handful of corners.
     """
-    score = objective if objective is not None else _perimeter
     columns = None
     if kernels is not None and obstacles:
         columns = (
@@ -70,6 +69,124 @@ def batch_range_safe_region(
         _component_corners(p, cell, obstacles, sx, sy, kernels, columns)
         for sx, sy in _QUADRANTS
     ]
+    return combine_components(p, cell, component_sets, objective)
+
+
+def quadrant_extents(p: Point, cell: Rect) -> list[tuple[float, float]]:
+    """``(width, height)`` of each quadrant of ``cell`` around ``p``.
+
+    In ``_QUADRANTS`` order, clamped at zero — the local coordinate
+    extents used by corner localisation (kernel and scalar alike).
+    """
+    out = []
+    for sx, sy in _QUADRANTS:
+        width = (cell.max_x - p.x) if sx > 0 else (p.x - cell.min_x)
+        height = (cell.max_y - p.y) if sy > 0 else (p.y - cell.min_y)
+        out.append((max(width, 0.0), max(height, 0.0)))
+    return out
+
+
+def staircase_corners(
+    blockers: list[tuple[float, float]], width: float, height: float
+) -> list[tuple[float, float]]:
+    """Proposition 5.6 staircase from localised blocker corners.
+
+    ``blockers`` holds quadrant-local obstacle corners (any order — they
+    are sorted here, so the result depends only on the corner multiset);
+    the returned list is the opposite corners of the quadrant's maximal
+    component rectangles.  Shared verbatim by the per-call path and the
+    tick planner's scatter phase, which is what keeps the two
+    bit-identical by construction.
+    """
+    blockers.sort()
+    corners: list[tuple[float, float]] = []
+    y_cap = height
+    for ax, ay in blockers:
+        if ay >= y_cap:
+            continue  # adds no new constraint; its corner is dominated
+        if not corners or corners[-1][0] != ax:
+            corners.append((ax, y_cap))
+        y_cap = ay
+    corners.append((width, y_cap))
+    return corners
+
+
+def combine_components(
+    p: Point,
+    cell: Rect,
+    component_sets: Sequence[list[tuple[float, float]]],
+    objective: Objective | None = None,
+) -> Rect:
+    """Greedy four-step union of one component per quadrant (Section 5.3)."""
+    if objective is None:
+        # Scalar fast path for the default perimeter objective: the same
+        # greedy walk without minting a Rect per candidate.  Every
+        # comparison reproduces the generic path's arithmetic term for
+        # term (widths via ``(p +/- c) - p`` differences, perimeter as
+        # ``2.0 * (w + h)``, first-maximum tie-breaks), so the chosen
+        # rectangle is bit-identical to the generic path's.
+        px, py = p.x, p.y
+
+        start = 0
+        best_val = float("-inf")
+        for idx in range(4):
+            sx, sy = _QUADRANTS[idx]
+            q_best = float("-inf")
+            for cx, cy in component_sets[idx]:
+                gx = px + sx * cx
+                gy = py + sy * cy
+                w = gx - px if gx >= px else px - gx
+                h = gy - py if gy >= py else py - gy
+                v = 2.0 * (w + h)
+                if v > q_best:
+                    q_best = v
+            if q_best > best_val:
+                best_val = q_best
+                start = idx
+
+        ux0, uy0 = cell.min_x, cell.min_y
+        ux1, uy1 = cell.max_x, cell.max_y
+        for step in range(4):
+            idx = (start + step) % 4
+            corners = component_sets[idx]
+            if not corners:
+                continue
+            sx, sy = _QUADRANTS[idx]
+            best_key = None
+            best_bounds = None
+            for cx, cy in corners:
+                gx = px + sx * cx
+                gy = py + sy * cy
+                if sx > 0:
+                    tx0, tx1 = ux0, (ux1 if ux1 <= gx else gx)
+                else:
+                    tx0, tx1 = (ux0 if ux0 >= gx else gx), ux1
+                if sy > 0:
+                    ty0, ty1 = uy0, (uy1 if uy1 <= gy else gy)
+                else:
+                    ty0, ty1 = (uy0 if uy0 >= gy else gy), uy1
+                if tx1 < tx0:
+                    tx0, tx1 = tx1, tx0
+                if ty1 < ty0:
+                    ty0, ty1 = ty1, ty0
+                margin = px - tx0
+                m = tx1 - px
+                if m < margin:
+                    margin = m
+                m = py - ty0
+                if m < margin:
+                    margin = m
+                m = ty1 - py
+                if m < margin:
+                    margin = m
+                key = (margin > 1e-9, 2.0 * ((tx1 - tx0) + (ty1 - ty0)))
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_bounds = (tx0, ty0, tx1, ty1)
+            ux0, uy0, ux1, uy1 = best_bounds
+        return Rect(ux0, uy0, ux1, uy1)
+
+    score = objective
 
     # Greedy start: the quadrant owning the longest-perimeter component.
     start = max(
@@ -141,18 +258,7 @@ def _component_corners(
             corner = _local_min_corner(p, obstacle, sx, sy, width, height)
             if corner is not None:
                 blockers.append(corner)
-    blockers.sort()
-
-    corners: list[tuple[float, float]] = []
-    y_cap = height
-    for ax, ay in blockers:
-        if ay >= y_cap:
-            continue  # adds no new constraint; its corner is dominated
-        if not corners or corners[-1][0] != ax:
-            corners.append((ax, y_cap))
-        y_cap = ay
-    corners.append((width, y_cap))
-    return corners
+    return staircase_corners(blockers, width, height)
 
 
 def _local_min_corner(

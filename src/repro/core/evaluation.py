@@ -359,10 +359,14 @@ def _evaluate_knn_unordered(
         if current is None:
             break
         still_held = []
-        if kernels is not None and held:
+        if kernels is not None and len(held) >= kernels.min_rows:
             # Batch the distance comparisons; the capacity check
             # (``len(confirmed) < k``) stays in-loop because each
-            # confirmation changes it.
+            # confirmation changes it.  Below the cutoff the comparison
+            # runs inline instead of through the dispatcher: a held set
+            # bounded by ``k`` can never batch, so routing it through
+            # ``mask_leq`` would only pay call overhead and pollute the
+            # fallback counters with intrinsically scalar rows.
             resolvable = kernels.mask_leq(
                 [candidate.max_dist for candidate in held], current.min_dist
             )

@@ -143,14 +143,27 @@ def interior_margin(rect: Rect, p: Point) -> float:
 
 
 def _pick_best(candidates: list[Rect], objective: Objective, p: Point) -> Rect:
-    """Best-scoring candidate, preferring ones containing ``p`` strictly."""
-    return max(
-        candidates,
-        key=lambda rect: (
-            interior_margin(rect, p) > _INTERIOR_EPS,
-            objective(rect),
-        ),
-    )
+    """Best-scoring candidate, preferring ones containing ``p`` strictly.
+
+    Unrolled first-maximum scan (ties keep the earliest candidate, like
+    ``max`` does) — this runs a handful of times per kNN safe region and
+    the ``max``-with-lambda form showed up in tick profiles.
+    """
+    best = None
+    best_margin = False
+    best_score = 0.0
+    for rect in candidates:
+        margin = interior_margin(rect, p) > _INTERIOR_EPS
+        score = objective(rect)
+        if (
+            best is None
+            or (margin and not best_margin)
+            or (margin == best_margin and score > best_score)
+        ):
+            best = rect
+            best_margin = margin
+            best_score = score
+    return best
 
 
 # ---------------------------------------------------------------------------
@@ -209,7 +222,147 @@ def irlp_circle_complement(
 
     The perimeter decreases towards θ = π/4 (see the module docstring), so
     both endpoints of the valid θ range are evaluated.
+
+    The default-objective case below is a flattened scalar rewrite of
+    :func:`_irlp_circle_complement_generic` — no intermediate rectangles,
+    closures, or helper calls — kept bit-identical to it (every ``min`` /
+    swap / tie is replicated; the generic θ clamps are identities here
+    because the containment ratios already lie in ``[0, 1]``).  This is
+    the hottest Ir-lp family (every non-result object of every kNN query
+    lands here) and intrinsically scalar work, so it is tuned inline
+    rather than routed through the kernel dispatcher (docs/PERFORMANCE.md).
     """
+    if objective is not None:
+        return _irlp_circle_complement_generic(circle, p, cell, objective)
+    q, r = circle.center, circle.radius
+    if r <= 0.0:
+        return cell
+    px, py = p.x, p.y
+    qx, qy = q.x, q.y
+    # Quadrant signs and enlarged-cell extents: the union with the disk's
+    # bounding rectangle is only ever read through ``a`` and ``b``.
+    if px >= qx:
+        dx = px - qx
+        edge = qx + r
+        m = cell.max_x
+        a = (m if m >= edge else edge) - qx
+        x_pos = True
+    else:
+        dx = qx - px
+        edge = qx - r
+        m = cell.min_x
+        a = qx - (m if m <= edge else edge)
+        x_pos = False
+    if py >= qy:
+        dy = py - qy
+        edge = qy + r
+        m = cell.max_y
+        b = (m if m >= edge else edge) - qy
+        y_pos = True
+    else:
+        dy = qy - py
+        edge = qy - r
+        m = cell.min_y
+        b = qy - (m if m <= edge else edge)
+        y_pos = False
+
+    theta_lo = math.acos((dy if dy <= r else r) / r)
+    theta_hi = math.asin((dx if dx <= r else r) / r)
+    if theta_hi < theta_lo:  # p numerically inside the disk
+        theta_hi = theta_lo
+    span = theta_hi - theta_lo
+    if span > 0.0:
+        pad = _INTERIOR_MARGIN * span
+        theta_lo += pad
+        theta_hi -= pad
+
+    # Candidate θ values: both range endpoints plus the radial direction.
+    # A collapsed range contributes one endpoint — the duplicate can never
+    # win a strictly-greater comparison, so dropping it changes nothing.
+    d = math.hypot(dx, dy)
+    if theta_hi > theta_lo:
+        if d > 0.0:
+            thetas = (theta_lo, theta_hi, math.atan2(dx, dy))
+        else:
+            thetas = (theta_lo, theta_hi)
+    elif d > 0.0:
+        thetas = (theta_lo, math.atan2(dx, dy))
+    else:
+        thetas = (theta_lo,)
+
+    best = None
+    best_margin = False
+    best_score = 0.0
+    for theta in thetas:
+        x1 = r * math.sin(theta)
+        if dx < x1:
+            x1 = dx
+        if a < x1:
+            x1 = a
+        y1 = r * math.cos(theta)
+        if dy < y1:
+            y1 = dy
+        if b < y1:
+            y1 = b
+        if x_pos:
+            cx_lo = qx + x1
+            cx_hi = qx + a
+        else:
+            cx_lo = qx - a
+            cx_hi = qx - x1
+        if y_pos:
+            cy_lo = qy + y1
+            cy_hi = qy + b
+        else:
+            cy_lo = qy - b
+            cy_hi = qy - y1
+        margin = px - cx_lo
+        t = cx_hi - px
+        if t < margin:
+            margin = t
+        t = py - cy_lo
+        if t < margin:
+            margin = t
+        t = cy_hi - py
+        if t < margin:
+            margin = t
+        margin_ok = margin > _INTERIOR_EPS
+        score = 2.0 * ((cx_hi - cx_lo) + (cy_hi - cy_lo))
+        if (
+            best is None
+            or (margin_ok and not best_margin)
+            or (margin_ok == best_margin and score > best_score)
+        ):
+            best = (cx_lo, cy_lo, cx_hi, cy_hi)
+            best_margin = margin_ok
+            best_score = score
+
+    # Clip the winner into the original cell (``_shrink_into_cell``).
+    cx_lo, cy_lo, cx_hi, cy_hi = best
+    m = cell.min_x
+    if cx_lo < m:
+        cx_lo = m
+    m = cell.min_y
+    if cy_lo < m:
+        cy_lo = m
+    m = cell.max_x
+    if cx_hi > m:
+        cx_hi = m
+    m = cell.max_y
+    if cy_hi > m:
+        cy_hi = m
+    if cx_lo > cx_hi or cy_lo > cy_hi:
+        return Rect.from_point(cell.clamp_point(p))
+    return Rect(cx_lo, cy_lo, cx_hi, cy_hi)
+
+
+def _irlp_circle_complement_generic(
+    circle: Circle,
+    p: Point,
+    cell: Rect,
+    objective: Objective | None = None,
+) -> Rect:
+    """Reference form of :func:`irlp_circle_complement` (any objective)."""
     q, r = circle.center, circle.radius
     original_cell = cell
     cell = cell.union(circle.bounding_rect())
@@ -233,9 +386,13 @@ def irlp_circle_complement(
     def build(theta: float) -> Rect:
         x1 = min(r * math.sin(theta), dx, a)
         y1 = min(r * math.cos(theta), dy, b)
-        xs = sorted((q.x + sx * x1, q.x + sx * a))
-        ys = sorted((q.y + sy * y1, q.y + sy * b))
-        return Rect(xs[0], ys[0], xs[1], ys[1])
+        bx1, bx2 = q.x + sx * x1, q.x + sx * a
+        if bx2 < bx1:
+            bx1, bx2 = bx2, bx1
+        by1, by2 = q.y + sy * y1, q.y + sy * b
+        if by2 < by1:
+            by1, by2 = by2, by1
+        return Rect(bx1, by1, bx2, by2)
 
     if objective is None:
         candidates = [build(theta_lo), build(theta_hi)]

@@ -43,10 +43,19 @@ class ReevaluationOutcome:
 
 
 def reevaluate_range(
-    query: RangeQuery, oid: ObjectId, p: Point
+    query: RangeQuery, oid: ObjectId, p: Point,
+    inside: bool | None = None,
 ) -> ReevaluationOutcome:
-    """Flip membership of ``oid`` in a range query after its update to ``p``."""
-    inside = query.rect.contains_point(p)
+    """Flip membership of ``oid`` in a range query after its update to ``p``.
+
+    ``inside`` is an optional precomputed containment verdict for ``p``
+    against ``query.rect`` — the tick planner scatters it out of the
+    batched ``affected_rows`` dispatch, whose comparisons are exactly
+    ``Rect.contains_point``'s, so passing it changes nothing but the
+    redundant check.
+    """
+    if inside is None:
+        inside = query.rect.contains_point(p)
     if inside and oid not in query.results:
         query.results.add(oid)
         return ReevaluationOutcome(changed=True, case="range_enter")

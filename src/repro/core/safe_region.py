@@ -94,18 +94,20 @@ def knn_safe_region(
       the other's boundary (mutual zero-slack anchoring storms updates).
     """
     circle = query.quarantine_circle()
-    q = query.center
-    d_p = q.distance_to(p)
-    try:
-        rank = query.results.index(oid)
-    except ValueError:
-        rank = -1
+    results = query.results
+    # Membership test before ``index``: most callers are non-results, and
+    # raising ValueError on every one of them is measurably slower than a
+    # second scan over the (short) result list for the members.
+    rank = results.index(oid) if oid in results else -1
 
     if rank < 0:
         return irlp_circle_complement(circle, p, cell, objective)
     if not query.order_sensitive:
         region = irlp_circle(circle, p, objective)
         return _clip_to_cell(region, cell, p)
+
+    q = query.center
+    d_p = q.distance_to(p)
 
     if rank == 0:
         inner = 0.0
@@ -141,6 +143,33 @@ def _separating_bound(
     return hi if below else lo
 
 
+def collect_range_obstacles(
+    p: Point, relevant_queries: Iterable[Query]
+) -> list[Rect]:
+    """The obstacle rects ``compute_safe_region`` would batch for ``p``.
+
+    Exactly the rectangles the ``use_batch`` branch of
+    :func:`compute_safe_region` accumulates, in the same order: range
+    queries without a custom ``safe_region_for`` whose quarantine areas
+    exclude ``p``.  The tick planner uses this at gather time; the
+    obstacle count doubles as the validity token when the precomputed
+    staircase is consumed (see ``batch_region`` below).
+    """
+    obstacles: list[Rect] = []
+    for query in relevant_queries:
+        if type(query) is RangeQuery:
+            # Exact type: slots-based, cannot carry ``safe_region_for``.
+            if not query.rect.contains_point(p):
+                obstacles.append(query.rect)
+        elif (
+            not hasattr(query, "safe_region_for")
+            and isinstance(query, RangeQuery)
+            and not query.rect.contains_point(p)
+        ):
+            obstacles.append(query.rect)
+    return obstacles
+
+
 def compute_safe_region(
     oid: ObjectId,
     p: Point,
@@ -150,6 +179,7 @@ def compute_safe_region(
     objective: Objective | None = None,
     use_batch: bool = True,
     kernels=None,
+    batch_region: tuple[int, Rect] | None = None,
 ) -> Rect:
     """Full safe region of object ``oid`` at ``p`` (intersection over queries).
 
@@ -160,10 +190,40 @@ def compute_safe_region(
     baseline).  Every other relevant query contributes its individual
     ``p.sr_Q``.  The result is contained in ``cell`` and contains ``p`` —
     every constituent does.
+
+    ``batch_region`` is an optional tick-planner precompute of the
+    Section 5.3 staircase union: ``(n_obstacles, region)``.  It is used
+    in place of :func:`batch_range_safe_region` only when the obstacle
+    count collected here matches ``n_obstacles`` (the planner gathered
+    from the same query set), and it is intersected last, exactly where
+    the inline computation would be — so consuming it cannot reorder
+    the degenerate-intersection fallbacks.
     """
     sr = cell
     obstacles: list[Rect] = []
     for query in relevant_queries:
+        # Exact-type fast paths: the built-in query classes use
+        # ``__slots__``, so a plain RangeQuery/KNNQuery instance can never
+        # carry a ``safe_region_for`` attribute and the hasattr probe
+        # below (an exception-driven miss) is pure overhead for them.
+        tq = type(query)
+        if tq is RangeQuery:
+            if query.rect.contains_point(p):
+                clipped = query.clipped_to(cell)
+                if clipped is not None:
+                    sr = _intersect(sr, clipped, p)
+            elif use_batch:
+                obstacles.append(query.rect)
+            else:
+                piece = range_safe_region(query, p, cell, objective)
+                sr = _intersect(sr, piece, p)
+            continue
+        if tq is KNNQuery:
+            region = knn_safe_region(
+                query, oid, p, cell, sr_of, objective
+            )
+            sr = _intersect(sr, region, p)
+            continue
         if hasattr(query, "safe_region_for"):
             # Extension query types bring their own contribution.
             sr = _intersect(sr, query.safe_region_for(oid, p, cell, objective), p)
@@ -186,9 +246,12 @@ def compute_safe_region(
             raise TypeError(f"unsupported query type: {type(query).__name__}")
 
     if obstacles:
-        batch = batch_range_safe_region(
-            p, cell, obstacles, objective, kernels=kernels
-        )
+        if batch_region is not None and batch_region[0] == len(obstacles):
+            batch = batch_region[1]
+        else:
+            batch = batch_range_safe_region(
+                p, cell, obstacles, objective, kernels=kernels
+            )
         sr = _intersect(sr, batch, p)
     return sr
 

@@ -14,6 +14,7 @@ position.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
@@ -26,15 +27,20 @@ from repro.core.reevaluation import (
     reevaluate_range,
     relieve_tight_safe_region,
 )
+from repro.core.batch import quadrant_extents
 from repro.core.results import BatchOutcome, ResultChange, UpdateOutcome
-from repro.core.safe_region import compute_safe_region, knn_safe_region
+from repro.core.safe_region import (
+    collect_range_obstacles,
+    compute_safe_region,
+    knn_safe_region,
+)
 from repro.faults import ProbeTimeout
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.bulk import bulk_load
 from repro.index.grid import GridIndex
 from repro.index.rstar import RStarTree
-from repro.kernels import KERNEL_BACKENDS, Kernels, PositionStore
+from repro.kernels import KERNEL_BACKENDS, Kernels, PositionStore, TickPlanner
 from repro.obs import COUNT_BUCKETS, NULL_EVENT_LOG, NULL_REGISTRY, Tracer
 
 ObjectId = Hashable
@@ -233,6 +239,12 @@ class DatabaseServer:
         #: maintained at each register / update / deregister alongside
         #: ``ObjectState.p_lst``.
         self.positions = PositionStore()
+        #: Tick-wide kernel work planner (docs/PERFORMANCE.md): batch
+        #: update handling gathers the predictable per-report kernel work
+        #: into columns, dispatches it in bulk, and the per-report paths
+        #: consume the scattered verdicts through ``self._tick_plan``.
+        self.planner = TickPlanner(self.kernels, metrics=self.metrics)
+        self._tick_plan = None
         self._g_rstar_height = self.metrics.gauge("rstar.height")
         self._g_rstar_nodes = self.metrics.gauge("rstar.nodes")
         self.object_index = RStarTree(
@@ -728,25 +740,280 @@ class DatabaseServer:
         order and land the object on the wrong final position, so the
         whole batch falls back to plain submission order — the documented
         sequential contract holds either way.
+
+        When the batch is cleanly orderable (unique ids, monotone time,
+        no event stream, no degraded objects), processing runs through
+        the tick-wide planner pipeline (docs/PERFORMANCE.md): the
+        predictable kernel work of every report — range-affected flips
+        and Section 5.3 corner candidates — is gathered into columns and
+        dispatched in bulk before the sequential walk, and the certified
+        no-op fast path runs inline without per-report span/outcome
+        scaffolding.  Results, messages, and ``ServerStats`` are
+        bit-identical to the sequential contract; only CPU cost changes.
         """
         reports = list(reports)
         oids = [oid for oid, _ in reports]
-        if len(set(oids)) != len(oids):
-            ordered: Iterable[int] = range(len(reports))
-        else:
-            # One columnar pass computes every destination cell (identical
-            # to per-report ``grid.cell_of``); the sort key is unchanged.
-            cells = self.query_index.cells_of_points(
-                [position for _, position in reports]
-            )
-            ordered = sorted(range(len(reports)), key=lambda i: (cells[i], i))
         batch = BatchOutcome()
-        for i in ordered:
-            oid, position = reports[i]
-            outcome = self.handle_location_update(oid, position, time)
-            batch.merge(oid, outcome)
+        if not reports:
+            self.refresh_index_gauges()
+            return batch
+        if len(set(oids)) != len(oids):
+            for i in range(len(reports)):
+                oid, position = reports[i]
+                outcome = self.handle_location_update(oid, position, time)
+                batch.merge(oid, outcome)
+            self.refresh_index_gauges()
+            return batch
+        # One columnar pass computes every destination cell (identical
+        # to per-report ``grid.cell_of``); the sort key is unchanged.
+        cells = self.query_index.cells_of_points(
+            [position for _, position in reports]
+        )
+        # Stable sort over the already index-ordered range: equal cells
+        # keep submission order, so the key collapses to the cell alone.
+        ordered = sorted(range(len(reports)), key=cells.__getitem__)
+        if (
+            not self.events.enabled
+            and not self._degraded
+            and time >= self._clock
+        ):
+            self._bulk_updates(reports, ordered, cells, time, batch)
+        else:
+            for i in ordered:
+                oid, position = reports[i]
+                outcome = self.handle_location_update(oid, position, time)
+                batch.merge(oid, outcome)
         self.refresh_index_gauges()
         return batch
+
+    @contextmanager
+    def planned_tick(
+        self, reports: Iterable[tuple[ObjectId, Point]], time: float = 0.0
+    ):
+        """Pre-plan a tick's kernel work for per-report processing.
+
+        Callers that must drive same-tick reports through
+        ``handle_location_update`` individually — a shard replaying an
+        op stream with adds and evictions interleaved, say — wrap the
+        run in this context to get the tick-wide gather/dispatch
+        batching of ``handle_location_updates``.  Every plan entry
+        revalidates at consume time (position identity and cell
+        generations), so a report invalidated by an interleaved
+        operation simply falls back to the scalar path: results are
+        bit-identical with or without the plan.
+
+        The gate mirrors ``handle_location_updates``: duplicate object
+        ids, an enabled event stream, degraded objects, or a
+        non-monotone timestamp skip planning entirely.
+        """
+        reports = list(reports)
+        oids = [oid for oid, _ in reports]
+        if (
+            not reports
+            or len(set(oids)) != len(oids)
+            or self.events.enabled
+            or self._degraded
+            or time < self._clock
+        ):
+            yield
+            return
+        cells = self.query_index.cells_of_points(
+            [position for _, position in reports]
+        )
+        ordered = sorted(range(len(reports)), key=cells.__getitem__)
+        objects = self._objects
+        prev_pts = [
+            state.p_lst if state is not None else None
+            for state in (objects.get(oid) for oid in oids)
+        ]
+        prev_cells = self.query_index.cells_of_points([
+            prev if prev is not None else reports[i][1]
+            for i, prev in enumerate(prev_pts)
+        ])
+        self._tick_plan = self._plan_tick(
+            reports, ordered, cells, prev_pts, prev_cells
+        )
+        try:
+            yield
+        finally:
+            self._tick_plan = None
+
+    def _plan_tick(self, reports, ordered, cells, prev_pts, prev_cells):
+        """Gather the batch's predictable kernel work and dispatch it.
+
+        Walks the reports in processing order, skips those certified for
+        the fast path (their buckets are provably empty — nothing to
+        plan), and gathers the rest's range-affected rows and safe-region
+        corner rows into the planner's columns.  Returns the scattered
+        :class:`~repro.kernels.planner.TickPlan`, or ``None`` when no
+        report had plannable work.
+        """
+        grid = self.query_index
+        objects = self._objects
+        planner = self.planner
+        planner.begin()
+        caches_on = self._caches_on
+        plan_regions = (
+            self.config.batch_range_regions and self.config.steadiness == 0.0
+        )
+        # Bound-method / bound-dict locals: ``_generations`` and
+        # ``_buckets`` are mutated in place but never rebound, so the
+        # hoisted accessors stay live across the loop.
+        generation_of = grid._generations.get
+        has_queries_in_cell = grid._buckets.__contains__
+        candidate_queries_ordered = grid.candidate_queries_ordered
+        add_affected = planner.add_affected
+        any_work = False
+        for i in ordered:
+            previous = prev_pts[i]
+            if previous is None:
+                continue  # unknown object: the scalar path decides
+            oid, position = reports[i]
+            state = objects[oid]
+            cell_old = prev_cells[i]
+            cell_new = cells[i]
+            stamp = state.sr_stamp
+            if (
+                caches_on
+                and stamp is not None
+                and stamp[0] == cell_old
+                and stamp[1] == generation_of(cell_old, 0)
+                and (
+                    cell_new == cell_old
+                    or not has_queries_in_cell(cell_new)
+                )
+            ):
+                continue  # certified fast path: no reevaluation happens
+            candidates = candidate_queries_ordered(position, previous)
+            range_queries = [
+                q for q in candidates if type(q) is RangeQuery
+            ]
+            cell_pair = (
+                (cell_new,) if cell_new == cell_old
+                else (cell_new, cell_old)
+            )
+            generations = tuple(
+                generation_of(c, 0) for c in cell_pair
+            )
+            add_affected(
+                oid, position, previous, candidates, range_queries,
+                cell_pair, generations,
+            )
+            any_work = True
+            if plan_regions:
+                cell = grid.cell_rect(cell_new)
+                obstacles = collect_range_obstacles(
+                    position, grid.relevant_queries(cell_new)
+                )
+                if obstacles:
+                    planner.add_region(
+                        oid, position, cell_new, cell,
+                        quadrant_extents(position, cell), obstacles,
+                    )
+        return planner.finish() if any_work else None
+
+    def _bulk_updates(self, reports, ordered, cells, time, batch) -> None:
+        """Planner-backed batch processing (see ``handle_location_updates``).
+
+        Strictly sequential semantics: each report either takes the
+        inline certified fast path — the exact commits of
+        ``_fastpath_update`` without the per-report span and
+        ``UpdateOutcome`` scaffolding — or runs the full
+        ``handle_location_update`` path, which consumes the tick plan
+        through ``self._tick_plan`` where its entries are still valid.
+        """
+        grid = self.query_index
+        objects = self._objects
+        positions = self.positions
+        object_index = self.object_index
+        caches_on = self._caches_on
+        metrics_on = self.metrics.enabled
+        # Previous positions and their cells, in one columnar pass.
+        # Rows for unknown objects carry the new position as a
+        # placeholder; they are never consumed.
+        prev_pts = []
+        for i, (oid, _) in enumerate(reports):
+            state = objects.get(oid)
+            prev_pts.append(state.p_lst if state is not None else None)
+        prev_cells = grid.cells_of_points([
+            prev if prev is not None else reports[i][1]
+            for i, prev in enumerate(prev_pts)
+        ])
+        self._tick_plan = self._plan_tick(
+            reports, ordered, cells, prev_pts, prev_cells
+        )
+        # The first sequential report would advance the clock to
+        # ``time`` (monotonicity was checked by the caller); committing
+        # it up front keeps inline-fastpath timestamps identical.
+        self._clock = time
+        fast_n = 0
+        objects_get = objects.get
+        positions_set = positions.set
+        # Never rebound, only mutated — see the same hoists in _plan_tick.
+        generation_of = grid._generations.get
+        has_queries_in_cell = grid._buckets.__contains__
+        try:
+            for i in ordered:
+                oid, position = reports[i]
+                state = objects_get(oid)
+                fast = False
+                if (
+                    state is not None
+                    and caches_on
+                    and not self._degraded
+                ):
+                    previous = state.p_lst
+                    stamp = state.sr_stamp
+                    if previous is not None and stamp is not None:
+                        cell_old = (
+                            prev_cells[i]
+                            if previous is prev_pts[i]
+                            else grid.cell_of(previous)
+                        )
+                        if (
+                            stamp[0] == cell_old
+                            and stamp[1] == generation_of(cell_old, 0)
+                        ):
+                            cell_new = cells[i]
+                            if cell_new == cell_old or not (
+                                has_queries_in_cell(cell_new)
+                            ):
+                                # Inline fast path: the exact state
+                                # commits of ``_fastpath_update``.
+                                state.p_lst = position
+                                positions_set(oid, position)
+                                state.last_update_time = time
+                                if cell_new != cell_old:
+                                    region = grid.cell_rect(cell_new)
+                                    state.safe_region = region
+                                    object_index.update(oid, region)
+                                    state.sr_stamp = (
+                                        cell_new,
+                                        generation_of(cell_new, 0),
+                                    )
+                                fast = True
+                if fast:
+                    fast_n += 1
+                    # Inline ``BatchOutcome.merge`` of an outcome whose
+                    # only payload is the (unchanged) safe region.
+                    batch.regions[oid] = state.safe_region
+                    if batch.missed:
+                        batch.missed = [
+                            t for t in batch.missed if t != oid
+                        ]
+                    if metrics_on:
+                        self._m_checked.observe(0)
+                    continue
+                outcome = self.handle_location_update(oid, position, time)
+                batch.merge(oid, outcome)
+        finally:
+            self._tick_plan = None
+        if fast_n:
+            self.stats.location_updates += fast_n
+            if metrics_on:
+                self._m_updates.inc(fast_n)
+                self._m_fastpath.inc(fast_n)
+            self.stats.cpu_seconds = self._trace.cpu_seconds
 
     def _process_update(
         self,
@@ -948,13 +1215,24 @@ class DatabaseServer:
                 return initial_previous[target]
             return previous_positions.get(target)
 
+        # Hoisted out of the worklist loop (one lookup per report adds
+        # up).  The grid's generation dict is only ever mutated in
+        # place, never rebound, so binding its ``.get`` is safe.
+        objects = self._objects
+        grid = self.query_index
+        cell_of = grid.cell_of
+        generation_of = grid._generations.get
+        cell_rect_of_point = grid.cell_rect_of_point
+        install_safe_region = self._install_safe_region
+        failed_probes = self._failed_probes
+
         queue: list[ObjectId] = list(targets)
         queued = set(queue)
         completed: set[ObjectId] = set()
         while queue:
             target = queue.pop(0)
             queued.discard(target)
-            if target in self._failed_probes:
+            if target in failed_probes:
                 # Unreachable this round: the widened degraded region
                 # installed by ``_apply_probes`` stands — recomputing a
                 # safe region around the stale fix would be unsound, and
@@ -964,13 +1242,13 @@ class DatabaseServer:
                     outcome.missed.append(target)
                 completed.add(target)
                 continue
-            state = self._objects[target]
+            state = objects[target]
             target_pos = state.p_lst
             stamp = state.sr_stamp
             if (
                 stamp is not None
-                and stamp[0] == self.query_index.cell_of(target_pos)
-                and stamp[1] == self.query_index.cell_generation(stamp[0])
+                and stamp[0] == cell_of(target_pos)
+                and stamp[1] == generation_of(stamp[0], 0)
             ):
                 # Lazy recomputation: the stamp certifies the installed
                 # region is the full, still query-free cell — recomputing
@@ -986,7 +1264,7 @@ class DatabaseServer:
                     )
                 region = state.safe_region
                 shrunk_only.pop(target, None)
-                self._install_safe_region(target, region)
+                install_safe_region(target, region)
                 completed.add(target)
                 if target == updater:
                     outcome.safe_region = region
@@ -996,7 +1274,7 @@ class DatabaseServer:
             region = self._full_safe_region(
                 target, target_pos, prev_lookup(target)
             )
-            cell = self.query_index.cell_rect_of_point(target_pos)
+            cell = cell_rect_of_point(target_pos)
             if (
                 self.config.anti_storm_relief
                 and interior_margin(region, target_pos) < self._margin_floor
@@ -1026,7 +1304,7 @@ class DatabaseServer:
                         target, target_pos, prev_lookup(target)
                     )
             shrunk_only.pop(target, None)
-            self._install_safe_region(target, region)
+            install_safe_region(target, region)
             completed.add(target)
             if target == updater:
                 outcome.safe_region = region
@@ -1087,6 +1365,11 @@ class DatabaseServer:
         return (changed_radius or bool(all_fresh), all_fresh)
 
     def _reevaluate_affected(self, *args, **kwargs) -> None:
+        # Called once per report; skip the no-op span scaffolding when
+        # tracing is off (behaviourally identical, measurably cheaper).
+        if self._trace.noop_spans():
+            self._do_reevaluate_affected(*args, **kwargs)
+            return
         with self._trace.span("reevaluate"):
             self._do_reevaluate_affected(*args, **kwargs)
 
@@ -1104,43 +1387,75 @@ class DatabaseServer:
         time: float,
     ) -> None:
         """Reevaluate every query affected by one position report."""
-        candidates = self.query_index.candidate_queries(position, previous)
-        outcome.queries_checked += len(candidates)
-        self.stats.queries_checked += len(candidates)
-        self._m_checked.observe(len(candidates))
-        ordered = sorted(candidates, key=lambda q: q.query_id)
-        # Plain range queries take one batch membership-flip pass over
-        # their rect columns (``Kernels.range_affected`` is exactly
+        # A planned tick already gathered this report's candidate set
+        # and batched its range-membership flips in one tick-wide
+        # dispatch; consume the verdicts when they are still valid (the
+        # plan validates position identity and cell generations).
+        plan = self._tick_plan
+        planned = (
+            plan.take_affected(oid, position, previous, self.query_index)
+            if plan is not None
+            else None
+        )
+        if planned is not None:
+            ordered, verdicts = planned
+        else:
+            candidates = self.query_index.candidate_queries(
+                position, previous
+            )
+            ordered = sorted(candidates, key=lambda q: q.query_id)
+            verdicts = None
+        outcome.queries_checked += len(ordered)
+        self.stats.queries_checked += len(ordered)
+        self._m_checked.observe(len(ordered))
+        # Plain range queries take their membership-flip verdicts from
+        # the tick plan (one fused pass — no per-report scaffolding) or,
+        # unplanned, from one batch pass over their rect columns
+        # (``Kernels.range_affected`` is exactly
         # ``RangeQuery.is_affected_by``); kNN and extension queries keep
-        # their scalar checks.  ``type`` not ``isinstance``: a subclass
-        # may override ``is_affected_by``.
-        range_rows = [
-            i for i, q in enumerate(ordered) if type(q) is RangeQuery
-        ]
-        flags: list[bool | None] = [None] * len(ordered)
-        if range_rows:
-            rects = [ordered[i].rect for i in range_rows]
-            mask = self.kernels.range_affected(
-                [r.min_x for r in rects],
-                [r.min_y for r in rects],
-                [r.max_x for r in rects],
-                [r.max_y for r in rects],
-                position,
-                previous,
-            )
-            for i, flag in zip(range_rows, mask):
-                flags[i] = flag
-        affected = [
-            q
-            for i, q in enumerate(ordered)
-            if (
-                flags[i]
-                if flags[i] is not None
-                else q.is_affected_by(position, previous)
-            )
-        ]
+        # their scalar checks either way.  ``type`` not ``isinstance``:
+        # a subclass may override ``is_affected_by``.
+        affected: list | None = None
+        if verdicts is not None:
+            affected = []
+            for q in ordered:
+                if type(q) is RangeQuery:
+                    verdict = verdicts.get(q.query_id)
+                    if verdict is None:  # planned from a different set
+                        affected = None
+                        break
+                    if verdict[0]:
+                        affected.append((q, verdict[1]))
+                elif q.is_affected_by(position, previous):
+                    affected.append((q, None))
+        if affected is None:
+            range_rows = [
+                i for i, q in enumerate(ordered) if type(q) is RangeQuery
+            ]
+            flags: list[bool | None] = [None] * len(ordered)
+            if range_rows:
+                rects = [ordered[i].rect for i in range_rows]
+                mask = self.kernels.range_affected(
+                    [r.min_x for r in rects],
+                    [r.min_y for r in rects],
+                    [r.max_x for r in rects],
+                    [r.max_y for r in rects],
+                    position,
+                    previous,
+                )
+                for i, flag in zip(range_rows, mask):
+                    flags[i] = flag
+            affected = [
+                (q, None)
+                for i, q in enumerate(ordered)
+                if (
+                    flags[i]
+                    if flags[i] is not None
+                    else q.is_affected_by(position, previous)
+                )
+            ]
         events = self.events
-        for query in affected:
+        for query, inside in affected:
             before = _snapshot(query)
             probes_before = set(probed)
             parent_cause = self._cause
@@ -1158,7 +1473,9 @@ class DatabaseServer:
                         oid, position, self.object_index, probe, constrain
                     )
                 elif isinstance(query, RangeQuery):
-                    reevaluation = reevaluate_range(query, oid, position)
+                    reevaluation = reevaluate_range(
+                        query, oid, position, inside=inside
+                    )
                 else:
                     reevaluation = reevaluate_knn(
                         query,
@@ -1492,26 +1809,47 @@ class DatabaseServer:
         install the returned region, keeping the stamp's certificate in
         step with the installed state.
         """
+        if self._trace.noop_spans():
+            return self._compute_full_safe_region(oid, position, previous)
         with self._trace.span("safe_region"):
-            grid = self.query_index
-            cell_id = grid.cell_of(position)
-            cell = grid.cell_rect(cell_id)
-            relevant = grid.relevant_queries(cell_id)
-            state = self._objects[oid]
-            if self._caches_on and not relevant:
-                state.sr_stamp = (cell_id, grid.cell_generation(cell_id))
-            else:
-                state.sr_stamp = None
-            return compute_safe_region(
-                oid,
-                position,
-                relevant,
-                cell,
-                self.object_index.rect_of,
-                self._objective(position, previous),
-                use_batch=self.config.batch_range_regions,
-                kernels=self.kernels,
-            )
+            return self._compute_full_safe_region(oid, position, previous)
+
+    def _compute_full_safe_region(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point | None,
+    ) -> Rect:
+        grid = self.query_index
+        cell_id = grid.cell_of(position)
+        cell = grid.cell_rect(cell_id)
+        relevant = grid.relevant_queries(cell_id)
+        state = self._objects[oid]
+        if self._caches_on and not relevant:
+            state.sr_stamp = (cell_id, grid.cell_generation(cell_id))
+        else:
+            state.sr_stamp = None
+        # A planned tick may carry this report's Section 5.3
+        # staircase union, computed in the tick-wide corner dispatch;
+        # ``compute_safe_region`` double-checks the obstacle count
+        # before trusting it.
+        plan = self._tick_plan
+        batch_region = (
+            plan.take_range_region(oid, position, cell_id)
+            if plan is not None and plan.regions
+            else None
+        )
+        return compute_safe_region(
+            oid,
+            position,
+            relevant,
+            cell,
+            self.object_index.rect_of,
+            self._objective(position, previous),
+            use_batch=self.config.batch_range_regions,
+            kernels=self.kernels,
+            batch_region=batch_region,
+        )
 
 
 def _snapshot(query: Query):

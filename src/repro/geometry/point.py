@@ -3,19 +3,36 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 
-@dataclass(frozen=True, slots=True)
 class Point:
     """A point in the unit square workspace.
 
     Coordinates are plain floats; the class is hashable so points can be
     used as dictionary keys (e.g. memoising safe-region computations).
+    Instances are immutable by convention — nothing in the codebase
+    mutates a published point, and value equality/hashing match the
+    former frozen-dataclass definition.  (A hand-rolled ``__init__``
+    because point construction is hot enough for the frozen-dataclass
+    ``object.__setattr__`` overhead to show up in tick profiles.)
     """
 
-    x: float
-    y: float
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+
+    def __repr__(self) -> str:
+        return f"Point(x={self.x!r}, y={self.y!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Point:
+            return self.x == other.x and self.y == other.y
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
 
     def distance_to(self, other: "Point") -> float:
         """Euclidean distance ``d(self, other)``."""

@@ -3,31 +3,54 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 from repro.geometry.point import Point
 
 
-@dataclass(frozen=True, slots=True)
 class Rect:
     """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
 
     The rectangle is closed: boundary points are contained.  Degenerate
     rectangles (zero width and/or height) are allowed — a freshly updated
     object has a point-sized safe region until the server recomputes it.
+    Instances are immutable by convention, with value equality/hashing
+    matching the former frozen-dataclass definition; construction is
+    hand-rolled because rectangles are minted by the hundred thousand per
+    bench run and the frozen ``object.__setattr__`` path dominated.
     """
 
-    min_x: float
-    min_y: float
-    max_x: float
-    max_y: float
+    __slots__ = ("min_x", "min_y", "max_x", "max_y")
 
-    def __post_init__(self) -> None:
-        if self.min_x > self.max_x or self.min_y > self.max_y:
+    def __init__(
+        self, min_x: float, min_y: float, max_x: float, max_y: float
+    ) -> None:
+        if min_x > max_x or min_y > max_y:
             raise ValueError(
-                f"malformed rectangle: ({self.min_x}, {self.min_y}, "
-                f"{self.max_x}, {self.max_y})"
+                f"malformed rectangle: ({min_x}, {min_y}, {max_x}, {max_y})"
             )
+        self.min_x = min_x
+        self.min_y = min_y
+        self.max_x = max_x
+        self.max_y = max_y
+
+    def __repr__(self) -> str:
+        return (
+            f"Rect(min_x={self.min_x!r}, min_y={self.min_y!r}, "
+            f"max_x={self.max_x!r}, max_y={self.max_y!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is Rect:
+            return (
+                self.min_x == other.min_x
+                and self.min_y == other.min_y
+                and self.max_x == other.max_x
+                and self.max_y == other.max_y
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.min_x, self.min_y, self.max_x, self.max_y))
 
     # ------------------------------------------------------------------
     # Constructors
@@ -141,10 +164,10 @@ class Rect:
     # ------------------------------------------------------------------
     def intersection(self, other: "Rect") -> "Rect | None":
         """Intersection rectangle, or ``None`` when disjoint."""
-        min_x = max(self.min_x, other.min_x)
-        min_y = max(self.min_y, other.min_y)
-        max_x = min(self.max_x, other.max_x)
-        max_y = min(self.max_y, other.max_y)
+        min_x = self.min_x if self.min_x >= other.min_x else other.min_x
+        min_y = self.min_y if self.min_y >= other.min_y else other.min_y
+        max_x = self.max_x if self.max_x <= other.max_x else other.max_x
+        max_y = self.max_y if self.max_y <= other.max_y else other.max_y
         if min_x > max_x or min_y > max_y:
             return None
         return Rect(min_x, min_y, max_x, max_y)
@@ -152,10 +175,10 @@ class Rect:
     def union(self, other: "Rect") -> "Rect":
         """Smallest rectangle covering both (MBR union)."""
         return Rect(
-            min(self.min_x, other.min_x),
-            min(self.min_y, other.min_y),
-            max(self.max_x, other.max_x),
-            max(self.max_y, other.max_y),
+            self.min_x if self.min_x <= other.min_x else other.min_x,
+            self.min_y if self.min_y <= other.min_y else other.min_y,
+            self.max_x if self.max_x >= other.max_x else other.max_x,
+            self.max_y if self.max_y >= other.max_y else other.max_y,
         )
 
     def expanded(self, amount: float) -> "Rect":
@@ -193,8 +216,20 @@ class Rect:
     # ------------------------------------------------------------------
     def min_dist_to_point(self, p: Point) -> float:
         """``delta(p, self)``: 0 when ``p`` is inside."""
-        dx = max(self.min_x - p.x, 0.0, p.x - self.max_x)
-        dy = max(self.min_y - p.y, 0.0, p.y - self.max_y)
+        x = p.x
+        if x < self.min_x:
+            dx = self.min_x - x
+        elif x > self.max_x:
+            dx = x - self.max_x
+        else:
+            dx = 0.0
+        y = p.y
+        if y < self.min_y:
+            dy = self.min_y - y
+        elif y > self.max_y:
+            dy = y - self.max_y
+        else:
+            dy = 0.0
         return math.hypot(dx, dy)
 
     def max_dist_to_point(self, p: Point) -> float:

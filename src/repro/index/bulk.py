@@ -99,11 +99,13 @@ def _pack_level(
 
 
 def _wire_parents(tree: RStarTree, node: Node) -> None:
-    """Set parent pointers and the leaf direct-access table recursively."""
+    """Set parent pointers and the direct-access tables recursively."""
     if node.is_leaf:
         for entry in node.entries:
             tree._leaf_of[entry.oid] = node
+            tree._entry_of[entry.oid] = entry
         return
     for entry in node.entries:
         entry.child.parent = node
+        entry.child.parent_entry = entry
         _wire_parents(tree, entry.child)

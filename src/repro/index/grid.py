@@ -108,7 +108,16 @@ class GridIndex:
         """The (column, row) cell containing ``p`` (clamped to the space)."""
         i = int((p.x - self.space.min_x) / self._cell_w)
         j = int((p.y - self.space.min_y) / self._cell_h)
-        return (min(max(i, 0), self.m - 1), min(max(j, 0), self.m - 1))
+        hi = self.m - 1
+        if i < 0:
+            i = 0
+        elif i > hi:
+            i = hi
+        if j < 0:
+            j = 0
+        elif j > hi:
+            j = hi
+        return (i, j)
 
     def cell_rect(self, cell: CellId) -> Rect:
         """The rectangle covered by ``cell`` (interned when caches are on)."""
@@ -352,6 +361,36 @@ class GridIndex:
         self._m_candidates.observe(len(candidates))
         return candidates
 
+    def candidate_queries_ordered(self, p: Point, p_lst: Point | None) -> tuple:
+        """:meth:`candidate_queries` as a ``query_id``-sorted tuple.
+
+        Exactly the set ``candidate_queries`` returns, in exactly the
+        order ``sorted(candidates, key=lambda q: q.query_id)`` produces —
+        but served by merging the two cells' cached ordered views instead
+        of re-sorting per update.  Metrics (``grid.lookups`` and the
+        candidate-size histogram) match ``candidate_queries`` call for
+        call, so the two entry points are interchangeable.
+        """
+        if p_lst is None:
+            ordered = self.relevant_queries(self.cell_of(p))
+        else:
+            cell_new = self.cell_of(p)
+            cell_old = self.cell_of(p_lst)
+            if cell_new == cell_old:
+                ordered = self.relevant_queries(cell_new)
+            else:
+                a = self.relevant_queries(cell_new)
+                b = self.relevant_queries(cell_old)
+                if not a:
+                    ordered = b
+                elif not b:
+                    ordered = a
+                else:
+                    ordered = _merge_ordered(a, b)
+        self._m_lookups.inc()
+        self._m_candidates.observe(len(ordered))
+        return ordered
+
     def all_queries(self) -> frozenset:
         """Every registered query."""
         return frozenset(self._cells_of)
@@ -387,3 +426,25 @@ class GridIndex:
 
 def _query_order(query) -> str:
     return query.query_id
+
+
+def _merge_ordered(a: tuple, b: tuple) -> tuple:
+    """Deduplicating two-pointer merge of ``query_id``-sorted tuples."""
+    out: list = []
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        qa, qb = a[i], b[j]
+        if qa is qb:
+            out.append(qa)
+            i += 1
+            j += 1
+        elif qa.query_id <= qb.query_id:
+            out.append(qa)
+            i += 1
+        else:
+            out.append(qb)
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return tuple(out)

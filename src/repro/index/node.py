@@ -40,9 +40,14 @@ class Entry:
 
 
 class Node:
-    """An R-tree node holding up to ``max_entries`` entries."""
+    """An R-tree node holding up to ``max_entries`` entries.
 
-    __slots__ = ("entries", "is_leaf", "parent", "level")
+    ``parent_entry`` is the entry of ``parent`` that points back at this
+    node (``None`` for the root) — a direct pointer maintained alongside
+    ``parent`` so MBR propagation never scans the parent's entry list.
+    """
+
+    __slots__ = ("entries", "is_leaf", "parent", "parent_entry", "level")
 
     def __init__(
         self,
@@ -53,6 +58,7 @@ class Node:
         self.entries: list[Entry] = []
         self.is_leaf = is_leaf
         self.parent = parent
+        self.parent_entry: Optional[Entry] = None
         # Leaf nodes are level 0; the root has the greatest level.
         self.level = level
 

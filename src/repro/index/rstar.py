@@ -49,6 +49,11 @@ class RStarTree:
         self.root: Node = Node(is_leaf=True, level=0)
         self._leaf_of: dict[ObjectId, Node] = {}
         self._rect_of: dict[ObjectId, Rect] = {}
+        # Direct pointer to the live leaf Entry of each object: entries
+        # survive splits, reinsertion, and condensation by identity, so
+        # the table only changes on insert/delete.  It turns the
+        # bottom-up update patch into a single attribute store.
+        self._entry_of: dict[ObjectId, Entry] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -84,18 +89,19 @@ class RStarTree:
         if oid in self._rect_of:
             raise KeyError(f"object {oid!r} already indexed")
         self._rect_of[oid] = rect
-        self._insert_entry(Entry(rect, oid=oid), level=0)
+        entry = Entry(rect, oid=oid)
+        self._entry_of[oid] = entry
+        self._insert_entry(entry, level=0)
 
     def delete(self, oid: ObjectId) -> None:
         """Remove an object.  Raises ``KeyError`` when absent."""
         leaf = self._leaf_of.pop(oid)
         del self._rect_of[oid]
-        for i, entry in enumerate(leaf.entries):
-            if entry.oid == oid:
-                del leaf.entries[i]
-                break
-        else:  # pragma: no cover — direct-access table desynchronised
-            raise RuntimeError("leaf table inconsistent with tree")
+        entry = self._entry_of.pop(oid)
+        try:
+            leaf.entries.remove(entry)
+        except ValueError:  # pragma: no cover — table desynchronised
+            raise RuntimeError("leaf table inconsistent with tree") from None
         self._condense(leaf)
 
     def update(self, oid: ObjectId, rect: Rect) -> bool:
@@ -106,16 +112,11 @@ class RStarTree:
         entry is patched), ``False`` when a full delete + insert ran.
         """
         leaf = self._leaf_of[oid]
-        bound = self._leaf_bound(leaf)
-        if bound is None or bound.contains_rect(rect):
-            for entry in leaf.entries:
-                if entry.oid == oid:
-                    entry.rect = rect
-                    self._rect_of[oid] = rect
-                    return True
-            raise RuntimeError(  # pragma: no cover
-                "leaf table inconsistent with tree"
-            )
+        parent_entry = leaf.parent_entry
+        if parent_entry is None or parent_entry.rect.contains_rect(rect):
+            self._entry_of[oid].rect = rect
+            self._rect_of[oid] = rect
+            return True
         self.delete(oid)
         self.insert(oid, rect)
         return False
@@ -195,6 +196,7 @@ class RStarTree:
         node.entries.append(entry)
         if entry.child is not None:
             entry.child.parent = node
+            entry.child.parent_entry = entry
         elif node.is_leaf:
             self._leaf_of[entry.oid] = node
         self._extend_upward(node, entry.rect)
@@ -319,17 +321,23 @@ class RStarTree:
 
         if node is self.root:
             new_root = Node(is_leaf=False, level=node.level + 1)
-            new_root.entries.append(Entry(node.mbr(), child=node))
-            new_root.entries.append(Entry(sibling.mbr(), child=sibling))
+            node_entry = Entry(node.mbr(), child=node)
+            sibling_entry = Entry(sibling.mbr(), child=sibling)
+            new_root.entries.append(node_entry)
+            new_root.entries.append(sibling_entry)
             node.parent = new_root
+            node.parent_entry = node_entry
             sibling.parent = new_root
+            sibling.parent_entry = sibling_entry
             self.root = new_root
             return
 
         parent = node.parent
-        parent.entry_for_child(node).rect = node.mbr()
-        parent.entries.append(Entry(sibling.mbr(), child=sibling))
+        node.parent_entry.rect = node.mbr()
+        sibling_entry = Entry(sibling.mbr(), child=sibling)
+        parent.entries.append(sibling_entry)
         sibling.parent = parent
+        sibling.parent_entry = sibling_entry
         self._shrink_upward(parent)
         if len(parent.entries) > self.max_entries:
             self._overflow(parent, reinserted_levels)
@@ -373,6 +381,7 @@ class RStarTree:
         else:
             for entry in node.entries:
                 entry.child.parent = node
+                entry.child.parent_entry = entry
 
     # ------------------------------------------------------------------
     # Deletion machinery
@@ -383,20 +392,20 @@ class RStarTree:
         while node is not self.root:
             parent = node.parent
             if len(node.entries) < self.min_entries:
-                parent_entry = parent.entry_for_child(node)
-                parent.entries.remove(parent_entry)
+                parent.entries.remove(node.parent_entry)
                 level = node.level
                 orphans.extend((entry, level) for entry in node.entries)
                 if node.is_leaf:
                     for entry in node.entries:
                         self._leaf_of.pop(entry.oid, None)
             else:
-                parent.entry_for_child(node).rect = node.mbr()
+                node.parent_entry.rect = node.mbr()
             node = parent
         # Shrink the root when it lost all but one child.
         if not self.root.is_leaf and len(self.root.entries) == 1:
             self.root = self.root.entries[0].child
             self.root.parent = None
+            self.root.parent_entry = None
         if not self.root.entries and not self.root.is_leaf:  # pragma: no cover
             self.root = Node(is_leaf=True, level=0)
         for entry, level in orphans:
@@ -407,27 +416,28 @@ class RStarTree:
     # ------------------------------------------------------------------
     def _leaf_bound(self, leaf: Node) -> Rect | None:
         """The rectangle recorded for ``leaf`` in its parent (None for root)."""
-        if leaf.parent is None:
-            return None
-        return leaf.parent.entry_for_child(leaf).rect
+        entry = leaf.parent_entry
+        return None if entry is None else entry.rect
 
     def _extend_upward(self, node: Node, rect: Rect) -> None:
         """Grow ancestor entry MBRs so they cover a newly added ``rect``."""
-        while node.parent is not None:
-            entry = node.parent.entry_for_child(node)
+        entry = node.parent_entry
+        while entry is not None:
             if entry.rect.contains_rect(rect):
                 break
             entry.rect = entry.rect.union(rect)
+            entry = node.parent.parent_entry
             node = node.parent
 
     def _shrink_upward(self, node: Node) -> None:
         """Recompute ancestor entry MBRs after entries were removed."""
-        while node.parent is not None:
-            entry = node.parent.entry_for_child(node)
+        entry = node.parent_entry
+        while entry is not None:
             mbr = node.mbr()
             if entry.rect == mbr:
                 break
             entry.rect = mbr
+            entry = node.parent.parent_entry
             node = node.parent
 
     # ------------------------------------------------------------------
@@ -440,13 +450,18 @@ class RStarTree:
         fill factors, parent pointers, and direct-access table coherence.
         """
         seen: dict[ObjectId, Rect] = {}
+        assert self.root.parent_entry is None, "root has a parent entry"
         self._validate_node(self.root, None, seen)
         assert seen == self._rect_of, "rect table out of sync with tree"
         for oid, leaf in self._leaf_of.items():
             assert any(
                 entry.oid == oid for entry in leaf.entries
             ), f"leaf table points {oid!r} at the wrong leaf"
+            assert self._entry_of[oid] in leaf.entries, (
+                f"entry table points {oid!r} at a dead entry"
+            )
         assert set(self._leaf_of) == set(self._rect_of)
+        assert set(self._entry_of) == set(self._rect_of)
 
     def _validate_node(
         self, node: Node, bound: Rect | None, seen: dict[ObjectId, Rect]
@@ -468,6 +483,7 @@ class RStarTree:
                 child = entry.child
                 assert child is not None and entry.oid is None
                 assert child.parent is node, "broken parent pointer"
+                assert child.parent_entry is entry, "broken parent entry"
                 assert child.level == node.level - 1, "level skew"
                 assert entry.rect.contains_rect(child.mbr()), "loose child MBR"
                 self._validate_node(child, entry.rect, seen)

@@ -74,12 +74,17 @@ class Kernels:
     * ``kernels.batch_calls``    — invocations served by the NumPy path;
     * ``kernels.rows_scanned``   — rows processed by the NumPy path;
     * ``kernels.fallback_calls`` — invocations served by the scalar path
-      (explicit ``python`` backend, missing NumPy, or below-cutoff).
+      (explicit ``python`` backend, missing NumPy, or below-cutoff);
+    * ``kernels.fallback_rows``  — rows processed by the scalar path.
+      The ratio ``fallback_rows / (rows_scanned + fallback_rows)`` is the
+      number that matters for batching health: many tiny fallback calls
+      can be negligible by rows, and one huge fallback call can dominate.
     """
 
     __slots__ = (
         "backend", "min_rows", "_np", "_events",
         "_batch_calls", "_rows_scanned", "_fallback_calls",
+        "_fallback_rows",
     )
 
     def __init__(
@@ -96,14 +101,21 @@ class Kernels:
         self._batch_calls = registry.counter("kernels.batch_calls")
         self._rows_scanned = registry.counter("kernels.rows_scanned")
         self._fallback_calls = registry.counter("kernels.fallback_calls")
+        self._fallback_rows = registry.counter("kernels.fallback_rows")
 
     def _batch(self, n: int) -> bool:
-        """Whether to take the NumPy path for an ``n``-row call."""
+        """Whether to take the NumPy path for an ``n``-row call.
+
+        The cutoff is inclusive: a call with exactly ``min_rows`` rows
+        takes the vectorized path (``n >= self.min_rows``), on both
+        backends — pinned by ``test_min_rows_exact_cutoff_vectorises``.
+        """
         if self._np is not None and n >= self.min_rows:
             self._batch_calls.inc()
             self._rows_scanned.inc(n)
             return True
         self._fallback_calls.inc()
+        self._fallback_rows.inc(n)
         if self._events.enabled:
             self._events.emit(
                 "kernel_fallback", rows=n, backend=self.backend,
@@ -349,31 +361,32 @@ class Kernels:
             uhiy = np.maximum(hiy, rect.max_y)
             areas = (hix - lox) * (hiy - loy)
             enlargement = (uhix - ulox) * (uhiy - uloy) - areas
-
-            def pairwise(alox, aloy, ahix, ahiy):
-                w = np.minimum(ahix[:, None], hix[None, :]) - np.maximum(
-                    alox[:, None], lox[None, :]
-                )
-                h = np.minimum(ahiy[:, None], hiy[None, :]) - np.maximum(
-                    aloy[:, None], loy[None, :]
-                )
-                return np.where((w <= 0.0) | (h <= 0.0), 0.0, w * h)
-
-            grown = (
-                pairwise(ulox, uloy, uhix, uhiy)
-                - pairwise(lox, loy, hix, hiy)
+            # One stacked pairwise pass: rows 0..n-1 hold the union MBRs,
+            # rows n..2n-1 the originals, columns the siblings.  Every
+            # element evaluates the exact per-pair overlap expression of
+            # the scalar loop, so the difference of the two row blocks
+            # matches its per-sibling ``grown`` terms bit for bit.
+            slox = np.concatenate((ulox, lox))
+            sloy = np.concatenate((uloy, loy))
+            shix = np.concatenate((uhix, hix))
+            shiy = np.concatenate((uhiy, hiy))
+            w = np.minimum(shix[:, None], hix[None, :]) - np.maximum(
+                slox[:, None], lox[None, :]
             )
+            h = np.minimum(shiy[:, None], hiy[None, :]) - np.maximum(
+                sloy[:, None], loy[None, :]
+            )
+            ov = np.where((w <= 0.0) | (h <= 0.0), 0.0, w * h)
+            grown = ov[:n] - ov[n:]
             np.fill_diagonal(grown, 0.0)
             # Sequential row sums: matches the scalar left-to-right
             # accumulation bit for bit (the terms are >= 0, so skipping
             # the zero terms — as the scalar loop does — is a no-op).
             deltas = np.cumsum(grown, axis=1)[:, -1]
-            cand = np.flatnonzero(deltas == deltas.min())
-            e = enlargement[cand]
-            cand = cand[e == e.min()]
-            a = areas[cand]
-            cand = cand[a == a.min()]
-            return int(cand[0])
+            # Stable lexicographic argmin — first row at the minimum
+            # ``(overlap delta, enlargement, area)`` key, like the scalar
+            # scan's strict ``<`` comparisons.
+            return int(np.lexsort((areas, enlargement, deltas))[0])
         best = 0
         best_key = (math.inf, math.inf, math.inf)
         for i in range(n):
@@ -476,6 +489,225 @@ class Kernels:
             if lx2 <= 0.0 or ly2 <= 0.0 or lx1 >= width or ly1 >= height:
                 continue
             out.append((max(lx1, 0.0), max(ly1, 0.0)))
+        return out
+
+    # ------------------------------------------------------------------
+    # Tick-wide row kernels (gather -> dispatch -> scatter pipeline)
+    # ------------------------------------------------------------------
+    def affected_rows(
+        self,
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        nxs: Sequence[float],
+        nys: Sequence[float],
+        oxs: Sequence[float],
+        oys: Sequence[float],
+    ) -> tuple[list[bool], list[bool]]:
+        """Row-wise ``range_affected`` with a per-row point pair.
+
+        Unlike :meth:`range_affected` (one update against many rects),
+        every row here carries its own query rect *and* its own
+        new/old point pair, so a whole tick's (report x candidate range
+        query) work becomes one dispatch.  Returns ``(affected,
+        inside_new)`` masks; ``inside_new`` is scattered into
+        ``reevaluate_range`` so the membership flip needs no second
+        containment check.  Pure comparisons — no FP risk.
+        """
+        n = len(minxs)
+        if self._batch(n):
+            np = self._np
+            lox = np.asarray(minxs, dtype=np.float64)
+            loy = np.asarray(minys, dtype=np.float64)
+            hix = np.asarray(maxxs, dtype=np.float64)
+            hiy = np.asarray(maxys, dtype=np.float64)
+            nx = np.asarray(nxs, dtype=np.float64)
+            ny = np.asarray(nys, dtype=np.float64)
+            ox = np.asarray(oxs, dtype=np.float64)
+            oy = np.asarray(oys, dtype=np.float64)
+            inside_new = (lox <= nx) & (nx <= hix) & (loy <= ny) & (ny <= hiy)
+            inside_old = (lox <= ox) & (ox <= hix) & (loy <= oy) & (oy <= hiy)
+            return (inside_new != inside_old).tolist(), inside_new.tolist()
+        affected = []
+        inside = []
+        for i in range(n):
+            inside_new = (
+                minxs[i] <= nxs[i] <= maxxs[i]
+                and minys[i] <= nys[i] <= maxys[i]
+            )
+            inside_old = (
+                minxs[i] <= oxs[i] <= maxxs[i]
+                and minys[i] <= oys[i] <= maxys[i]
+            )
+            affected.append(inside_new != inside_old)
+            inside.append(inside_new)
+        return affected, inside
+
+    def quadrant_corners_rows(
+        self,
+        pxs: Sequence[float],
+        pys: Sequence[float],
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+        sxs: Sequence[float],
+        sys_: Sequence[float],
+        widths: Sequence[float],
+        heights: Sequence[float],
+    ) -> tuple[list[bool], list[float], list[float]]:
+        """Row-wise :meth:`quadrant_corners` with per-row point/sign/extent.
+
+        Each row is one (update, quadrant, obstacle) combination, so a
+        whole tick's Section 5.3 corner localisation becomes one
+        dispatch.  Returns parallel ``(keep, corner_x, corner_y)``
+        columns in input order; callers scatter kept corners back per
+        (update, quadrant) segment.  The sign-dependent subtractions are
+        computed per element exactly as the scalar branch orders them
+        (``np.where`` selects between elementwise expressions whose kept
+        lane performs the identical subtraction), and ``np.where(v >=
+        0.0, v, 0.0)`` replicates ``max(v, 0.0)`` including ``-0.0``.
+        """
+        n = len(minxs)
+        if self._batch(n):
+            np = self._np
+            px = np.asarray(pxs, dtype=np.float64)
+            py = np.asarray(pys, dtype=np.float64)
+            lox = np.asarray(minxs, dtype=np.float64)
+            loy = np.asarray(minys, dtype=np.float64)
+            hix = np.asarray(maxxs, dtype=np.float64)
+            hiy = np.asarray(maxys, dtype=np.float64)
+            xpos = np.asarray(sxs, dtype=np.float64) > 0
+            ypos = np.asarray(sys_, dtype=np.float64) > 0
+            lx1 = np.where(xpos, lox - px, px - hix)
+            lx2 = np.where(xpos, hix - px, px - lox)
+            ly1 = np.where(ypos, loy - py, py - hiy)
+            ly2 = np.where(ypos, hiy - py, py - loy)
+            keep = ~(
+                (lx2 <= 0.0) | (ly2 <= 0.0)
+                | (lx1 >= np.asarray(widths, dtype=np.float64))
+                | (ly1 >= np.asarray(heights, dtype=np.float64))
+            )
+            cx = np.where(lx1 >= 0.0, lx1, 0.0)
+            cy = np.where(ly1 >= 0.0, ly1, 0.0)
+            return keep.tolist(), cx.tolist(), cy.tolist()
+        keep = []
+        cxs = []
+        cys = []
+        for i in range(n):
+            if sxs[i] > 0:
+                lx1, lx2 = minxs[i] - pxs[i], maxxs[i] - pxs[i]
+            else:
+                lx1, lx2 = pxs[i] - maxxs[i], pxs[i] - minxs[i]
+            if sys_[i] > 0:
+                ly1, ly2 = minys[i] - pys[i], maxys[i] - pys[i]
+            else:
+                ly1, ly2 = pys[i] - maxys[i], pys[i] - minys[i]
+            keep.append(
+                not (
+                    lx2 <= 0.0 or ly2 <= 0.0
+                    or lx1 >= widths[i] or ly1 >= heights[i]
+                )
+            )
+            cxs.append(max(lx1, 0.0))
+            cys.append(max(ly1, 0.0))
+        return keep, cxs, cys
+
+    # ------------------------------------------------------------------
+    # Grouped kernels (one dispatch over many queries, query-id keyed)
+    # ------------------------------------------------------------------
+    def grouped_points_in_rects(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        minxs: Sequence[float],
+        minys: Sequence[float],
+        maxxs: Sequence[float],
+        maxys: Sequence[float],
+    ) -> list[list[bool]]:
+        """Containment of every point against every query rect.
+
+        One dispatch answers ``Q`` range queries over the same ``N``
+        point columns; ``out[q][i]`` is ``points_in_rect`` of point ``i``
+        against rect ``q``.  Counts ``Q * N`` rows.  Pure comparisons.
+        """
+        q = len(minxs)
+        n = len(xs)
+        if q == 0 or n == 0:
+            return [[False] * n for _ in range(q)]
+        if self._batch(q * n):
+            np = self._np
+            x = np.asarray(xs, dtype=np.float64)[None, :]
+            y = np.asarray(ys, dtype=np.float64)[None, :]
+            lox = np.asarray(minxs, dtype=np.float64)[:, None]
+            loy = np.asarray(minys, dtype=np.float64)[:, None]
+            hix = np.asarray(maxxs, dtype=np.float64)[:, None]
+            hiy = np.asarray(maxys, dtype=np.float64)[:, None]
+            mask = (x >= lox) & (x <= hix) & (y >= loy) & (y <= hiy)
+            return [row.tolist() for row in mask]
+        return [
+            [
+                minxs[j] <= xs[i] <= maxxs[j]
+                and minys[j] <= ys[i] <= maxys[j]
+                for i in range(n)
+            ]
+            for j in range(q)
+        ]
+
+    def grouped_top_k(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        qxs: Sequence[float],
+        qys: Sequence[float],
+        ks: Sequence[int],
+    ) -> list[list[int]]:
+        """Segment-reduced :meth:`top_k_rows` for many centres at once.
+
+        ``out[q]`` lists the rows of the ``ks[q]`` nearest points to
+        ``(qxs[q], qys[q])`` ordered by ``(d2, row)`` — identical to a
+        per-centre ``top_k_rows`` call.  The distance matrix uses the
+        same elementwise ``dx*dx + dy*dy`` arithmetic, and a stable
+        argsort reproduces the ``(d2, row)`` tie order exactly.  Counts
+        ``Q * N`` rows.
+        """
+        q = len(qxs)
+        n = len(xs)
+        if q == 0:
+            return []
+        if n == 0:
+            return [[] for _ in range(q)]
+        if self._batch(q * n):
+            np = self._np
+            dx = np.asarray(xs, dtype=np.float64)[None, :] - np.asarray(
+                qxs, dtype=np.float64
+            )[:, None]
+            dy = np.asarray(ys, dtype=np.float64)[None, :] - np.asarray(
+                qys, dtype=np.float64
+            )[:, None]
+            d2 = dx * dx + dy * dy
+            order = np.argsort(d2, axis=1, kind="stable")
+            return [
+                order[j, : min(ks[j], n)].tolist() if ks[j] > 0 else []
+                for j in range(q)
+            ]
+        out = []
+        for j in range(q):
+            if ks[j] <= 0:
+                out.append([])
+                continue
+            cx, cy = qxs[j], qys[j]
+            d2 = []
+            for i in range(n):
+                dx = xs[i] - cx
+                dy = ys[i] - cy
+                d2.append(dx * dx + dy * dy)
+            out.append(
+                heapq.nsmallest(
+                    min(ks[j], n), range(n), key=lambda i: (d2[i], i)
+                )
+            )
         return out
 
     # ------------------------------------------------------------------

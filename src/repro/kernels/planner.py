@@ -1,0 +1,260 @@
+"""Tick-wide kernel work planner: gather -> dispatch -> scatter.
+
+Per-update kernel calls starve the batch backends: a single report sees
+a handful of candidate queries and a handful of safe-region obstacles,
+so almost every call lands under ``Kernels.min_rows`` and runs the
+scalar fallback (``kernels.fallback_rows``).  The planner fixes the
+shape of the work instead of the cutoff: before a batch of same-tick
+reports is processed, the server *gathers* every predictable work item
+across the whole tick into :class:`~repro.kernels.store.ColumnBuffer`
+columns — range-affected membership flips (one row per report x
+candidate range query) and Section 5.3 safe-region corner candidates
+(one row per report x quadrant x obstacle) — then *dispatches* each
+work class as one large kernel call, and *scatters* the verdicts into a
+:class:`TickPlan` keyed by object id.
+
+The per-report code paths then *consume* the plan instead of
+recomputing: each entry is validated against the live state it was
+planned from (``Point`` identity of the new/old positions, cell
+generations, obstacle counts) and silently ignored on any mismatch —
+a probe or quarantine move between planning and consumption simply
+sends that report down the unplanned path, which computes the identical
+result inline.  Both paths run the same kernel arithmetic and the same
+scalar combination code, so planned and unplanned executions are
+bit-identical by construction and the 200-tick replay equivalence pins
+hold with the planner on or off.
+
+Counters (all under ``kernels.planner.*``, visible in ``repro stats``):
+
+* ``plans``           — batches planned;
+* ``rows_gathered``   — column rows accumulated across all work classes;
+* ``dispatches``      — kernel dispatches issued by ``finish()``;
+* ``scatter_seconds`` — wall time spent scattering verdicts back out
+  (only measured when a metrics registry is attached).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Hashable
+
+from repro.kernels.store import ColumnBuffer
+from repro.obs import NULL_REGISTRY
+
+ObjectId = Hashable
+
+#: Quadrant sign pairs, kept in lockstep with ``repro.core.batch._QUADRANTS``
+#: (asserted at first use — the scatter phase feeds its corners into the
+#: same staircase/greedy code the unplanned path runs).
+_QUADRANT_SIGNS = ((1.0, 1.0), (1.0, -1.0), (-1.0, -1.0), (-1.0, 1.0))
+
+
+class TickPlan:
+    """Scattered verdicts of one planned tick, consumed entry by entry.
+
+    Entries are handed out at most once (``take_*`` pops) and only when
+    the caller's live arguments still match what was planned; ``None``
+    means "not planned / stale — compute inline".
+    """
+
+    __slots__ = ("affected", "regions")
+
+    def __init__(self) -> None:
+        #: oid -> (pos, prev, ordered candidates, cells, generations,
+        #:         {query_id: (affected, inside_new)})
+        self.affected: dict = {}
+        #: oid -> (pos, cell_id, n_obstacles, region)
+        self.regions: dict = {}
+
+    def take_affected(self, oid: ObjectId, position, previous, grid):
+        """Planned candidate set + range verdicts for one report.
+
+        Returns ``(ordered_candidates, verdicts)`` or ``None``.  Valid
+        only while the report's position objects are the ones planned
+        from (identity, not equality — an interleaved probe rewrites
+        ``p_lst`` to a *different* object) and both involved cells still
+        carry their planned generations (a quarantine move between
+        planning and consumption changes the candidate set).
+        """
+        entry = self.affected.pop(oid, None)
+        if entry is None:
+            return None
+        pos, prev, ordered, cells, gens, verdicts = entry
+        if position is not pos or previous is not prev:
+            return None
+        for cell, gen in zip(cells, gens):
+            if grid.cell_generation(cell) != gen:
+                return None
+        return ordered, verdicts
+
+    def take_range_region(self, oid: ObjectId, position, cell_id):
+        """Planned Section 5.3 staircase union for one report.
+
+        Returns ``(n_obstacles, region)`` or ``None``; the caller
+        (``compute_safe_region``) only uses the region when its own
+        obstacle collection matches ``n_obstacles``.
+        """
+        entry = self.regions.pop(oid, None)
+        if entry is None:
+            return None
+        pos, planned_cell, n_obstacles, region = entry
+        if position is not pos or cell_id != planned_cell:
+            return None
+        return n_obstacles, region
+
+
+class TickPlanner:
+    """Accumulates one tick's kernel work and dispatches it in bulk."""
+
+    __slots__ = (
+        "kernels", "_metrics_on",
+        "_m_plans", "_m_rows", "_m_dispatches", "_m_scatter",
+        "_aff_buf", "_aff_segments", "_cor_buf", "_reg_segments",
+    )
+
+    def __init__(self, kernels, metrics=None) -> None:
+        self.kernels = kernels
+        registry = NULL_REGISTRY if metrics is None else metrics
+        self._metrics_on = registry.enabled
+        self._m_plans = registry.counter("kernels.planner.plans")
+        self._m_rows = registry.counter("kernels.planner.rows_gathered")
+        self._m_dispatches = registry.counter("kernels.planner.dispatches")
+        self._m_scatter = registry.counter("kernels.planner.scatter_seconds")
+        # Range-affected rows: one per (report, candidate range query).
+        # Columns: rect min/max, new point, old point.
+        self._aff_buf = ColumnBuffer(8)
+        self._aff_segments: list = []
+        # Corner rows: one per (report, quadrant, obstacle).  Columns:
+        # point, obstacle rect min/max, quadrant signs, local extents.
+        self._cor_buf = ColumnBuffer(10)
+        self._reg_segments: list = []
+
+    def begin(self) -> None:
+        """Reset the gather buffers for a new tick."""
+        self._aff_buf.clear()
+        self._aff_segments.clear()
+        self._cor_buf.clear()
+        self._reg_segments.clear()
+
+    def add_affected(
+        self, oid: ObjectId, position, previous,
+        ordered_candidates: tuple, range_queries: list,
+        cells: tuple, generations: tuple,
+    ) -> None:
+        """Gather one report's range-affected work.
+
+        ``ordered_candidates`` is the full ``query_id``-sorted candidate
+        tuple (all query types — stored so consumption skips the grid
+        lookup); ``range_queries`` its plain-``RangeQuery`` members whose
+        membership flips go through the kernel.
+        """
+        c0, c1, c2, c3, c4, c5, c6, c7 = self._aff_buf.columns()
+        nx, ny = position.x, position.y
+        ox, oy = previous.x, previous.y
+        for query in range_queries:
+            rect = query.rect
+            c0.append(rect.min_x)
+            c1.append(rect.min_y)
+            c2.append(rect.max_x)
+            c3.append(rect.max_y)
+            c4.append(nx)
+            c5.append(ny)
+            c6.append(ox)
+            c7.append(oy)
+        self._aff_segments.append((
+            oid, position, previous, ordered_candidates,
+            [q.query_id for q in range_queries], cells, generations,
+        ))
+
+    def add_region(
+        self, oid: ObjectId, position, cell_id, cell,
+        extents: list, obstacles: list,
+    ) -> None:
+        """Gather one report's Section 5.3 corner-candidate work.
+
+        ``extents`` are the four quadrant ``(width, height)`` pairs from
+        ``repro.core.batch.quadrant_extents``; ``obstacles`` the rects
+        ``collect_range_obstacles`` found for ``position``.
+        """
+        c0, c1, c2, c3, c4, c5, c6, c7, c8, c9 = self._cor_buf.columns()
+        px, py = position.x, position.y
+        for (sx, sy), (width, height) in zip(_QUADRANT_SIGNS, extents):
+            for rect in obstacles:
+                c0.append(px)
+                c1.append(py)
+                c2.append(rect.min_x)
+                c3.append(rect.min_y)
+                c4.append(rect.max_x)
+                c5.append(rect.max_y)
+                c6.append(sx)
+                c7.append(sy)
+                c8.append(width)
+                c9.append(height)
+        self._reg_segments.append(
+            (oid, position, cell_id, cell, extents, len(obstacles))
+        )
+
+    def finish(self) -> TickPlan:
+        """Dispatch every gathered work class and scatter the verdicts."""
+        # The staircase/greedy combination is shared with the unplanned
+        # path — imported from core lazily to keep repro.kernels
+        # importable without repro.core.
+        from repro.core.batch import (
+            _QUADRANTS,
+            combine_components,
+            staircase_corners,
+        )
+
+        assert _QUADRANTS == _QUADRANT_SIGNS
+
+        plan = TickPlan()
+        rows = len(self._aff_buf) + len(self._cor_buf)
+        self._m_plans.inc()
+        if rows:
+            self._m_rows.inc(rows)
+
+        if self._aff_segments:
+            affected, inside = self.kernels.affected_rows(
+                *self._aff_buf.columns()
+            )
+            self._m_dispatches.inc()
+            t0 = perf_counter() if self._metrics_on else 0.0
+            offset = 0
+            for (
+                oid, pos, prev, ordered, qids, cells, gens
+            ) in self._aff_segments:
+                verdicts = {}
+                for qid in qids:
+                    verdicts[qid] = (affected[offset], inside[offset])
+                    offset += 1
+                plan.affected[oid] = (pos, prev, ordered, cells, gens, verdicts)
+            if self._metrics_on:
+                self._m_scatter.inc(perf_counter() - t0)
+
+        if self._reg_segments:
+            keep, cxs, cys = self.kernels.quadrant_corners_rows(
+                *self._cor_buf.columns()
+            )
+            self._m_dispatches.inc()
+            t0 = perf_counter() if self._metrics_on else 0.0
+            offset = 0
+            for oid, pos, cell_id, cell, extents, n_obstacles in (
+                self._reg_segments
+            ):
+                component_sets = []
+                for width, height in extents:
+                    blockers = []
+                    for _ in range(n_obstacles):
+                        if keep[offset]:
+                            blockers.append((cxs[offset], cys[offset]))
+                        offset += 1
+                    component_sets.append(
+                        staircase_corners(blockers, width, height)
+                    )
+                region = combine_components(pos, cell, component_sets)
+                plan.regions[oid] = (pos, cell_id, n_obstacles, region)
+            if self._metrics_on:
+                self._m_scatter.inc(perf_counter() - t0)
+
+        self.begin()
+        return plan

@@ -27,6 +27,9 @@ DEFAULT_SERIES: tuple[str, ...] = (
     "grid.cache.misses",
     "kernels.batch_calls",
     "kernels.fallback_calls",
+    "kernels.fallback_rows",
+    "kernels.planner.plans",
+    "kernels.planner.rows_gathered",
     "grid.occupied_cells",
     "rstar.height",
     "rstar.nodes",

@@ -132,26 +132,39 @@ class ShardBackend:
         Returns per-op outcomes (in order), the refreshed partials of
         every query the ops may have touched, and the compute seconds
         the batch cost this shard.
+
+        The stream's location updates are pre-planned through the
+        server's tick planner (``DatabaseServer.planned_tick``): their
+        predictable kernel work is gathered and dispatched in one
+        columnar pass up front, and each per-op call consumes its
+        verdicts where still valid.  The coordinator needs per-op
+        outcomes, so the ops themselves still run one by one — results
+        are bit-identical either way (the shard-equivalence pin in
+        ``benchmarks/test_shards_bench.py`` holds the proof).
         """
         start = _time.process_time()
         outcomes = []
         touched: set[ObjectId] = set()
-        for op in ops:
-            kind, oid = op[0], op[1]
-            if kind == "update":
-                outcome = self.server.handle_location_update(
-                    oid, Point(*op[2]), time
-                )
-            elif kind == "add":
-                outcome = self.server.add_object(oid, Point(*op[2]), time)
-            elif kind == "evict":
-                outcome = self.server.evict_object(oid, time)
-            else:
-                raise ValueError(f"unknown shard op {kind!r}")
-            outcomes.append(outcome)
-            touched.add(oid)
-            touched.update(outcome.probed)
-            touched.update(outcome.missed)
+        updates = [
+            (op[1], Point(*op[2])) for op in ops if op[0] == "update"
+        ]
+        with self.server.planned_tick(updates, time):
+            for op in ops:
+                kind, oid = op[0], op[1]
+                if kind == "update":
+                    outcome = self.server.handle_location_update(
+                        oid, Point(*op[2]), time
+                    )
+                elif kind == "add":
+                    outcome = self.server.add_object(oid, Point(*op[2]), time)
+                elif kind == "evict":
+                    outcome = self.server.evict_object(oid, time)
+                else:
+                    raise ValueError(f"unknown shard op {kind!r}")
+                outcomes.append(outcome)
+                touched.add(oid)
+                touched.update(outcome.probed)
+                touched.update(outcome.missed)
         partials = self._affected_partials(touched, outcomes)
         self.busy_seconds += _time.process_time() - start
         return {

@@ -72,32 +72,50 @@ class GroundTruth:
         if cached is not None:
             return cached
         xs, ys = self.positions_at(t)
+        ranges = [q for q in self.queries if isinstance(q, RangeQuery)]
+        knns = [q for q in self.queries if isinstance(q, KNNQuery)]
+        unsupported = len(ranges) + len(knns) - len(self.queries)
+        if unsupported:  # pragma: no cover
+            bad = next(
+                q for q in self.queries
+                if not isinstance(q, (RangeQuery, KNNQuery))
+            )
+            raise TypeError(f"unsupported query type: {type(bad).__name__}")
         results: dict[str, Snapshot] = {}
-        for query in self.queries:
-            if isinstance(query, RangeQuery):
-                mask = self.kernels.points_in_rect(xs, ys, query.rect)
+        # One grouped containment dispatch answers every range query and
+        # one grouped top-k dispatch every kNN query — the checkpoint
+        # cost no longer scales kernel-call overhead with query count.
+        if ranges:
+            masks = self.kernels.grouped_points_in_rects(
+                xs, ys,
+                [q.rect.min_x for q in ranges],
+                [q.rect.min_y for q in ranges],
+                [q.rect.max_x for q in ranges],
+                [q.rect.max_y for q in ranges],
+            )
+            for query, mask in zip(ranges, masks):
                 results[query.query_id] = frozenset(
                     oid for oid, inside in zip(self._ids, mask) if inside
                 )
-            elif isinstance(query, KNNQuery):
-                results[query.query_id] = self._knn_at(query, xs, ys)
-            else:  # pragma: no cover
-                raise TypeError(f"unsupported query type: {type(query).__name__}")
+        if knns:
+            tops = self.kernels.grouped_top_k(
+                xs, ys,
+                [q.center.x for q in knns],
+                [q.center.y for q in knns],
+                [q.k for q in knns],
+            )
+            for query, top in zip(knns, tops):
+                if not top:
+                    results[query.query_id] = (
+                        () if query.order_sensitive else frozenset()
+                    )
+                    continue
+                ids = tuple(self._ids[row] for row in top)
+                results[query.query_id] = (
+                    ids if query.order_sensitive else frozenset(ids)
+                )
         self._memo[t] = results
         return results
-
-    def _knn_at(
-        self, query: KNNQuery, xs: np.ndarray, ys: np.ndarray
-    ) -> Snapshot:
-        top = self.kernels.top_k_rows(
-            xs, ys, query.center.x, query.center.y, query.k
-        )
-        if not top:
-            return () if query.order_sensitive else frozenset()
-        ids = tuple(self._ids[row] for row in top)
-        if query.order_sensitive:
-            return ids
-        return frozenset(ids)
 
 
 def opt_update_count(

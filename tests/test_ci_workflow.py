@@ -167,6 +167,15 @@ def test_bench_kernels_runs_both_backends_and_gates_on_equivalence(workflow):
     # A dedicated step re-reads the emitted JSON and exits non-zero when
     # the backend A/B diverged — the job cannot go green on a mismatch.
     assert any("d['equivalent']" in run for run in runs)
+    # The committed baseline itself is integrity-checked: a full-run
+    # artifact with equivalent backends and a scalar-fallback row share
+    # under the documented 10% cap.
+    assert any(
+        "BENCH_kernels_baseline.json" in run
+        and "fallback_rows" in run
+        and "ratio < 0.10" in run
+        for run in runs
+    )
     uploads = _primary_uploads(job)
     assert len(uploads) == 1
     assert uploads[0]["with"]["path"] == (

@@ -208,6 +208,50 @@ class TestBackendPlumbing:
         assert counters["kernels.fallback_calls"] == 1
         assert counters.get("kernels.batch_calls", 0) == 0
 
+    @pytest.mark.parametrize("min_rows", [1, 2, 8, 17])
+    def test_min_rows_exact_cutoff_vectorises(self, min_rows):
+        """The cutoff is inclusive: exactly ``min_rows`` rows vectorise.
+
+        Pins the comparison in ``Kernels._batch`` (``n >= min_rows``) on
+        both sides of the boundary, with the per-call row counters —
+        ``n == min_rows`` must batch, ``n == min_rows - 1`` must fall
+        back, and the results must be identical either way.
+        """
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kernels = Kernels("numpy", metrics=registry, min_rows=min_rows)
+        at = [float(i) for i in range(min_rows)]
+        assert kernels.mask_leq(at, float(min_rows)) == PY_K.mask_leq(
+            at, float(min_rows)
+        )
+        counters = registry.to_dict()["counters"]
+        assert counters["kernels.batch_calls"] == 1
+        assert counters["kernels.rows_scanned"] == min_rows
+        assert counters.get("kernels.fallback_calls", 0) == 0
+        assert counters.get("kernels.fallback_rows", 0) == 0
+
+        if min_rows > 1:
+            below = at[:-1]
+            assert kernels.mask_leq(below, 1.0) == PY_K.mask_leq(below, 1.0)
+            counters = registry.to_dict()["counters"]
+            assert counters["kernels.batch_calls"] == 1  # unchanged
+            assert counters["kernels.fallback_calls"] == 1
+            assert counters["kernels.fallback_rows"] == min_rows - 1
+
+    def test_fallback_rows_accumulate_per_call(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        kernels = Kernels("numpy", metrics=registry, min_rows=8)
+        for n in (2, 3):  # two scalar calls, 5 rows total
+            kernels.mask_leq([0.0] * n, 1.0)
+        kernels.mask_leq([0.0] * 9, 1.0)  # one vectorised call
+        counters = registry.to_dict()["counters"]
+        assert counters["kernels.fallback_calls"] == 2
+        assert counters["kernels.fallback_rows"] == 5
+        assert counters["kernels.rows_scanned"] == 9
+
 
 class TestPositionStore:
     def test_set_move_discard_swap_remove(self):

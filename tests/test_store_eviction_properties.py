@@ -1,0 +1,92 @@
+"""Property test: PositionStore swap-remove × ``DatabaseServer.evict_object``.
+
+The columnar position store deletes by swapping the last row into the
+vacated slot, so every eviction permutes row order.  The server relies
+on the store staying a *dense, exact* mirror of its object table through
+any interleaving of adds, moves, and evictions — including the probe
+ingests that ``evict_object`` triggers while refilling kNN results that
+referenced the evicted object.  This test drives random op sequences
+through a live server (queries registered, so evictions do real repair
+work) and checks the mirror invariant after every operation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.geometry import Point, Rect
+
+OIDS = [f"o{i}" for i in range(8)]
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+# kind: 0 = add (or move if present), 1 = update (noop if absent),
+#       2 = evict (noop if absent)
+ops_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=len(OIDS) - 1),
+              unit, unit),
+    min_size=1, max_size=50,
+)
+
+
+def _check_mirror(server: DatabaseServer) -> None:
+    """The store is a dense, exact mirror of the object table."""
+    store = server.positions
+    objects = server._objects
+    assert len(store) == len(objects)
+    assert set(store) == set(objects)
+    for oid, state in objects.items():
+        assert store.get(oid) == (state.p_lst.x, state.p_lst.y)
+    # Row order is permuted by swap-removes but the columns must stay
+    # aligned with the id list.
+    xs, ys = store.columns()
+    assert dict(zip(store.ids, zip(list(xs), list(ys)))) == {
+        oid: (state.p_lst.x, state.p_lst.y)
+        for oid, state in objects.items()
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=ops_strategy)
+def test_store_mirrors_object_table_through_evictions(ops):
+    live: dict[str, Point] = {}
+    server = DatabaseServer(
+        lambda oid: live[oid], ServerConfig(grid_m=4)
+    )
+    # Real queries make evictions do repair work: a kNN refill probes
+    # surviving objects, whose positions re-ingest through the store.
+    server.register_query(
+        RangeQuery(Rect(0.2, 0.2, 0.8, 0.8), query_id="r0"), time=0.0
+    )
+    server.register_query(
+        KNNQuery(Point(0.5, 0.5), 2, query_id="k0"), time=0.0
+    )
+
+    clock = 0.0
+    for kind, idx, x, y in ops:
+        clock += 1.0
+        oid = OIDS[idx]
+        p = Point(x, y)
+        if kind == 0:
+            live[oid] = p
+            if oid in server._objects:
+                server.handle_location_update(oid, p, time=clock)
+            else:
+                server.add_object(oid, p, time=clock)
+        elif kind == 1 and oid in server._objects:
+            live[oid] = p
+            server.handle_location_update(oid, p, time=clock)
+        elif kind == 2 and oid in server._objects:
+            server.evict_object(oid, time=clock)
+            live.pop(oid, None)
+        _check_mirror(server)
+
+    server.validate()
+
+
+def test_evicting_unknown_object_raises():
+    server = DatabaseServer(lambda oid: Point(0.0, 0.0), ServerConfig())
+    with pytest.raises(KeyError):
+        server.evict_object("ghost", time=0.0)

@@ -1,0 +1,269 @@
+"""Unit tests for the tick-wide kernel planner (repro.kernels.planner).
+
+The planner is the gather → dispatch → scatter pipeline behind
+``DatabaseServer.handle_location_updates`` (docs/PERFORMANCE.md).  These
+tests pin its contract pieces in isolation: the ``kernels.planner.*``
+counters, the take-time validation that keeps planned and unplanned
+executions bit-identical, the bulk-path gating (an enabled event stream
+must disable planning entirely), and the public ``planned_tick``
+context manager the sharded backend drives per-op streams through.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
+from repro.core.batch import batch_range_safe_region, quadrant_extents
+from repro.geometry import Point, Rect
+from repro.kernels import Kernels, TickPlanner
+from repro.obs import EventLog, MetricsRegistry
+
+
+class _StubGrid:
+    """Just enough grid for ``TickPlan.take_affected`` validation."""
+
+    def __init__(self, generations):
+        self._generations = dict(generations)
+
+    def cell_generation(self, cell):
+        return self._generations.get(cell, 0)
+
+
+def _plan_one(planner, oid, position, previous, queries,
+              cells=(3,), generations=(0,)):
+    planner.begin()
+    planner.add_affected(
+        oid, position, previous, tuple(queries), list(queries),
+        cells, generations,
+    )
+    return planner.finish()
+
+
+class TestPlannerCounters:
+    def test_counts_plans_rows_and_dispatches(self):
+        registry = MetricsRegistry()
+        planner = TickPlanner(Kernels("numpy"), metrics=registry)
+        q = RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="r0")
+        _plan_one(planner, "a", Point(0.3, 0.3), Point(0.1, 0.1), [q])
+        counters = registry.to_dict()["counters"]
+        assert counters["kernels.planner.plans"] == 1
+        assert counters["kernels.planner.rows_gathered"] == 1
+        assert counters["kernels.planner.dispatches"] == 1
+
+    def test_region_work_is_a_second_dispatch(self):
+        registry = MetricsRegistry()
+        planner = TickPlanner(Kernels("numpy"), metrics=registry)
+        q = RangeQuery(Rect(0.5, 0.5, 0.7, 0.7), query_id="r0")
+        p = Point(0.2, 0.2)
+        cell = Rect(0.0, 0.0, 1.0, 1.0)
+        planner.begin()
+        planner.add_affected(
+            "a", p, Point(0.1, 0.1), (q,), [q], (0,), (0,)
+        )
+        planner.add_region(
+            "a", p, 0, cell, quadrant_extents(p, cell), [q.rect]
+        )
+        planner.finish()
+        counters = registry.to_dict()["counters"]
+        assert counters["kernels.planner.dispatches"] == 2
+        # 1 affected row + 4 quadrants x 1 obstacle corner rows.
+        assert counters["kernels.planner.rows_gathered"] == 5
+
+
+class TestTakeValidation:
+    def test_verdicts_match_scalar_is_affected_by(self):
+        planner = TickPlanner(Kernels("numpy"))
+        q_in = RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="rin")
+        q_out = RangeQuery(Rect(0.8, 0.8, 0.9, 0.9), query_id="rout")
+        pos, prev = Point(0.3, 0.3), Point(0.1, 0.1)
+        plan = _plan_one(planner, "a", pos, prev, [q_in, q_out])
+        taken = plan.take_affected("a", pos, prev, _StubGrid({3: 0}))
+        assert taken is not None
+        ordered, verdicts = taken
+        assert ordered == (q_in, q_out)
+        for q in (q_in, q_out):
+            affected, inside = verdicts[q.query_id]
+            assert affected == q.is_affected_by(pos, prev)
+            assert inside == q.rect.contains_point(pos)
+
+    def test_entries_pop_once(self):
+        planner = TickPlanner(Kernels("numpy"))
+        q = RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="r0")
+        pos, prev = Point(0.3, 0.3), Point(0.1, 0.1)
+        plan = _plan_one(planner, "a", pos, prev, [q])
+        grid = _StubGrid({3: 0})
+        assert plan.take_affected("a", pos, prev, grid) is not None
+        assert plan.take_affected("a", pos, prev, grid) is None
+
+    def test_position_identity_not_equality(self):
+        planner = TickPlanner(Kernels("numpy"))
+        q = RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="r0")
+        pos, prev = Point(0.3, 0.3), Point(0.1, 0.1)
+        plan = _plan_one(planner, "a", pos, prev, [q])
+        # An equal but distinct Point means an interleaved op rewrote
+        # the state — the entry must be rejected, not resold.
+        assert plan.take_affected(
+            "a", Point(0.3, 0.3), prev, _StubGrid({3: 0})
+        ) is None
+
+    def test_stale_generation_rejects(self):
+        planner = TickPlanner(Kernels("numpy"))
+        q = RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="r0")
+        pos, prev = Point(0.3, 0.3), Point(0.1, 0.1)
+        plan = _plan_one(
+            planner, "a", pos, prev, [q], cells=(3,), generations=(0,)
+        )
+        # A quarantine move bumped the cell's generation after planning.
+        assert plan.take_affected("a", pos, prev, _StubGrid({3: 1})) is None
+
+    def test_region_matches_unplanned_staircase(self):
+        planner = TickPlanner(Kernels("numpy"))
+        p = Point(0.41, 0.37)
+        cell = Rect(0.25, 0.25, 0.5, 0.5)
+        obstacles = [
+            Rect(0.30, 0.30, 0.35, 0.35),
+            Rect(0.44, 0.40, 0.48, 0.49),
+        ]
+        planner.begin()
+        planner.add_region(
+            "a", p, 7, cell, quadrant_extents(p, cell), obstacles
+        )
+        plan = planner.finish()
+        taken = plan.take_range_region("a", p, 7)
+        assert taken is not None
+        n_obstacles, region = taken
+        assert n_obstacles == len(obstacles)
+        assert region == batch_range_safe_region(p, cell, obstacles, None)
+        # Wrong cell id (a mid-tick move) rejects; entries pop once.
+        assert plan.take_range_region("a", p, 8) is None
+        assert plan.take_range_region("a", p, 7) is None
+
+
+def _world(events=None, metrics=None):
+    rng = random.Random(11)
+    live = {
+        f"o{i}": Point(rng.random(), rng.random()) for i in range(40)
+    }
+    server = DatabaseServer(
+        lambda oid: live[oid], ServerConfig(grid_m=5),
+        metrics=metrics, events=events,
+    )
+    server.load_objects(live.items())
+    server.register_query(
+        RangeQuery(Rect(0.1, 0.1, 0.6, 0.6), query_id="r0"), time=0.0
+    )
+    server.register_query(
+        KNNQuery(Point(0.5, 0.5), 3, query_id="k0"), time=0.0
+    )
+    return live, server, rng
+
+
+def _batches(live, rng, ticks=6, movers=12):
+    out = []
+    for _ in range(ticks):
+        batch = []
+        for oid in rng.sample(sorted(live), movers):
+            p = live[oid]
+            q = Point(
+                min(max(p.x + rng.gauss(0.0, 0.05), 0.0), 1.0),
+                min(max(p.y + rng.gauss(0.0, 0.05), 0.0), 1.0),
+            )
+            live[oid] = q
+            batch.append((oid, q))
+        out.append(batch)
+    return out
+
+
+class TestBulkGating:
+    def test_batches_plan_when_cleanly_orderable(self):
+        registry = MetricsRegistry()
+        live, server, rng = _world(metrics=registry)
+        clock = 0.0
+        for batch in _batches(live, rng):
+            clock += 1.0
+            server.handle_location_updates(batch, time=clock)
+        counters = registry.to_dict()["counters"]
+        assert counters["kernels.planner.plans"] > 0
+        assert counters["kernels.planner.rows_gathered"] > 0
+
+    def test_enabled_event_stream_disables_planning(self):
+        # The event stream documents per-report causality; the bulk
+        # pipeline elides per-report scaffolding, so it must stand down.
+        registry = MetricsRegistry()
+        events = EventLog()
+        live, server, rng = _world(events=events, metrics=registry)
+        clock = 0.0
+        for batch in _batches(live, rng):
+            clock += 1.0
+            server.handle_location_updates(batch, time=clock)
+        counters = registry.to_dict()["counters"]
+        assert counters.get("kernels.planner.plans", 0) == 0
+
+
+class TestPlannedTickContext:
+    def test_installs_and_clears_the_plan(self):
+        live, server, rng = _world()
+        # A report into a query-holding cell always has plannable work.
+        oid = sorted(live)[0]
+        with server.planned_tick([(oid, Point(0.3, 0.3))], time=1.0):
+            assert server._tick_plan is not None
+        assert server._tick_plan is None
+
+    def test_duplicate_ids_skip_planning(self):
+        live, server, rng = _world()
+        oid = sorted(live)[0]
+        reports = [(oid, Point(0.3, 0.3)), (oid, Point(0.4, 0.4))]
+        with server.planned_tick(reports, time=1.0):
+            assert server._tick_plan is None
+
+    def test_non_monotone_time_skips_planning(self):
+        live, server, rng = _world()
+        reports = _batches(live, rng, ticks=1)[0]
+        server.handle_location_updates([], time=5.0)
+        server._clock = 5.0
+        with server.planned_tick(reports, time=1.0):
+            assert server._tick_plan is None
+
+    def test_per_op_replay_matches_unplanned(self):
+        """Driving reports one by one under ``planned_tick`` is
+        bit-identical to the plain sequential path — the guarantee the
+        sharded backend's op-stream batching rests on."""
+        live_a, server_a, _ = _world()
+        live_b, server_b, _ = _world()
+        # One shared update stream, generated apart from both oracles so
+        # each server sees positions advance tick by tick.
+        plan_live = dict(live_a)
+        batches = _batches(plan_live, random.Random(99))
+        clock = 0.0
+        for batch in batches:
+            clock += 1.0
+            live_a.update(batch)
+            live_b.update(batch)
+            outcomes_a = []
+            with server_a.planned_tick(batch, time=clock):
+                for oid, p in batch:
+                    outcomes_a.append(
+                        server_a.handle_location_update(oid, p, clock)
+                    )
+            outcomes_b = [
+                server_b.handle_location_update(oid, p, clock)
+                for oid, p in batch
+            ]
+            for oa, ob in zip(outcomes_a, outcomes_b):
+                assert oa.safe_region == ob.safe_region
+                assert oa.probed == ob.probed
+                assert [
+                    (c.query_id, c.old, c.new) for c in oa.changes
+                ] == [(c.query_id, c.old, c.new) for c in ob.changes]
+        snap_a = {
+            q.query_id: q.result_snapshot() for q in server_a.queries()
+        }
+        snap_b = {
+            q.query_id: q.result_snapshot() for q in server_b.queries()
+        }
+        assert snap_a == snap_b
+        assert (
+            server_a.stats.queries_checked
+            == server_b.stats.queries_checked
+        )
