@@ -3,10 +3,11 @@
 Usage::
 
     python benchmarks/check_regression.py FRESH BASELINE [--tolerance 0.2]
+    python benchmarks/check_regression.py --trajectory TRAJECTORY.json
 
-Compares every ``updates_per_sec`` field (recursively, addressed by its
-JSON path) between a freshly produced ``BENCH_*.json`` and the committed
-baseline.  Exit codes:
+Two-file mode compares every ``updates_per_sec`` field (recursively,
+addressed by its JSON path) between a freshly produced ``BENCH_*.json``
+and the committed baseline.  Exit codes:
 
 * 0 — every fresh throughput is within ``tolerance`` of its baseline,
   or the gate was skipped because the two documents came from different
@@ -18,6 +19,13 @@ baseline.  Exit codes:
 
 An *improvement* beyond the tolerance is reported but does not fail:
 it is a prompt to refresh the committed baseline, not an error.
+
+``--trajectory`` mode reads the tracked perf trajectory
+(``benchmarks/results/BENCH_trajectory.json``, appended by each full
+bench run: one ``{date, commit, figure, updates_per_sec}`` entry per
+figure and commit), renders each figure's history as an ASCII plot,
+and fails if any figure's newest entry fell more than ``tolerance``
+below the best of its earlier entries.
 """
 
 from __future__ import annotations
@@ -89,18 +97,81 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> tuple[int, list[str]
     return code, messages
 
 
+def check_trajectory(
+    entries: list[dict], tolerance: float
+) -> tuple[int, list[str]]:
+    """Gate each figure's newest trajectory entry; render its history.
+
+    The baseline is the *best* earlier entry, not the previous one — a
+    slow drift split over several commits must not slip under a
+    per-step tolerance.
+    """
+    by_figure: dict[str, list[dict]] = {}
+    for entry in entries:
+        by_figure.setdefault(entry["figure"], []).append(entry)
+    messages: list[str] = []
+    code = 0
+    width = 40
+    for figure, history in sorted(by_figure.items()):
+        rates = [e["updates_per_sec"] for e in history]
+        peak = max(rates)
+        messages.append(f"{figure}:")
+        for entry, rate in zip(history, rates):
+            bar = "#" * max(1, round(width * rate / peak)) if peak else ""
+            messages.append(
+                f"  {entry['date']} {entry['commit']:>9} "
+                f"{rate:>10.1f} |{bar}"
+            )
+        if len(rates) < 2:
+            messages.append("  (first entry: nothing to gate)")
+            continue
+        best, latest = max(rates[:-1]), rates[-1]
+        ratio = latest / best if best else float("inf")
+        if ratio < 1.0 - tolerance:
+            messages.append(
+                f"  REGRESSION: latest {latest:g} vs best {best:g} "
+                f"({100 * (ratio - 1):.1f}%, tolerance "
+                f"-{100 * tolerance:.0f}%)"
+            )
+            code = 1
+        else:
+            messages.append(
+                f"  ok: latest {latest:g} vs best {best:g} "
+                f"({100 * (ratio - 1):+.1f}%)"
+            )
+    if not by_figure:
+        messages.append("trajectory is empty: nothing to gate")
+    return code, messages
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("fresh", help="freshly produced BENCH_*.json")
-    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument(
+        "fresh", nargs="?", help="freshly produced BENCH_*.json"
+    )
+    parser.add_argument(
+        "baseline", nargs="?", help="committed baseline BENCH_*.json"
+    )
     parser.add_argument(
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="allowed relative slowdown (default 0.2 = 20%%)",
     )
+    parser.add_argument(
+        "--trajectory", metavar="FILE", default=None,
+        help="gate the tracked perf trajectory "
+             "(benchmarks/results/BENCH_trajectory.json) instead of "
+             "comparing two bench documents",
+    )
     args = parser.parse_args(argv)
-    fresh = json.loads(Path(args.fresh).read_text())
-    baseline = json.loads(Path(args.baseline).read_text())
-    code, messages = check(fresh, baseline, args.tolerance)
+    if args.trajectory is not None:
+        entries = json.loads(Path(args.trajectory).read_text())
+        code, messages = check_trajectory(entries, args.tolerance)
+    elif args.fresh is None or args.baseline is None:
+        parser.error("need FRESH and BASELINE files (or --trajectory)")
+    else:
+        fresh = json.loads(Path(args.fresh).read_text())
+        baseline = json.loads(Path(args.baseline).read_text())
+        code, messages = check(fresh, baseline, args.tolerance)
     for message in messages:
         print(message)
     return code

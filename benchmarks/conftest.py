@@ -11,9 +11,53 @@ micro-benchmarks.
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
+import subprocess
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
+
+
+def _current_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def append_trajectory(figure: str, updates_per_sec: float) -> None:
+    """Record one full bench run on the tracked perf trajectory.
+
+    ``BENCH_trajectory.json`` holds one entry per (figure, commit) —
+    ``{date, commit, figure, updates_per_sec}`` — so the throughput
+    story the ROADMAP tells is machine-readable; re-running a bench on
+    the same commit refreshes its entry instead of appending a
+    duplicate.  ``check_regression.py --trajectory`` gates the newest
+    entry of each figure against its predecessors.  Callers skip smoke
+    runs: their timings are not comparable to full-run entries.
+    """
+    entries: list[dict] = []
+    if TRAJECTORY_PATH.exists():
+        entries = json.loads(TRAJECTORY_PATH.read_text())
+    commit = _current_commit()
+    entries = [
+        e for e in entries
+        if not (e["figure"] == figure and e["commit"] == commit)
+    ]
+    entries.append({
+        "date": datetime.date.today().isoformat(),
+        "commit": commit,
+        "figure": figure,
+        "updates_per_sec": round(updates_per_sec, 1),
+    })
+    RESULTS_DIR.mkdir(exist_ok=True)
+    TRAJECTORY_PATH.write_text(json.dumps(entries, indent=2) + "\n")
 
 
 def run_figure(benchmark, figure_fn, **kwargs):

@@ -22,7 +22,7 @@ import os
 import random
 import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, append_trajectory
 
 from repro.core.queries import KNNQuery, RangeQuery
 from repro.core.server import DatabaseServer, ServerConfig
@@ -235,6 +235,9 @@ def test_hotpath_benchmark():
 
     assert hit_rate >= MIN_HIT_RATE, f"cache hit rate collapsed: {hit_rate:.2%}"
     if not SMOKE:
+        append_trajectory(
+            "hotpath.cached", document["cached"]["updates_per_sec"]
+        )
         assert speedup >= MIN_SPEEDUP, (
             f"hot-path speedup regressed: {speedup:.2f}x < {MIN_SPEEDUP}x "
             f"(baseline: benchmarks/results/BENCH_hotpath.json)"

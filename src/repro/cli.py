@@ -83,6 +83,12 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="batch-geometry backend (repro.kernels); "
                              "'both' runs each backend and verifies the "
                              "reports match (compare only)")
+    parser.add_argument("--kernel-min-rows", type=int, default=8,
+                        metavar="N",
+                        help="batch-size cutoff below which kernel "
+                             "dispatches take the scalar path (>= 1; "
+                             "results are identical, only CPU cost "
+                             "changes)")
     parser.add_argument("--faults", default=None, metavar="SPEC",
                         help="inject channel/probe faults, e.g. "
                              "'drop=0.05,dup=0.02,delay=2,probe_timeout=0.1' "
@@ -137,6 +143,7 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
                 if args.kernel_backend == "both"
                 else args.kernel_backend
             ),
+            kernel_min_rows=args.kernel_min_rows,
             fault_spec=args.faults,
             fault_seed=args.fault_seed,
             retransmit_timeout=args.retransmit_timeout,

@@ -55,10 +55,13 @@ def batch_range_safe_region(
     batch pass per quadrant over obstacle columns built once per call
     (``Kernels.quadrant_corners`` mirrors ``_local_min_corner`` exactly,
     signed zeros included); the staircase and the greedy combination stay
-    scalar — they are sequential over a handful of corners.
+    scalar — they are sequential over a handful of corners.  Obstacle
+    sets below ``kernels.min_rows`` skip the column build entirely and
+    run the scalar corner localisation in place — same arithmetic,
+    without a round trip through the dispatcher's row-count gate.
     """
     columns = None
-    if kernels is not None and obstacles:
+    if kernels is not None and len(obstacles) >= kernels.min_rows:
         columns = (
             [r.min_x for r in obstacles],
             [r.min_y for r in obstacles],

@@ -21,6 +21,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
+from math import hypot
 from typing import Callable, Hashable, Iterator
 
 from repro.geometry.point import Point
@@ -130,9 +131,17 @@ def _resolve_partial_overlap(
 # kNN queries (Section 4.2, Algorithm 2)
 # ---------------------------------------------------------------------------
 class _Candidate:
-    """A queue element: an object known by region or by exact point."""
+    """A queue element: an object known by region or by exact point.
 
-    __slots__ = ("oid", "geometry", "min_dist", "max_dist", "constrained")
+    One instance per queue element on the kNN hot path, so the bounds
+    and the point/region flag are computed once here rather than behind
+    property or method calls (``hypot`` matches ``Point.distance_to``
+    bit-for-bit — same call, no dispatch).
+    """
+
+    __slots__ = (
+        "oid", "geometry", "min_dist", "max_dist", "constrained", "is_point",
+    )
 
     def __init__(
         self, oid: ObjectId, geometry: Geometry, q: Point, constrained: bool
@@ -140,17 +149,15 @@ class _Candidate:
         self.oid = oid
         self.geometry = geometry
         self.constrained = constrained
-        if isinstance(geometry, Point):
-            d = q.distance_to(geometry)
+        is_point = isinstance(geometry, Point)
+        self.is_point = is_point
+        if is_point:
+            d = hypot(q.x - geometry.x, q.y - geometry.y)
             self.min_dist = d
             self.max_dist = d
         else:
             self.min_dist = geometry.min_dist_to_point(q)
             self.max_dist = geometry.max_dist_to_point(q)
-
-    @property
-    def is_point(self) -> bool:
-        return isinstance(self.geometry, Point)
 
 
 class _MergedQueue:

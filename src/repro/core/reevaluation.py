@@ -75,6 +75,7 @@ def reevaluate_knn(
     sr_of: SrLookup,
     constrain: ConstrainFn | None = None,
     kernels=None,
+    gates: tuple[bool, bool] | None = None,
 ) -> ReevaluationOutcome:
     """Incrementally reevaluate a kNN query for an update of ``oid`` to ``p``.
 
@@ -86,12 +87,22 @@ def reevaluate_knn(
     cases fall back on (case 1's replacement search and the unordered
     full reevaluation); the incremental cases 2/3 are a handful of exact
     circle distances and stay scalar.
+
+    ``gates`` is an optional precomputed ``(in_new, in_old)`` pair of
+    quarantine-circle memberships, produced by the tick planner's
+    ``knn_gate_rows`` dispatch with the same arithmetic as
+    ``quarantine_contains`` — when given, the two scalar circle tests
+    are skipped.  The caller guarantees it was computed against the
+    query's *current* radius.
     """
     if not query.order_sensitive:
         return _reevaluate_unordered(query, index, probe, constrain, kernels)
 
-    in_new = query.quarantine_contains(p)
-    in_old = p_lst is not None and query.quarantine_contains(p_lst)
+    if gates is not None:
+        in_new, in_old = gates
+    else:
+        in_new = query.quarantine_contains(p)
+        in_old = p_lst is not None and query.quarantine_contains(p_lst)
     was_result = oid in query.results
 
     if was_result and not in_new:

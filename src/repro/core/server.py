@@ -90,6 +90,11 @@ class ServerConfig:
     #: (``tests/test_kernel_equivalence.py``); only CPU cost changes.
     #: ``"numpy"`` silently degrades to ``"python"`` when NumPy is absent.
     kernel_backend: str = "numpy"
+    #: Batch-size cutoff below which kernel dispatches take the scalar
+    #: path even on the NumPy backend (array set-up costs more than it
+    #: saves on tiny batches).  Inclusive: a batch of exactly this many
+    #: rows vectorises.  Must be at least 1.
+    kernel_min_rows: int = 8
     #: Ablation switch: compute the safe region for a batch of range
     #: queries with the Section 5.3 algorithm (True) or by intersecting
     #: per-query strips (False).
@@ -132,6 +137,8 @@ class ServerConfig:
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}"
             )
+        if self.kernel_min_rows < 1:
+            raise ValueError("kernel_min_rows must be at least 1")
         if self.probe_timeout <= 0:
             raise ValueError("probe_timeout must be positive")
         if self.probe_retries < 0:
@@ -158,12 +165,34 @@ class ObjectState:
     provably return the identical rectangle, so the server may skip the
     work.  ``None`` whenever no such certificate holds (caches disabled,
     region constrained by queries, or tightened by a reachability shrink).
+
+    ``sr_cert`` is the delta certificate for query-covered cells:
+    ``(cell id, cell generation, ((knn query, clearance), ...))``
+    recorded when the installed region was computed with the object
+    outside every relevant kNN quarantine circle and only built-in query
+    types in the cell.  Each *clearance* is the region's minimum
+    distance to that query's centre — the largest quarantine radius the
+    region provably avoids.  The safe-region property then makes a
+    report a provable no-op while (1) the cell's relevant-query set kept
+    its generation, (2) no recorded quarantine radius grew past its
+    clearance (a circle no larger than the clearance cannot reach the
+    region), and (3) the reported position stays strictly interior to
+    the installed region — range rects are immutable and member regions
+    are contained in their rects, so no verdict can flip and the
+    installed region remains valid.  ``None`` whenever any relevant
+    query is a kNN whose quarantine holds the object or the region
+    (rank changes are invisible to the clearance check), a custom
+    extension type, or when the region was degraded or
+    shrink-tightened.  Unlike ``sr_stamp`` it is *not* gated on the
+    cache switch — it is a policy applied identically in cached and
+    uncached runs (cache transparency).
     """
 
     safe_region: Rect
     p_lst: Point
     last_update_time: float
     sr_stamp: tuple[tuple[int, int], int] | None = None
+    sr_cert: tuple | None = None
 
 
 @dataclass(slots=True)
@@ -223,6 +252,7 @@ class DatabaseServer:
         )
         self._m_sr_skipped = self.metrics.counter("server.sr_recompute.skipped")
         self._m_fastpath = self.metrics.counter("server.update.fastpath")
+        self._m_certified = self.metrics.counter("server.update.certified")
         self._m_probe_timeouts = self.metrics.counter("server.probes.timeouts")
         self._m_probe_retries = self.metrics.counter("server.probes.retries")
         self._m_unknown = self.metrics.counter("server.updates.unknown_object")
@@ -233,7 +263,7 @@ class DatabaseServer:
         self._caches_on = self.config.enable_caches
         self.kernels = Kernels(
             self.config.kernel_backend, metrics=self.metrics,
-            events=self.events,
+            min_rows=self.config.kernel_min_rows, events=self.events,
         )
         #: Columnar mirror of every object's last reported position,
         #: maintained at each register / update / deregister alongside
@@ -257,6 +287,12 @@ class DatabaseServer:
             enable_cache=self.config.enable_caches,
             kernels=self.kernels,
             events=self.events,
+        )
+        # Cell residency: the store buckets every object into its grid
+        # cell with the grid's own arithmetic, so the hot paths read
+        # ``positions.cell_of(oid)`` instead of recomputing cells.
+        self.query_index.bind_position_store(
+            self.positions, metrics=self.metrics
         )
         self._objects: dict[ObjectId, ObjectState] = {}
         #: Unreachable objects (docs/ROBUSTNESS.md): oid -> time the
@@ -283,6 +319,14 @@ class DatabaseServer:
         # ``probe_budget`` and targets whose probes failed this round.
         self._probe_spent = 0
         self._failed_probes: set[ObjectId] = set()
+        #: Deferred slow-path pointify: ``(oid, position)`` of an updater
+        #: whose R*-tree entry has not been collapsed to its exact point
+        #: yet.  The collapse is only observable through an index read
+        #: between ingestion and the location manager's reinstall, so it
+        #: runs lazily — just before the first reevaluation that can read
+        #: the index — and is skipped entirely for reports that affect
+        #: nothing (the reinstall overwrites the entry anyway).
+        self._pending_pointify: tuple | None = None
         self.stats = ServerStats()
         # Safe regions whose interior margin falls below this floor
         # trigger the anti-storm relief (see relieve_tight_safe_region).
@@ -826,27 +870,24 @@ class DatabaseServer:
             state.p_lst if state is not None else None
             for state in (objects.get(oid) for oid in oids)
         ]
-        prev_cells = self.query_index.cells_of_points([
-            prev if prev is not None else reports[i][1]
-            for i, prev in enumerate(prev_pts)
-        ])
-        self._tick_plan = self._plan_tick(
-            reports, ordered, cells, prev_pts, prev_cells
-        )
+        self._tick_plan = self._plan_tick(reports, ordered, cells, prev_pts)
         try:
             yield
         finally:
             self._tick_plan = None
 
-    def _plan_tick(self, reports, ordered, cells, prev_pts, prev_cells):
+    def _plan_tick(self, reports, ordered, cells, prev_pts):
         """Gather the batch's predictable kernel work and dispatch it.
 
         Walks the reports in processing order, skips those certified for
         the fast path (their buckets are provably empty — nothing to
-        plan), and gathers the rest's range-affected rows and safe-region
-        corner rows into the planner's columns.  Returns the scattered
-        :class:`~repro.kernels.planner.TickPlan`, or ``None`` when no
-        report had plannable work.
+        plan), and gathers the rest's range-affected rows, kNN quarantine
+        gates, and safe-region obstacle rows by *extending* the planner's
+        columns with cell-resident column slices (cached per cell pair
+        and generation).  Old cells come from the resident position
+        store — one dict probe, always equal to ``grid.cell_of(p_lst)``.
+        Returns the scattered :class:`~repro.kernels.planner.TickPlan`,
+        or ``None`` when no report had plannable work.
         """
         grid = self.query_index
         objects = self._objects
@@ -862,7 +903,10 @@ class DatabaseServer:
         generation_of = grid._generations.get
         has_queries_in_cell = grid._buckets.__contains__
         candidate_queries_ordered = grid.candidate_queries_ordered
+        resident_cell_of = self.positions.cell_of
         add_affected = planner.add_affected
+        obstacle_columns = planner.obstacle_columns
+        add_region = planner.add_region
         any_work = False
         for i in ordered:
             previous = prev_pts[i]
@@ -870,7 +914,7 @@ class DatabaseServer:
                 continue  # unknown object: the scalar path decides
             oid, position = reports[i]
             state = objects[oid]
-            cell_old = prev_cells[i]
+            cell_old = resident_cell_of(oid)
             cell_new = cells[i]
             stamp = state.sr_stamp
             if (
@@ -884,29 +928,45 @@ class DatabaseServer:
                 )
             ):
                 continue  # certified fast path: no reevaluation happens
+            cert = state.sr_cert
+            if cert is not None and cell_new == cell_old \
+                    and cert[0] == cell_old:
+                # Plan-time preview of the delta certificate: a report
+                # the sequential loop will certify has nothing to plan.
+                # Mid-tick radius growth can still fail the authoritative
+                # consume-time check — that report then runs unplanned,
+                # which is slower but identical in outcome.
+                region = state.safe_region
+                if (
+                    region.min_x < position.x < region.max_x
+                    and region.min_y < position.y < region.max_y
+                    and cert[1] == generation_of(cell_old, 0)
+                ):
+                    for q, r in cert[2]:
+                        if q.radius > r:
+                            break
+                    else:
+                        continue
             candidates = candidate_queries_ordered(position, previous)
-            range_queries = [
-                q for q in candidates if type(q) is RangeQuery
-            ]
-            cell_pair = (
-                (cell_new,) if cell_new == cell_old
-                else (cell_new, cell_old)
-            )
-            generations = tuple(
-                generation_of(c, 0) for c in cell_pair
-            )
+            if cell_new == cell_old:
+                cell_pair = (cell_new,)
+                generations = (generation_of(cell_new, 0),)
+            else:
+                cell_pair = (cell_new, cell_old)
+                generations = (
+                    generation_of(cell_new, 0), generation_of(cell_old, 0)
+                )
             add_affected(
-                oid, position, previous, candidates, range_queries,
-                cell_pair, generations,
+                oid, position, previous, candidates, cell_pair, generations,
             )
             any_work = True
             if plan_regions:
-                cell = grid.cell_rect(cell_new)
-                obstacles = collect_range_obstacles(
-                    position, grid.relevant_queries(cell_new)
+                obstacles = obstacle_columns(
+                    cell_new, generations[0], grid.relevant_queries(cell_new)
                 )
-                if obstacles:
-                    planner.add_region(
+                if obstacles is not None:
+                    cell = grid.cell_rect(cell_new)
+                    add_region(
                         oid, position, cell_new, cell,
                         quadrant_extents(position, cell), obstacles,
                     )
@@ -928,27 +988,22 @@ class DatabaseServer:
         object_index = self.object_index
         caches_on = self._caches_on
         metrics_on = self.metrics.enabled
-        # Previous positions and their cells, in one columnar pass.
-        # Rows for unknown objects carry the new position as a
-        # placeholder; they are never consumed.
+        # Previous positions in one pass; their cells are resident in
+        # the position store (``positions.cell_of`` — no recompute).
         prev_pts = []
         for i, (oid, _) in enumerate(reports):
             state = objects.get(oid)
             prev_pts.append(state.p_lst if state is not None else None)
-        prev_cells = grid.cells_of_points([
-            prev if prev is not None else reports[i][1]
-            for i, prev in enumerate(prev_pts)
-        ])
-        self._tick_plan = self._plan_tick(
-            reports, ordered, cells, prev_pts, prev_cells
-        )
+        self._tick_plan = self._plan_tick(reports, ordered, cells, prev_pts)
         # The first sequential report would advance the clock to
         # ``time`` (monotonicity was checked by the caller); committing
         # it up front keeps inline-fastpath timestamps identical.
         self._clock = time
         fast_n = 0
+        cert_n = 0
         objects_get = objects.get
-        positions_set = positions.set
+        positions_move = positions.move
+        resident_cell_of = positions.cell_of
         # Never rebound, only mutated — see the same hoists in _plan_tick.
         generation_of = grid._generations.get
         has_queries_in_cell = grid._buckets.__contains__
@@ -959,19 +1014,22 @@ class DatabaseServer:
                 fast = False
                 if (
                     state is not None
-                    and caches_on
                     and not self._degraded
                 ):
+                    # ``sr_stamp`` is only ever set with caches on; the
+                    # delta certificate applies in either mode.
                     previous = state.p_lst
-                    stamp = state.sr_stamp
-                    if previous is not None and stamp is not None:
-                        cell_old = (
-                            prev_cells[i]
-                            if previous is prev_pts[i]
-                            else grid.cell_of(previous)
-                        )
+                    if previous is not None:
+                        # ``previous`` is always the stored position
+                        # (every ``p_lst`` write pairs with
+                        # ``positions.set``), so its cell is resident.
+                        cell_old = resident_cell_of(oid)
+                        if cell_old is None:
+                            cell_old = grid.cell_of(previous)
+                        stamp = state.sr_stamp
                         if (
-                            stamp[0] == cell_old
+                            stamp is not None
+                            and stamp[0] == cell_old
                             and stamp[1] == generation_of(cell_old, 0)
                         ):
                             cell_new = cells[i]
@@ -981,7 +1039,9 @@ class DatabaseServer:
                                 # Inline fast path: the exact state
                                 # commits of ``_fastpath_update``.
                                 state.p_lst = position
-                                positions_set(oid, position)
+                                positions_move(
+                                    oid, position.x, position.y, cell_new
+                                )
                                 state.last_update_time = time
                                 if cell_new != cell_old:
                                     region = grid.cell_rect(cell_new)
@@ -991,7 +1051,34 @@ class DatabaseServer:
                                         cell_new,
                                         generation_of(cell_new, 0),
                                     )
+                                    state.sr_cert = None
                                 fast = True
+                        elif cells[i] == cell_old:
+                            # Inline ``_certified_update``: a delta-
+                            # certified no-op inside a query-covered
+                            # cell (strict interior of the installed
+                            # region, generation and radii unchanged).
+                            cert = state.sr_cert
+                            if cert is not None and cert[0] == cell_old:
+                                region = state.safe_region
+                                x = position.x
+                                y = position.y
+                                if (
+                                    region.min_x < x < region.max_x
+                                    and region.min_y < y < region.max_y
+                                    and cert[1] == generation_of(
+                                        cell_old, 0
+                                    )
+                                ):
+                                    for q, r in cert[2]:
+                                        if q.radius > r:
+                                            break
+                                    else:
+                                        state.p_lst = position
+                                        positions_move(oid, x, y, cell_old)
+                                        state.last_update_time = time
+                                        fast = True
+                                        cert_n += 1
                 if fast:
                     fast_n += 1
                     # Inline ``BatchOutcome.merge`` of an outcome whose
@@ -1013,6 +1100,8 @@ class DatabaseServer:
             if metrics_on:
                 self._m_updates.inc(fast_n)
                 self._m_fastpath.inc(fast_n)
+                if cert_n:
+                    self._m_certified.inc(cert_n)
             self.stats.cpu_seconds = self._trace.cpu_seconds
 
     def _process_update(
@@ -1046,7 +1135,10 @@ class DatabaseServer:
                 self._exit_degraded(oid, time)
             try:
                 outcome = None
-                if self._caches_on and previous is not None:
+                if previous is not None:
+                    # With caches off ``sr_stamp`` is never set, so this
+                    # reduces to the (cache-independent) delta
+                    # certificate check.
                     outcome = self._fastpath_update(
                         oid, position, previous, time
                     )
@@ -1082,13 +1174,19 @@ class DatabaseServer:
         grid = self.query_index
         state = self._objects[oid]
         stamp = state.sr_stamp
-        cell_old = grid.cell_of(previous)
+        if previous is state.p_lst:
+            # The stored position's cell is resident in the store.
+            cell_old = self.positions.cell_of(oid)
+            if cell_old is None:
+                cell_old = grid.cell_of(previous)
+        else:
+            cell_old = grid.cell_of(previous)
         if (
             stamp is None
             or stamp[0] != cell_old
             or stamp[1] != grid.cell_generation(cell_old)
         ):
-            return None
+            return self._certified_update(oid, state, position, cell_old, time)
         cell_new = grid.cell_of(position)
         if cell_new != cell_old and grid.has_queries_in_cell(cell_new):
             return None
@@ -1096,16 +1194,63 @@ class DatabaseServer:
         # ``safe_region`` event (and its containment invariant) sees the
         # position the region was granted for.
         state.p_lst = position
-        self.positions.set(oid, position)
+        self.positions.move(oid, position.x, position.y, cell_new)
         state.last_update_time = time
         if cell_new != cell_old:
             region = grid.cell_rect(cell_new)
             self._install_safe_region(oid, region)
             state.sr_stamp = (cell_new, grid.cell_generation(cell_new))
+            state.sr_cert = None
         self._m_fastpath.inc()
         self._m_checked.observe(0)
         outcome = UpdateOutcome()
         outcome.safe_region = state.safe_region
+        return outcome
+
+    def _certified_update(
+        self,
+        oid: ObjectId,
+        state: "ObjectState",
+        position: Point,
+        cell_old: tuple,
+        time: float,
+    ) -> UpdateOutcome | None:
+        """Delta-certified no-op handling inside a query-covered cell.
+
+        Consumes ``ObjectState.sr_cert``: when the report stays strictly
+        interior to the installed safe region, the cell kept its
+        relevant-query generation, and no recorded kNN quarantine radius
+        grew past its install-time value, the safe-region property
+        guarantees no query verdict can have flipped and the installed
+        region is still valid for the new position — the report commits
+        with zero reevaluation and zero index churn.  The strict-interior
+        requirement also pins the report to the certified cell (the
+        region is contained in it), so no cell arithmetic is needed.
+        """
+        cert = state.sr_cert
+        if cert is None or cert[0] != cell_old:
+            return None
+        region = state.safe_region
+        x = position.x
+        y = position.y
+        if not (
+            region.min_x < x < region.max_x
+            and region.min_y < y < region.max_y
+        ):
+            return None
+        if cert[1] != self.query_index.cell_generation(cell_old):
+            return None
+        for q, r in cert[2]:
+            if q.radius > r:
+                return None
+        state.p_lst = position
+        self.positions.move(oid, x, y, cell_old)
+        state.last_update_time = time
+        self._m_fastpath.inc()
+        self._m_certified.inc()
+        self._m_checked.observe(0)
+        outcome = UpdateOutcome()
+        outcome.safe_region = region
         return outcome
 
     def _slowpath_update(
@@ -1119,7 +1264,16 @@ class DatabaseServer:
         state.p_lst = position
         self.positions.set(oid, position)
         state.last_update_time = time
-        self.object_index.update(oid, Rect.from_point(position))
+        if self.config.anti_storm_relief:
+            # Relief scans the index freely mid-phase; keep the eager
+            # pointify so it always sees the exact position.
+            self.object_index.update(oid, Rect.from_point(position))
+        else:
+            # Defer the pointify: it only matters if some reevaluation
+            # actually reads the index before the location manager
+            # reinstalls the entry.  ``_do_reevaluate_affected`` flushes
+            # it just in time; otherwise the entry is never touched.
+            self._pending_pointify = (oid, position)
 
         probed: dict[ObjectId, Point] = {}
         shrunk_only: dict[ObjectId, Rect] = {}
@@ -1128,18 +1282,21 @@ class DatabaseServer:
         constrain = self._make_constrain(time)
         outcome = UpdateOutcome()
 
-        self._ingest_reports(
-            [(oid, position)], probe, probed, previous_positions,
-            shrunk_only, constrain, outcome, time,
-            initial_previous={oid: previous},
-        )
-        outcome.queries_reevaluated = len(outcome.changes)
+        try:
+            self._ingest_reports(
+                [(oid, position)], probe, probed, previous_positions,
+                shrunk_only, constrain, outcome, time,
+                initial_previous={oid: previous},
+            )
+            outcome.queries_reevaluated = len(outcome.changes)
 
-        targets = [oid] + [target for target in probed if target != oid]
-        self._location_manager_phase(
-            targets, {oid: previous}, probe, probed, previous_positions,
-            shrunk_only, constrain, outcome, time, updater=oid,
-        )
+            targets = [oid] + [target for target in probed if target != oid]
+            self._location_manager_phase(
+                targets, {oid: previous}, probe, probed, previous_positions,
+                shrunk_only, constrain, outcome, time, updater=oid,
+            )
+        finally:
+            self._pending_pointify = None
         return outcome
 
     def _ingest_reports(self, *args, **kwargs) -> None:
@@ -1221,6 +1378,7 @@ class DatabaseServer:
         objects = self._objects
         grid = self.query_index
         cell_of = grid.cell_of
+        resident_cell_of = self.positions.cell_of
         generation_of = grid._generations.get
         cell_rect_of_point = grid.cell_rect_of_point
         install_safe_region = self._install_safe_region
@@ -1245,9 +1403,14 @@ class DatabaseServer:
             state = objects[target]
             target_pos = state.p_lst
             stamp = state.sr_stamp
+            # ``target_pos`` is the stored position, so its cell is
+            # resident in the position store (one dict probe).
+            target_cell = resident_cell_of(target)
+            if target_cell is None:
+                target_cell = cell_of(target_pos)
             if (
                 stamp is not None
-                and stamp[0] == cell_of(target_pos)
+                and stamp[0] == target_cell
                 and stamp[1] == generation_of(stamp[0], 0)
             ):
                 # Lazy recomputation: the stamp certifies the installed
@@ -1264,13 +1427,75 @@ class DatabaseServer:
                     )
                 region = state.safe_region
                 shrunk_only.pop(target, None)
-                install_safe_region(target, region)
+                pending = self._pending_pointify
+                if pending is not None and pending[0] == target:
+                    # The deferred pointify never ran: the index entry
+                    # still holds exactly ``region``, so the reinstall's
+                    # delete+insert is a no-op — emit the event and keep
+                    # the entry untouched.
+                    self._pending_pointify = None
+                    if self.events.enabled:
+                        self.events.emit(
+                            "safe_region", cause=self._cause, oid=target,
+                            region=(region.min_x, region.min_y,
+                                    region.max_x, region.max_y),
+                            pos=(state.p_lst.x, state.p_lst.y),
+                        )
+                else:
+                    install_safe_region(target, region)
                 completed.add(target)
                 if target == updater:
                     outcome.safe_region = region
                 else:
                     outcome.probed[target] = region
                 continue
+            cert = state.sr_cert
+            if cert is not None and cert[0] == target_cell:
+                region = state.safe_region
+                if (
+                    region.min_x < target_pos.x < region.max_x
+                    and region.min_y < target_pos.y < region.max_y
+                    and cert[1] == generation_of(target_cell, 0)
+                ):
+                    for q, r in cert[2]:
+                        if q.radius > r:
+                            break
+                    else:
+                        if (
+                            not self.config.anti_storm_relief
+                            or interior_margin(region, target_pos)
+                            >= self._margin_floor
+                        ):
+                            # Delta-certificate reinstall: the recorded
+                            # clearances prove the installed region still
+                            # avoids every relevant quarantine and keeps
+                            # every verdict, so recomputing would only
+                            # re-centre it.  Reinstalling restores the
+                            # index entry that ingestion pointified —
+                            # mostly for probed targets, whose exact
+                            # position landed strictly inside their
+                            # standing region.  (With anti-storm relief
+                            # enabled, a tight region falls through so
+                            # the relief trigger still sees it.)
+                            self._m_sr_skipped.inc()
+                            if self.events.enabled:
+                                self.events.emit(
+                                    "sr_skip", cause=self._cause, oid=target
+                                )
+                            shrunk_only.pop(target, None)
+                            pending = self._pending_pointify
+                            if pending is not None and pending[0] == target:
+                                # The deferred pointify never ran: the
+                                # entry still holds exactly ``region``.
+                                self._pending_pointify = None
+                            else:
+                                install_safe_region(target, region)
+                            completed.add(target)
+                            if target == updater:
+                                outcome.safe_region = region
+                            else:
+                                outcome.probed[target] = region
+                            continue
             region = self._full_safe_region(
                 target, target_pos, prev_lookup(target)
             )
@@ -1398,34 +1623,52 @@ class DatabaseServer:
             else None
         )
         if planned is not None:
-            ordered, verdicts = planned
+            ordered, hits, kverdicts = planned
         else:
-            candidates = self.query_index.candidate_queries(
+            ordered = self.query_index.candidate_queries_ordered(
                 position, previous
             )
-            ordered = sorted(candidates, key=lambda q: q.query_id)
-            verdicts = None
+            hits = kverdicts = None
         outcome.queries_checked += len(ordered)
         self.stats.queries_checked += len(ordered)
         self._m_checked.observe(len(ordered))
-        # Plain range queries take their membership-flip verdicts from
-        # the tick plan (one fused pass — no per-report scaffolding) or,
-        # unplanned, from one batch pass over their rect columns
-        # (``Kernels.range_affected`` is exactly
-        # ``RangeQuery.is_affected_by``); kNN and extension queries keep
-        # their scalar checks either way.  ``type`` not ``isinstance``:
-        # a subclass may override ``is_affected_by``.
+        # Delta-driven consume: plain range queries take their
+        # membership-flip verdicts and plain kNN queries their
+        # quarantine gates from the tick plan's fused dispatches — a
+        # merge walk over ``ordered`` (``hits``/``kverdicts`` preserve
+        # candidate order), so untouched members cost one pointer
+        # comparison.  Unplanned, range flips come from one batch pass
+        # over the rect columns (``Kernels.range_affected`` is exactly
+        # ``RangeQuery.is_affected_by``) and everything else stays
+        # scalar.  ``type`` not ``isinstance``: a subclass may override
+        # ``is_affected_by``.
         affected: list | None = None
-        if verdicts is not None:
+        if hits is not None:
             affected = []
+            ri = 0
+            rn = len(hits)
+            ki = 0
+            kn = len(kverdicts)
             for q in ordered:
-                if type(q) is RangeQuery:
-                    verdict = verdicts.get(q.query_id)
-                    if verdict is None:  # planned from a different set
-                        affected = None
-                        break
-                    if verdict[0]:
-                        affected.append((q, verdict[1]))
+                tq = type(q)
+                if tq is RangeQuery:
+                    if ri < rn and hits[ri][0] is q:
+                        affected.append(hits[ri])
+                        ri += 1
+                elif tq is KNNQuery:
+                    if ki < kn and kverdicts[ki][0] is q:
+                        _, hit, gates, planned_radius = kverdicts[ki]
+                        ki += 1
+                        if planned_radius != q.radius:
+                            # An earlier report's reevaluation moved
+                            # this quarantine mid-tick (no generation
+                            # bump) — the planned gates are stale.
+                            if q.is_affected_by(position, previous):
+                                affected.append((q, None))
+                        elif hit:
+                            affected.append((q, gates))
+                    elif q.is_affected_by(position, previous):
+                        affected.append((q, None))
                 elif q.is_affected_by(position, previous):
                     affected.append((q, None))
         if affected is None:
@@ -1433,7 +1676,7 @@ class DatabaseServer:
                 i for i, q in enumerate(ordered) if type(q) is RangeQuery
             ]
             flags: list[bool | None] = [None] * len(ordered)
-            if range_rows:
+            if len(range_rows) >= self.kernels.min_rows:
                 rects = [ordered[i].rect for i in range_rows]
                 mask = self.kernels.range_affected(
                     [r.min_x for r in rects],
@@ -1454,6 +1697,17 @@ class DatabaseServer:
                     else q.is_affected_by(position, previous)
                 )
             ]
+        if affected and self._pending_pointify is not None:
+            # Flush the deferred pointify before any reevaluation that
+            # can read the index (kNN evaluation, extension hooks).
+            # Plain range flips never touch the index, so a pure-range
+            # affected set leaves the entry for the reinstall.
+            for query, _ in affected:
+                if type(query) is not RangeQuery:
+                    p_oid, p_pos = self._pending_pointify
+                    self._pending_pointify = None
+                    self.object_index.update(p_oid, Rect.from_point(p_pos))
+                    break
         events = self.events
         for query, inside in affected:
             before = _snapshot(query)
@@ -1487,6 +1741,7 @@ class DatabaseServer:
                         self.object_index.rect_of,
                         constrain,
                         kernels=self.kernels,
+                        gates=inside,
                     )
                 fresh = {
                     target: pos
@@ -1667,6 +1922,7 @@ class DatabaseServer:
                 state = self._objects[target]
                 state.safe_region = region
                 state.sr_stamp = None  # region no longer the full cell
+                state.sr_cert = None  # nor the cell-certified region
                 self.object_index.update(target, region)
                 self.stats.safe_region_pushes += 1
                 self._m_pushes.inc()
@@ -1749,6 +2005,7 @@ class DatabaseServer:
         region = self._degraded_region(state, now)
         state.safe_region = region
         state.sr_stamp = None
+        state.sr_cert = None
         self.object_index.update(oid, region)
         if self.events.enabled:
             if first:
@@ -1821,12 +2078,19 @@ class DatabaseServer:
         previous: Point | None,
     ) -> Rect:
         grid = self.query_index
-        cell_id = grid.cell_of(position)
+        state = self._objects[oid]
+        if position is state.p_lst:
+            # The stored position's cell is resident in the store.
+            cell_id = self.positions.cell_of(oid)
+            if cell_id is None:
+                cell_id = grid.cell_of(position)
+        else:
+            cell_id = grid.cell_of(position)
         cell = grid.cell_rect(cell_id)
         relevant = grid.relevant_queries(cell_id)
-        state = self._objects[oid]
         if self._caches_on and not relevant:
             state.sr_stamp = (cell_id, grid.cell_generation(cell_id))
+            state.sr_cert = None
         else:
             state.sr_stamp = None
         # A planned tick may carry this report's Section 5.3
@@ -1839,7 +2103,7 @@ class DatabaseServer:
             if plan is not None and plan.regions
             else None
         )
-        return compute_safe_region(
+        region = compute_safe_region(
             oid,
             position,
             relevant,
@@ -1850,6 +2114,43 @@ class DatabaseServer:
             kernels=self.kernels,
             batch_region=batch_region,
         )
+        if state.sr_stamp is None:
+            # The delta certificate is a policy, not a cache: it applies
+            # in cached and uncached runs alike (cache transparency —
+            # both runs must take identical decisions).  Each kNN entry
+            # records the *clearance* — the region's minimum distance to
+            # the quarantine centre — so the certificate survives radius
+            # growth up to the region's slack, not just shrinks.  An
+            # insider (region inside the quarantine circle) has
+            # clearance below the radius and is rejected by the same
+            # comparison that guards against growth.
+            cert = None
+            radii = []
+            for q in relevant:
+                tq = type(q)
+                if tq is RangeQuery:
+                    continue  # immutable quarantine rect
+                if tq is KNNQuery:
+                    d = region.min_dist_to_point(q.center)
+                    if (
+                        d <= 0.0
+                        or q.radius > d
+                        or q.quarantine_contains(position)
+                    ):
+                        # Quarantine holding the object or the region
+                        # (rank changes escape the clearance check), or
+                        # a degenerate zero-clearance region: no
+                        # certificate.
+                        break
+                    radii.append((q, d))
+                    continue
+                break  # custom query type: no certificate
+            else:
+                cert = (
+                    cell_id, grid.cell_generation(cell_id), tuple(radii)
+                )
+            state.sr_cert = cert
+        return region
 
 
 def _snapshot(query: Query):

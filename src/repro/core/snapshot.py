@@ -111,6 +111,7 @@ def snapshot_server(server: DatabaseServer) -> dict:
             "batch_range_regions": server.config.batch_range_regions,
             "anti_storm_relief": server.config.anti_storm_relief,
             "kernel_backend": server.config.kernel_backend,
+            "kernel_min_rows": server.config.kernel_min_rows,
             "probe_timeout": server.config.probe_timeout,
             "probe_retries": server.config.probe_retries,
             "probe_budget": server.config.probe_budget,
@@ -135,6 +136,7 @@ def config_from_payload(config_data: dict) -> ServerConfig:
     # Snapshots written before the kernels subsystem carry no backend;
     # version-1 snapshots predate the fault-handling fields entirely.
     config_data.setdefault("kernel_backend", "numpy")
+    config_data.setdefault("kernel_min_rows", 8)
     config_data.setdefault("probe_timeout", 0.05)
     config_data.setdefault("probe_retries", 2)
     config_data.setdefault("probe_budget", None)

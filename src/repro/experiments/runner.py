@@ -41,7 +41,10 @@ def build_truth(scenario: Scenario) -> GroundTruth:
     }
     queries = generate_queries(scenario.workload(), seed=scenario.seed)
     return GroundTruth(
-        trajectories, queries, kernels=Kernels(scenario.kernel_backend)
+        trajectories, queries,
+        kernels=Kernels(
+            scenario.kernel_backend, min_rows=scenario.kernel_min_rows
+        ),
     )
 
 

@@ -21,7 +21,20 @@ class Circle:
             raise ValueError(f"negative radius: {self.radius}")
 
     def contains_point(self, p: Point, eps: float = 0.0) -> bool:
-        """Whether ``p`` lies in the closed disk (within ``eps``)."""
+        """Whether ``p`` lies in the closed disk (within ``eps``).
+
+        The exact (``eps == 0``) test compares squared distances — no
+        square root, and the arithmetic (``dx*dx + dy*dy`` against
+        ``r*r``) is elementwise-reproducible by the batch kernels
+        (``math.hypot`` is not: CPython's correctly-rounded hypot and
+        NumPy's differ in the last ulp).  The tolerant form keeps the
+        distance metric so ``eps`` stays a length, not an area.
+        """
+        if eps == 0.0:
+            return (
+                self.center.squared_distance_to(p)
+                <= self.radius * self.radius
+            )
         return self.center.distance_to(p) <= self.radius + eps
 
     def contains_rect(self, rect: Rect) -> bool:

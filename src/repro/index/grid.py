@@ -142,6 +142,24 @@ class GridIndex:
         """The rectangle of the cell containing ``p``."""
         return self.cell_rect(self.cell_of(p))
 
+    def bind_position_store(self, store, metrics=None) -> None:
+        """Make ``store`` cell-resident over this grid's geometry.
+
+        Hands the store the exact :meth:`cell_of` arithmetic (offset,
+        cell extents, clamp bound), so ``store.cell_of(oid)`` is always
+        ``self.cell_of(stored position)`` — the hot paths then read an
+        object's current cell as one dict probe instead of recomputing
+        it from coordinates (docs/PERFORMANCE.md "Resident columns").
+        """
+        store.bind_grid(
+            self.space.min_x,
+            self.space.min_y,
+            self._cell_w,
+            self._cell_h,
+            self.m,
+            metrics=metrics,
+        )
+
     def cells_of_points(self, points: list[Point]) -> list[CellId]:
         """Batch :meth:`cell_of` over a list of points.
 

@@ -107,18 +107,23 @@ class RStarTree:
     def update(self, oid: ObjectId, rect: Rect) -> bool:
         """Move ``oid`` to a new rectangle.
 
-        Returns ``True`` when the bottom-up fast path applied (the new
-        rectangle fits inside the leaf's recorded MBR so only the leaf
-        entry is patched), ``False`` when a full delete + insert ran.
+        Returns ``True`` when the new rectangle fit inside the leaf's
+        recorded MBR so only the leaf entry was patched, ``False`` when
+        ancestor MBRs had to be enlarged.  Either way the update is
+        bottom-up (Lee et al.): the entry is patched in place and MBRs
+        only grow — no delete + reinsert, no choose-subtree descent.
+        Movement is local in this workload (a safe region stays inside
+        one grid cell), so the enlargement converges on the union of the
+        cells a leaf's objects visit; splits and condensation recompute
+        tight MBRs whenever membership actually changes.
         """
         leaf = self._leaf_of[oid]
+        self._entry_of[oid].rect = rect
+        self._rect_of[oid] = rect
         parent_entry = leaf.parent_entry
         if parent_entry is None or parent_entry.rect.contains_rect(rect):
-            self._entry_of[oid].rect = rect
-            self._rect_of[oid] = rect
             return True
-        self.delete(oid)
-        self.insert(oid, rect)
+        self._extend_upward(leaf, rect)
         return False
 
     def search(self, rect: Rect) -> list[ObjectId]:
@@ -421,12 +426,11 @@ class RStarTree:
 
     def _extend_upward(self, node: Node, rect: Rect) -> None:
         """Grow ancestor entry MBRs so they cover a newly added ``rect``."""
-        entry = node.parent_entry
-        while entry is not None:
-            if entry.rect.contains_rect(rect):
-                break
+        while node is not None:
+            entry = node.parent_entry
+            if entry is None or entry.rect.contains_rect(rect):
+                return
             entry.rect = entry.rect.union(rect)
-            entry = node.parent.parent_entry
             node = node.parent
 
     def _shrink_upward(self, node: Node) -> None:

@@ -6,23 +6,31 @@ so almost every call lands under ``Kernels.min_rows`` and runs the
 scalar fallback (``kernels.fallback_rows``).  The planner fixes the
 shape of the work instead of the cutoff: before a batch of same-tick
 reports is processed, the server *gathers* every predictable work item
-across the whole tick into :class:`~repro.kernels.store.ColumnBuffer`
-columns — range-affected membership flips (one row per report x
-candidate range query) and Section 5.3 safe-region corner candidates
-(one row per report x quadrant x obstacle) — then *dispatches* each
-work class as one large kernel call, and *scatters* the verdicts into a
-:class:`TickPlan` keyed by object id.
+across the whole tick, then *dispatches* each work class as one large
+kernel call, and *scatters* the verdicts into a :class:`TickPlan` keyed
+by object id.
+
+The gather itself is columnar (docs/PERFORMANCE.md "Resident columns
+and delta reevaluation"): candidate rect/centre columns are derived
+once per ``(cell pair, generations)`` and cached, safe-region obstacle
+columns once per ``(cell, generation)``, so adding a report extends
+shared columns with C-level ``array.extend`` instead of appending one
+row per (report x query).  Per-report state — the new/old point pair,
+the mutable kNN radii — is gathered fresh each tick as *segment*
+columns; the segmented kernels (``affected_deltas``, ``knn_gate_rows``,
+``quadrant_corners_grouped``) broadcast each report's points over its
+candidate run with exact-copy ``np.repeat``.
 
 The per-report code paths then *consume* the plan instead of
 recomputing: each entry is validated against the live state it was
 planned from (``Point`` identity of the new/old positions, cell
-generations, obstacle counts) and silently ignored on any mismatch —
-a probe or quarantine move between planning and consumption simply
-sends that report down the unplanned path, which computes the identical
-result inline.  Both paths run the same kernel arithmetic and the same
-scalar combination code, so planned and unplanned executions are
-bit-identical by construction and the 200-tick replay equivalence pins
-hold with the planner on or off.
+generations, per-row kNN radii, obstacle counts) and silently ignored
+on any mismatch — a probe or quarantine move between planning and
+consumption simply sends that report down the unplanned path, which
+computes the identical result inline.  Both paths run the same kernel
+arithmetic and the same scalar combination code, so planned and
+unplanned executions are bit-identical by construction and the
+200-tick replay equivalence pins hold with the planner on or off.
 
 Counters (all under ``kernels.planner.*``, visible in ``repro stats``):
 
@@ -31,22 +39,62 @@ Counters (all under ``kernels.planner.*``, visible in ``repro stats``):
 * ``dispatches``      — kernel dispatches issued by ``finish()``;
 * ``scatter_seconds`` — wall time spent scattering verdicts back out
   (only measured when a metrics registry is attached).
+
+Plus ``kernels.delta.skipped_rows`` — planned candidate rows whose
+delta came back empty (range membership unchanged, kNN quarantine gate
+not crossed): work the delta-driven consumer never revisits.
 """
 
 from __future__ import annotations
 
+from array import array
 from time import perf_counter
 from typing import Hashable
 
+from repro.kernels.ops import _QUADRANT_SIGNS
 from repro.kernels.store import ColumnBuffer
 from repro.obs import NULL_REGISTRY
 
 ObjectId = Hashable
 
-#: Quadrant sign pairs, kept in lockstep with ``repro.core.batch._QUADRANTS``
-#: (asserted at first use — the scatter phase feeds its corners into the
-#: same staircase/greedy code the unplanned path runs).
-_QUADRANT_SIGNS = ((1.0, 1.0), (1.0, -1.0), (-1.0, -1.0), (-1.0, 1.0))
+#: Lazily resolved ``(RangeQuery, KNNQuery)`` — ``repro.core`` imports
+#: this module at class-definition time, so a module-level import of
+#: ``repro.core.queries`` would be circular.
+_QUERY_TYPES: tuple | None = None
+
+
+def _query_types() -> tuple:
+    global _QUERY_TYPES
+    if _QUERY_TYPES is None:
+        from repro.core.queries import KNNQuery, RangeQuery
+
+        _QUERY_TYPES = (RangeQuery, KNNQuery)
+    return _QUERY_TYPES
+
+
+class ObstacleColumns:
+    """One cell's Section 5.3 obstacle-candidate rects as columns.
+
+    Derived from the cell's relevant queries with exactly the
+    eligibility filter of ``collect_range_obstacles`` *minus* the
+    position-dependent containment test (that moves in-kernel): plain
+    range queries, or range subclasses without a ``safe_region_for``
+    extension hook.  Cached per ``(cell, generation)`` by the planner.
+    """
+
+    __slots__ = ("n", "minxs", "minys", "maxxs", "maxys")
+
+    def __init__(self, rects) -> None:
+        self.minxs = array("d")
+        self.minys = array("d")
+        self.maxxs = array("d")
+        self.maxys = array("d")
+        for rect in rects:
+            self.minxs.append(rect.min_x)
+            self.minys.append(rect.min_y)
+            self.maxxs.append(rect.max_x)
+            self.maxys.append(rect.max_y)
+        self.n = len(self.minxs)
 
 
 class TickPlan:
@@ -61,31 +109,36 @@ class TickPlan:
 
     def __init__(self) -> None:
         #: oid -> (pos, prev, ordered candidates, cells, generations,
-        #:         {query_id: (affected, inside_new)})
+        #:         hits, kverdicts) — ``hits`` the affected plain range
+        #: queries as ``(query, inside_new)`` in candidate order,
+        #: ``kverdicts`` every plain kNN candidate as ``(query, hit,
+        #: (in_new, in_old), planned_radius)`` in candidate order.
         self.affected: dict = {}
         #: oid -> (pos, cell_id, n_obstacles, region)
         self.regions: dict = {}
 
     def take_affected(self, oid: ObjectId, position, previous, grid):
-        """Planned candidate set + range verdicts for one report.
+        """Planned candidate set + delta verdicts for one report.
 
-        Returns ``(ordered_candidates, verdicts)`` or ``None``.  Valid
-        only while the report's position objects are the ones planned
-        from (identity, not equality — an interleaved probe rewrites
-        ``p_lst`` to a *different* object) and both involved cells still
-        carry their planned generations (a quarantine move between
-        planning and consumption changes the candidate set).
+        Returns ``(ordered_candidates, hits, kverdicts)`` or ``None``.
+        Valid only while the report's position objects are the ones
+        planned from (identity, not equality — an interleaved probe
+        rewrites ``p_lst`` to a *different* object) and both involved
+        cells still carry their planned generations (a quarantine move
+        between planning and consumption changes the candidate set).
+        Per-row kNN radii are validated by the consumer — a radius can
+        change mid-tick without a generation bump.
         """
         entry = self.affected.pop(oid, None)
         if entry is None:
             return None
-        pos, prev, ordered, cells, gens, verdicts = entry
+        pos, prev, ordered, cells, gens, hits, kverdicts = entry
         if position is not pos or previous is not prev:
             return None
         for cell, gen in zip(cells, gens):
             if grid.cell_generation(cell) != gen:
                 return None
-        return ordered, verdicts
+        return ordered, hits, kverdicts
 
     def take_range_region(self, oid: ObjectId, position, cell_id):
         """Planned Section 5.3 staircase union for one report.
@@ -108,8 +161,12 @@ class TickPlanner:
 
     __slots__ = (
         "kernels", "_metrics_on",
-        "_m_plans", "_m_rows", "_m_dispatches", "_m_scatter",
-        "_aff_buf", "_aff_segments", "_cor_buf", "_reg_segments",
+        "_m_plans", "_m_rows", "_m_dispatches", "_m_scatter", "_m_skipped",
+        "_aff_buf", "_knn_buf", "_pts", "_seg_rlens", "_seg_klens",
+        "_aff_segments",
+        "_reg_buf", "_reg_pts", "_reg_w", "_reg_h", "_reg_lens",
+        "_reg_segments",
+        "_cand_cols", "_obst_cols",
     )
 
     def __init__(self, kernels, metrics=None) -> None:
@@ -120,78 +177,169 @@ class TickPlanner:
         self._m_rows = registry.counter("kernels.planner.rows_gathered")
         self._m_dispatches = registry.counter("kernels.planner.dispatches")
         self._m_scatter = registry.counter("kernels.planner.scatter_seconds")
-        # Range-affected rows: one per (report, candidate range query).
-        # Columns: rect min/max, new point, old point.
-        self._aff_buf = ColumnBuffer(8)
+        self._m_skipped = registry.counter("kernels.delta.skipped_rows")
+        # Range-affected rect rows: one per (report, candidate range
+        # query), extended from cached candidate columns.
+        self._aff_buf = ColumnBuffer(4)
+        # kNN circle rows: centre x/y from cached candidate columns,
+        # radius gathered fresh (mutable mid-tick).
+        self._knn_buf = ColumnBuffer(3)
+        # Per-report point segments: new x/y, old x/y — one row per
+        # ``add_affected`` call, shared by both delta dispatches.
+        self._pts = ColumnBuffer(4)
+        self._seg_rlens: list = []
+        self._seg_klens: list = []
         self._aff_segments: list = []
-        # Corner rows: one per (report, quadrant, obstacle).  Columns:
-        # point, obstacle rect min/max, quadrant signs, local extents.
-        self._cor_buf = ColumnBuffer(10)
+        # Obstacle rect rows: one per (report, candidate obstacle).
+        self._reg_buf = ColumnBuffer(4)
+        self._reg_pts = ColumnBuffer(2)
+        # Quadrant extents: per-quadrant width/height columns, one
+        # entry per report (``quad_widths[q][k]``).
+        self._reg_w = tuple(array("d") for _ in range(4))
+        self._reg_h = tuple(array("d") for _ in range(4))
+        self._reg_lens: list = []
         self._reg_segments: list = []
+        #: cells tuple -> (generations, rq, rminx, rminy, rmaxx, rmaxy,
+        #:                 knn, kcx, kcy)
+        self._cand_cols: dict = {}
+        #: cell -> (generation, ObstacleColumns | None)
+        self._obst_cols: dict = {}
 
     def begin(self) -> None:
-        """Reset the gather buffers for a new tick."""
+        """Reset the gather buffers for a new tick (caches persist)."""
         self._aff_buf.clear()
+        self._knn_buf.clear()
+        self._pts.clear()
+        self._seg_rlens.clear()
+        self._seg_klens.clear()
         self._aff_segments.clear()
-        self._cor_buf.clear()
+        self._reg_buf.clear()
+        self._reg_pts.clear()
+        for col in self._reg_w:
+            del col[:]
+        for col in self._reg_h:
+            del col[:]
+        self._reg_lens.clear()
         self._reg_segments.clear()
+
+    def _build_cand_cols(self, ordered, cells, generations):
+        """Derive (and cache) the candidate columns of one cell pair.
+
+        The candidate tuple is a pure function of ``(cells,
+        generations)`` — the grid's ordered-candidate views are cached
+        per generation — so the derived columns can be reused until
+        either cell's generation moves.  kNN centres are immutable
+        (only set at construction); radii are *not* cached here.
+        """
+        range_t, knn_t = _query_types()
+        rq = []
+        knn = []
+        rminx = array("d")
+        rminy = array("d")
+        rmaxx = array("d")
+        rmaxy = array("d")
+        kcx = array("d")
+        kcy = array("d")
+        for q in ordered:
+            tq = type(q)
+            if tq is range_t:
+                rq.append(q)
+                rect = q.rect
+                rminx.append(rect.min_x)
+                rminy.append(rect.min_y)
+                rmaxx.append(rect.max_x)
+                rmaxy.append(rect.max_y)
+            elif tq is knn_t:
+                knn.append(q)
+                kcx.append(q.center.x)
+                kcy.append(q.center.y)
+        entry = (
+            generations, tuple(rq), rminx, rminy, rmaxx, rmaxy,
+            tuple(knn), kcx, kcy,
+        )
+        self._cand_cols[cells] = entry
+        return entry
 
     def add_affected(
         self, oid: ObjectId, position, previous,
-        ordered_candidates: tuple, range_queries: list,
-        cells: tuple, generations: tuple,
+        ordered_candidates: tuple, cells: tuple, generations: tuple,
     ) -> None:
-        """Gather one report's range-affected work.
+        """Gather one report's delta work (range flips + kNN gates).
 
         ``ordered_candidates`` is the full ``query_id``-sorted candidate
         tuple (all query types — stored so consumption skips the grid
-        lookup); ``range_queries`` its plain-``RangeQuery`` members whose
-        membership flips go through the kernel.
+        lookup); its plain range and plain kNN members go through the
+        segmented kernels, everything else stays scalar at consume.
         """
-        c0, c1, c2, c3, c4, c5, c6, c7 = self._aff_buf.columns()
-        nx, ny = position.x, position.y
-        ox, oy = previous.x, previous.y
-        for query in range_queries:
-            rect = query.rect
-            c0.append(rect.min_x)
-            c1.append(rect.min_y)
-            c2.append(rect.max_x)
-            c3.append(rect.max_y)
-            c4.append(nx)
-            c5.append(ny)
-            c6.append(ox)
-            c7.append(oy)
+        entry = self._cand_cols.get(cells)
+        if entry is None or entry[0] != generations:
+            entry = self._build_cand_cols(
+                ordered_candidates, cells, generations
+            )
+        _, rq, rminx, rminy, rmaxx, rmaxy, knn, kcx, kcy = entry
+        c0, c1, c2, c3 = self._aff_buf.columns()
+        c0.extend(rminx)
+        c1.extend(rminy)
+        c2.extend(rmaxx)
+        c3.extend(rmaxy)
+        k0, k1, k2 = self._knn_buf.columns()
+        k0.extend(kcx)
+        k1.extend(kcy)
+        for q in knn:
+            k2.append(q.radius)
+        self._pts.append(position.x, position.y, previous.x, previous.y)
+        self._seg_rlens.append(len(rq))
+        self._seg_klens.append(len(knn))
         self._aff_segments.append((
-            oid, position, previous, ordered_candidates,
-            [q.query_id for q in range_queries], cells, generations,
+            oid, position, previous, ordered_candidates, rq, knn,
+            cells, generations,
         ))
+
+    def obstacle_columns(self, cell, generation: int, relevant_queries):
+        """The cell's cached obstacle-candidate columns, or ``None``.
+
+        ``None`` when the cell has no eligible obstacle rects at all —
+        the report then has no Section 5.3 batch work to plan (the
+        containment exclusion of the *eligible* rects happens in-kernel
+        at dispatch, per report position).
+        """
+        entry = self._obst_cols.get(cell)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
+        range_t, _ = _query_types()
+        rects = []
+        for q in relevant_queries:
+            tq = type(q)
+            if tq is range_t or (
+                not hasattr(q, "safe_region_for") and isinstance(q, range_t)
+            ):
+                rects.append(q.rect)
+        cols = ObstacleColumns(rects) if rects else None
+        self._obst_cols[cell] = (generation, cols)
+        return cols
 
     def add_region(
         self, oid: ObjectId, position, cell_id, cell,
-        extents: list, obstacles: list,
+        extents: list, cols: ObstacleColumns,
     ) -> None:
         """Gather one report's Section 5.3 corner-candidate work.
 
         ``extents`` are the four quadrant ``(width, height)`` pairs from
-        ``repro.core.batch.quadrant_extents``; ``obstacles`` the rects
-        ``collect_range_obstacles`` found for ``position``.
+        ``repro.core.batch.quadrant_extents``; ``cols`` the cell's
+        resident obstacle-candidate columns (:meth:`obstacle_columns`).
         """
-        c0, c1, c2, c3, c4, c5, c6, c7, c8, c9 = self._cor_buf.columns()
-        px, py = position.x, position.y
-        for (sx, sy), (width, height) in zip(_QUADRANT_SIGNS, extents):
-            for rect in obstacles:
-                c0.append(px)
-                c1.append(py)
-                c2.append(rect.min_x)
-                c3.append(rect.min_y)
-                c4.append(rect.max_x)
-                c5.append(rect.max_y)
-                c6.append(sx)
-                c7.append(sy)
-                c8.append(width)
-                c9.append(height)
+        c0, c1, c2, c3 = self._reg_buf.columns()
+        c0.extend(cols.minxs)
+        c1.extend(cols.minys)
+        c2.extend(cols.maxxs)
+        c3.extend(cols.maxys)
+        self._reg_pts.append(position.x, position.y)
+        for q, (width, height) in enumerate(extents):
+            self._reg_w[q].append(width)
+            self._reg_h[q].append(height)
+        self._reg_lens.append(cols.n)
         self._reg_segments.append(
-            (oid, position, cell_id, cell, extents, len(obstacles))
+            (oid, position, cell_id, cell, cols.n, extents)
         )
 
     def finish(self) -> TickPlan:
@@ -208,53 +356,98 @@ class TickPlanner:
         assert _QUADRANTS == _QUADRANT_SIGNS
 
         plan = TickPlan()
-        rows = len(self._aff_buf) + len(self._cor_buf)
+        n_aff = len(self._aff_buf)
+        n_knn = len(self._knn_buf)
+        n_reg = len(self._reg_buf)
+        rows = n_aff + n_knn + n_reg
         self._m_plans.inc()
         if rows:
             self._m_rows.inc(rows)
 
+        skipped = 0
         if self._aff_segments:
-            affected, inside = self.kernels.affected_rows(
-                *self._aff_buf.columns()
-            )
-            self._m_dispatches.inc()
+            nxs, nys, oxs, oys = self._pts.columns()
+            affected = inside = in_new = in_old = ()
+            if n_aff:
+                affected, inside = self.kernels.affected_deltas(
+                    *self._aff_buf.columns(),
+                    self._seg_rlens, nxs, nys, oxs, oys,
+                )
+                self._m_dispatches.inc()
+            if n_knn:
+                in_new, in_old = self.kernels.knn_gate_rows(
+                    *self._knn_buf.columns(),
+                    self._seg_klens, nxs, nys, oxs, oys,
+                )
+                self._m_dispatches.inc()
+            rads = self._knn_buf.columns()[2]
             t0 = perf_counter() if self._metrics_on else 0.0
-            offset = 0
+            ro = 0
+            ko = 0
             for (
-                oid, pos, prev, ordered, qids, cells, gens
+                oid, pos, prev, ordered, rq, knn, cells, gens
             ) in self._aff_segments:
-                verdicts = {}
-                for qid in qids:
-                    verdicts[qid] = (affected[offset], inside[offset])
-                    offset += 1
-                plan.affected[oid] = (pos, prev, ordered, cells, gens, verdicts)
+                hits = []
+                for q in rq:
+                    if affected[ro]:
+                        hits.append((q, inside[ro]))
+                    else:
+                        skipped += 1
+                    ro += 1
+                kverdicts = []
+                for q in knn:
+                    gate_new = in_new[ko]
+                    gate_old = in_old[ko]
+                    # ``is_affected_by`` from the gates: order-sensitive
+                    # queries react to any quarantine touch, unordered
+                    # ones only to a membership flip.
+                    if q.order_sensitive:
+                        hit = gate_new or gate_old
+                    else:
+                        hit = gate_new != gate_old
+                    if not hit:
+                        skipped += 1
+                    kverdicts.append(
+                        (q, hit, (gate_new, gate_old), rads[ko])
+                    )
+                    ko += 1
+                plan.affected[oid] = (
+                    pos, prev, ordered, cells, gens, hits, kverdicts
+                )
             if self._metrics_on:
                 self._m_scatter.inc(perf_counter() - t0)
 
         if self._reg_segments:
-            keep, cxs, cys = self.kernels.quadrant_corners_rows(
-                *self._cor_buf.columns()
+            contained, keep, cxs, cys = self.kernels.quadrant_corners_grouped(
+                *self._reg_pts.columns(), self._reg_w, self._reg_h,
+                self._reg_lens, *self._reg_buf.columns(),
             )
             self._m_dispatches.inc()
             t0 = perf_counter() if self._metrics_on else 0.0
-            offset = 0
-            for oid, pos, cell_id, cell, extents, n_obstacles in (
-                self._reg_segments
-            ):
-                component_sets = []
-                for width, height in extents:
-                    blockers = []
-                    for _ in range(n_obstacles):
-                        if keep[offset]:
-                            blockers.append((cxs[offset], cys[offset]))
-                        offset += 1
-                    component_sets.append(
-                        staircase_corners(blockers, width, height)
-                    )
-                region = combine_components(pos, cell, component_sets)
-                plan.regions[oid] = (pos, cell_id, n_obstacles, region)
+            off = 0
+            for oid, pos, cell_id, cell, n, extents in self._reg_segments:
+                seg_contained = contained[off:off + n]
+                n_obstacles = n - sum(seg_contained)
+                if n_obstacles:
+                    component_sets = []
+                    for q, (width, height) in enumerate(extents):
+                        base = q * n_reg + off
+                        blockers = []
+                        for i in range(n):
+                            if not seg_contained[i] and keep[base + i]:
+                                blockers.append(
+                                    (cxs[base + i], cys[base + i])
+                                )
+                        component_sets.append(
+                            staircase_corners(blockers, width, height)
+                        )
+                    region = combine_components(pos, cell, component_sets)
+                    plan.regions[oid] = (pos, cell_id, n_obstacles, region)
+                off += n
             if self._metrics_on:
                 self._m_scatter.inc(perf_counter() - t0)
 
+        if skipped:
+            self._m_skipped.inc(skipped)
         self.begin()
         return plan

@@ -107,7 +107,10 @@ class ShardedServer:
         self.events = NULL_EVENT_LOG if events is None else events
         self.map = ShardMap(n_shards, self.config.grid_m)
         self.router = ShardRouter(self.map, self.config.space)
-        self.kernels = Kernels(self.config.kernel_backend)
+        self.kernels = Kernels(
+            self.config.kernel_backend,
+            min_rows=self.config.kernel_min_rows,
+        )
         space = self.config.space
         self._diameter = math.hypot(space.width, space.height)
 

@@ -107,7 +107,10 @@ class SRBSimulation:
             self.truth = GroundTruth(
                 {oid: client.trajectory for oid, client in self.clients.items()},
                 queries,
-                kernels=Kernels(scenario.kernel_backend),
+                kernels=Kernels(
+                    scenario.kernel_backend,
+                    min_rows=scenario.kernel_min_rows,
+                ),
             )
         #: Fault injection (docs/ROBUSTNESS.md).  ``None`` reproduces the
         #: paper's perfectly reliable channel bit-for-bit; otherwise both
@@ -151,6 +154,7 @@ class SRBSimulation:
                 anti_storm_relief=scenario.anti_storm_relief,
                 enable_caches=scenario.enable_caches,
                 kernel_backend=scenario.kernel_backend,
+                kernel_min_rows=scenario.kernel_min_rows,
                 # Under faults, duplicated/reordered reports are normal
                 # traffic — never crash on them — and degraded regions
                 # get the waypoint model's hard speed bound so widening

@@ -66,6 +66,9 @@ class Scenario:
     #: Batch-geometry backend (``repro.kernels``): ``"numpy"`` or the
     #: bit-identical ``"python"`` fallback (``--kernel-backend``).
     kernel_backend: str = "numpy"
+    #: Batch-size cutoff below which kernel dispatches fall back to the
+    #: scalar path (``--kernel-min-rows``); must be at least 1.
+    kernel_min_rows: int = 8
     #: Fault injection (docs/ROBUSTNESS.md): a ``FaultPlan`` spec string
     #: such as ``"drop=0.05,dup=0.02,delay=2"`` (``--faults``), or
     #: ``None`` for the paper's perfectly reliable channel.  ``delay``
@@ -106,6 +109,8 @@ class Scenario:
                 "kernel_backend must be 'numpy' or 'python', "
                 f"got {self.kernel_backend!r}"
             )
+        if self.kernel_min_rows < 1:
+            raise ValueError("kernel_min_rows must be at least 1")
         if self.fault_spec is not None:
             # Fail fast on a malformed spec — parse() raises ValueError.
             FaultPlan.parse(self.fault_spec)

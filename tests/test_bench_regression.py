@@ -134,7 +134,10 @@ class TestMain:
         """Each committed BENCH_*.json gated against itself passes —
         the shape the CI stash-then-gate steps rely on."""
         results = _PATH.parent / "results"
-        baselines = sorted(results.glob("BENCH_*.json"))
+        baselines = sorted(
+            path for path in results.glob("BENCH_*.json")
+            if path.name != "BENCH_trajectory.json"  # a log, not a baseline
+        )
         assert baselines, "no committed benchmark baselines found"
         for path in baselines:
             assert check_regression.main([str(path), str(path)]) == 0
@@ -145,3 +148,75 @@ class TestMain:
 def test_identity_always_passes(tolerance):
     code, _ = check_regression.check(_document(), _document(), tolerance)
     assert code == 0
+
+
+def _entry(figure, rate, commit="abc1234", date="2026-08-08"):
+    return {
+        "date": date, "commit": commit,
+        "figure": figure, "updates_per_sec": rate,
+    }
+
+
+class TestTrajectory:
+    def test_latest_within_tolerance_of_best_passes(self):
+        entries = [
+            _entry("kernels.numpy", 80_000.0, commit="a"),
+            _entry("kernels.numpy", 90_000.0, commit="b"),
+            _entry("kernels.numpy", 85_000.0, commit="c"),
+        ]
+        code, messages = check_regression.check_trajectory(entries, 0.2)
+        assert code == 0
+        assert any(m.startswith("  ok:") for m in messages)
+
+    def test_latest_below_best_beyond_tolerance_fails(self):
+        # The gate compares against the *best* earlier entry, so a slow
+        # drift split over several commits cannot slip through.
+        entries = [
+            _entry("kernels.numpy", 100_000.0, commit="a"),
+            _entry("kernels.numpy", 90_000.0, commit="b"),
+            _entry("kernels.numpy", 79_000.0, commit="c"),
+        ]
+        code, messages = check_regression.check_trajectory(entries, 0.2)
+        assert code == 1
+        assert any("REGRESSION" in m for m in messages)
+
+    def test_single_entry_has_nothing_to_gate(self):
+        code, messages = check_regression.check_trajectory(
+            [_entry("hotpath.cached", 20_000.0)], 0.2
+        )
+        assert code == 0
+        assert any("nothing to gate" in m for m in messages)
+
+    def test_figures_gate_independently(self):
+        entries = [
+            _entry("hotpath.cached", 20_000.0, commit="a"),
+            _entry("hotpath.cached", 21_000.0, commit="b"),
+            _entry("kernels.numpy", 100_000.0, commit="a"),
+            _entry("kernels.numpy", 50_000.0, commit="b"),
+        ]
+        code, messages = check_regression.check_trajectory(entries, 0.2)
+        assert code == 1
+        regressions = [m for m in messages if "REGRESSION" in m]
+        assert len(regressions) == 1
+
+    def test_empty_trajectory_passes(self):
+        code, messages = check_regression.check_trajectory([], 0.2)
+        assert code == 0
+        assert any("nothing to gate" in m for m in messages)
+
+    def test_cli_trajectory_mode(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_trajectory.json"
+        path.write_text(json.dumps([
+            _entry("kernels.numpy", 100_000.0, commit="a"),
+            _entry("kernels.numpy", 50_000.0, commit="b"),
+        ]))
+        assert check_regression.main(["--trajectory", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "|" in out  # the ASCII history plot
+
+    def test_committed_trajectory_gates_clean(self, capsys):
+        path = _PATH.parent / "results" / "BENCH_trajectory.json"
+        assert path.exists(), "tracked perf trajectory missing"
+        assert check_regression.main(["--trajectory", str(path)]) == 0
+        capsys.readouterr()

@@ -51,6 +51,29 @@ class TestParser:
         assert _parse_value("0.5") == 0.5
         assert _parse_value("abc") == "abc"
 
+    def test_kernel_min_rows_flag_reaches_scenario(self):
+        from repro.cli import _scenario_from
+
+        args = build_parser().parse_args(
+            ["compare", "--kernel-min-rows", "17"]
+        )
+        assert args.kernel_min_rows == 17
+        assert _scenario_from(args).kernel_min_rows == 17
+
+    def test_kernel_min_rows_defaults_to_8(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.kernel_min_rows == 8
+
+    def test_kernel_min_rows_below_one_rejected(self, capsys):
+        args = build_parser().parse_args(
+            ["compare", "--kernel-min-rows", "0"]
+        )
+        from repro.cli import _scenario_from
+
+        with pytest.raises(SystemExit):
+            _scenario_from(args)
+        assert "kernel_min_rows" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_theorem(self, capsys):

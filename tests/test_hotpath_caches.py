@@ -253,6 +253,11 @@ class TestFastPathElision:
             "server.update.fastpath", 0
         )
 
+    def _certified_count(self):
+        return self.registry.to_dict()["counters"].get(
+            "server.update.certified", 0
+        )
+
     def test_same_cell_update_in_query_free_cell_is_elided(self):
         server = self._server()
         cell_rect = server.query_index.cell_rect_of_point(Point(0.05, 0.05))
@@ -292,14 +297,26 @@ class TestFastPathElision:
         server.handle_location_update("quiet", Point(0.06, 0.07), 1.0)
         assert self._fastpath_count() == 1
         # A query lands on the quiet object's cell: its stamp must die.
+        # The registration's own reevaluation already absorbed the quiet
+        # object into the result and granted it the clipped member
+        # region plus a delta certificate, so the next in-region report
+        # is certified (no reevaluation can be needed while the member
+        # stays strictly inside a region contained in the query rect).
         server.register_query(
             RangeQuery(Rect(0.0, 0.0, 0.2, 0.2), "r0"), time=1.0
         )
-        out = server.handle_location_update("quiet", Point(0.08, 0.08), 2.0)
-        assert self._fastpath_count() == 1  # unchanged: full path ran
         assert server.safe_region_of("quiet") != \
             server.query_index.cell_rect_of_point(Point(0.08, 0.08))
+        out = server.handle_location_update("quiet", Point(0.08, 0.08), 2.0)
+        assert self._fastpath_count() == 2  # delta-certified, not stamped
+        assert self._certified_count() == 1
+        assert out.queries_checked == 0
+        # Leaving the granted region ends the certificate: the full path
+        # runs and catches the membership change.
+        out = server.handle_location_update("quiet", Point(0.22, 0.08), 3.0)
+        assert self._fastpath_count() == 2  # unchanged: full path ran
         assert out.queries_checked >= 1
+        assert any(c.query_id == "r0" for c in out.changes)
         server.validate()
 
     def test_deregistration_restores_elision_after_one_full_pass(self):

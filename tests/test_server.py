@@ -173,6 +173,8 @@ class TestEnhancedModes:
             ServerConfig(steadiness=2.0)
         with pytest.raises(ValueError):
             ServerConfig(max_speed=0.0)
+        with pytest.raises(ValueError):
+            ServerConfig(kernel_min_rows=0)
 
 
 class TestDynamicObjects:

@@ -78,6 +78,25 @@ class TestSnapshotShape:
         assert restored.config.on_unknown_object == "raise"
         restored.validate()
 
+    def test_kernel_min_rows_round_trips(self):
+        """``kernel_min_rows`` survives the round trip; snapshots written
+        before the knob existed restore to its default."""
+        positions = {oid: Point(0.1 * oid + 0.05, 0.5) for oid in range(5)}
+        server = DatabaseServer(
+            position_oracle=lambda oid: positions[oid],
+            config=ServerConfig(kernel_min_rows=17),
+        )
+        server.load_objects(positions.items())
+        payload = json.loads(json.dumps(snapshot_server(server)))
+        assert payload["config"]["kernel_min_rows"] == 17
+        restored = restore_server(payload, lambda oid: positions[oid])
+        assert restored.config.kernel_min_rows == 17
+        assert restored.kernels.min_rows == 17
+
+        del payload["config"]["kernel_min_rows"]
+        legacy = restore_server(payload, lambda oid: positions[oid])
+        assert legacy.config.kernel_min_rows == 8
+
     def test_fault_state_round_trips(self):
         """Clock, degraded set, and fault config survive the round trip."""
         from repro.faults import ProbeTimeout

@@ -17,6 +17,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import DatabaseServer, KNNQuery, RangeQuery, ServerConfig
 from repro.geometry import Point, Rect
+from repro.kernels.store import PositionStore
+from repro.obs import MetricsRegistry
+from repro.sharding import ShardedServer
 
 OIDS = [f"o{i}" for i in range(8)]
 
@@ -90,3 +93,169 @@ def test_evicting_unknown_object_raises():
     server = DatabaseServer(lambda oid: Point(0.0, 0.0), ServerConfig())
     with pytest.raises(KeyError):
         server.evict_object("ghost", time=0.0)
+
+
+# ----------------------------------------------------------------------
+# Cell residency across shard migration (evict on one store, re-add on
+# another).  A migration is exactly discard-from-home + set-on-target;
+# the per-cell columns and membership generations of *both* stores must
+# track a reference model through any interleaving.
+# ----------------------------------------------------------------------
+
+GRID_M = 4
+CELL_W = 1.0 / GRID_M
+
+
+def _model_cell(x: float, y: float) -> tuple[int, int]:
+    """``GridIndex.cell_of`` arithmetic over the unit space."""
+    hi = GRID_M - 1
+    return (
+        min(max(int(x / CELL_W), 0), hi),
+        min(max(int(y / CELL_W), 0), hi),
+    )
+
+
+def _check_store_against_model(store: PositionStore, pos: dict) -> None:
+    """Per-cell columns mirror ``pos`` exactly; generations match the
+    enter/leave count tracked on each live bucket."""
+    residents: dict = {}
+    for oid, (x, y) in pos.items():
+        residents.setdefault(_model_cell(x, y), {})[oid] = (x, y)
+    assert sorted(store.resident_cells()) == sorted(residents)
+    for cell, expected in residents.items():
+        xs, ys, ids = store.cell_columns(cell)
+        assert dict(zip(ids, zip(list(xs), list(ys)))) == expected
+        assert sorted(store.cell_ids(cell)) == sorted(expected)
+        for oid in expected:
+            assert store.cell_of(oid) == cell
+
+
+# op: (kind, oid index, x, y, target store) with
+# kind 0 = set/move on the home store, 1 = migrate home -> target
+# (discard + re-add, the shard-migration shape), 2 = discard.
+migration_ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),
+              st.integers(min_value=0, max_value=len(OIDS) - 1),
+              unit, unit,
+              st.integers(min_value=0, max_value=1)),
+    min_size=1, max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=migration_ops)
+def test_migration_preserves_cell_columns_and_generations(ops):
+    stores = (PositionStore(), PositionStore())
+    for store in stores:
+        store.bind_grid(0.0, 0.0, CELL_W, CELL_W, GRID_M)
+    positions: list[dict] = [{}, {}]   # per store: oid -> (x, y)
+    generations: list[dict] = [{}, {}]  # per store: cell -> expected gen
+    home: dict = {}
+
+    def enter(s, oid, x, y):
+        cell = _model_cell(x, y)
+        held = positions[s].get(oid)
+        positions[s][oid] = (x, y)
+        if held is not None and _model_cell(*held) == cell:
+            return  # in-place move: no membership change, no bump
+        if held is not None:
+            leave_cell(s, _model_cell(*held), oid_gone=oid)
+        generations[s][cell] = generations[s].get(cell, 0) + 1
+
+    def leave_cell(s, cell, oid_gone):
+        # Bucket deleted when its last resident leaves: generation
+        # restarts from 0 on the next enter, exactly like the store.
+        if any(
+            oid != oid_gone and _model_cell(*p) == cell
+            for oid, p in positions[s].items()
+        ):
+            generations[s][cell] += 1
+        else:
+            del generations[s][cell]
+
+    def discard(s, oid):
+        x, y = positions[s][oid]
+        del positions[s][oid]
+        leave_cell(s, _model_cell(x, y), oid_gone=None)
+
+    for kind, idx, x, y, target in ops:
+        oid = OIDS[idx]
+        s = home.get(oid)
+        if kind == 0 or s is None:
+            s = target if s is None else s
+            home[oid] = s
+            stores[s].set(oid, Point(x, y))
+            enter(s, oid, x, y)
+        elif kind == 1:
+            if s == target:
+                target = 1 - target
+            stores[s].discard(oid)
+            discard(s, oid)
+            stores[target].set(oid, Point(x, y))
+            enter(target, oid, x, y)
+            home[oid] = target
+        else:
+            stores[s].discard(oid)
+            discard(s, oid)
+            del home[oid]
+        for s in (0, 1):
+            _check_store_against_model(stores[s], positions[s])
+            for cell, gen in generations[s].items():
+                assert stores[s].cell_generation(cell) == gen
+            for cell in stores[s].resident_cells():
+                assert cell in generations[s]
+
+
+def _check_cell_consistency(server: DatabaseServer) -> None:
+    """Every object sits in exactly one bucket, at its stored position."""
+    store = server.positions
+    seen: dict = {}
+    for cell in store.resident_cells():
+        xs, ys, ids = store.cell_columns(cell)
+        assert store.cell_generation(cell) >= 1
+        for x, y, oid in zip(list(xs), list(ys), ids):
+            assert oid not in seen
+            seen[oid] = cell
+            assert store.cell_of(oid) == cell
+            assert store.get(oid) == (x, y)
+    assert set(seen) == set(store) == set(server._objects)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    moves=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=len(OIDS) - 1),
+                  unit, unit),
+        min_size=1, max_size=30,
+    )
+)
+def test_sharded_migrations_keep_cell_residency_exact(moves):
+    live = {oid: Point(0.5, 0.5) for oid in OIDS}
+    registry = MetricsRegistry()
+    cluster = ShardedServer(
+        lambda oid: live[oid],
+        ServerConfig(grid_m=GRID_M),
+        n_shards=2,
+        metrics=registry,
+    )
+    cluster.load_objects(live.items())
+    cluster.register_query(
+        KNNQuery(Point(0.5, 0.5), 2, query_id="k0"), time=0.0
+    )
+
+    migrated = 0
+    clock = 0.0
+    for idx, x, y in moves:
+        clock += 1.0
+        oid = OIDS[idx]
+        before = cluster.shard_of_object(oid)
+        live[oid] = Point(x, y)
+        cluster.handle_location_update(oid, live[oid], time=clock)
+        if cluster.shard_of_object(oid) != before:
+            migrated += 1
+        for shard in cluster._shards:
+            _check_cell_consistency(shard.backend.server)
+
+    counters = registry.to_dict()["counters"]
+    assert counters.get("shard.migrations", 0) == migrated
+    cluster.validate()

@@ -34,8 +34,7 @@ def _plan_one(planner, oid, position, previous, queries,
               cells=(3,), generations=(0,)):
     planner.begin()
     planner.add_affected(
-        oid, position, previous, tuple(queries), list(queries),
-        cells, generations,
+        oid, position, previous, tuple(queries), cells, generations,
     )
     return planner.finish()
 
@@ -58,17 +57,31 @@ class TestPlannerCounters:
         p = Point(0.2, 0.2)
         cell = Rect(0.0, 0.0, 1.0, 1.0)
         planner.begin()
-        planner.add_affected(
-            "a", p, Point(0.1, 0.1), (q,), [q], (0,), (0,)
-        )
+        planner.add_affected("a", p, Point(0.1, 0.1), (q,), (0,), (0,))
+        cols = planner.obstacle_columns(0, 0, [q])
         planner.add_region(
-            "a", p, 0, cell, quadrant_extents(p, cell), [q.rect]
+            "a", p, 0, cell, quadrant_extents(p, cell), cols
         )
         planner.finish()
         counters = registry.to_dict()["counters"]
         assert counters["kernels.planner.dispatches"] == 2
-        # 1 affected row + 4 quadrants x 1 obstacle corner rows.
-        assert counters["kernels.planner.rows_gathered"] == 5
+        # 1 affected row + 1 obstacle rect row (the four quadrant corner
+        # candidates are derived in-kernel, not gathered as rows).
+        assert counters["kernels.planner.rows_gathered"] == 2
+
+    def test_empty_deltas_count_as_skipped_rows(self):
+        registry = MetricsRegistry()
+        planner = TickPlanner(Kernels("numpy"), metrics=registry)
+        q_hit = RangeQuery(Rect(0.2, 0.2, 0.6, 0.6), query_id="rin")
+        q_miss = RangeQuery(Rect(0.8, 0.8, 0.9, 0.9), query_id="rout")
+        _plan_one(
+            planner, "a", Point(0.3, 0.3), Point(0.1, 0.1),
+            [q_hit, q_miss],
+        )
+        counters = registry.to_dict()["counters"]
+        # ``q_miss`` contains neither endpoint: its verdict row is an
+        # empty delta the consumer never revisits.
+        assert counters["kernels.delta.skipped_rows"] == 1
 
 
 class TestTakeValidation:
@@ -80,12 +93,36 @@ class TestTakeValidation:
         plan = _plan_one(planner, "a", pos, prev, [q_in, q_out])
         taken = plan.take_affected("a", pos, prev, _StubGrid({3: 0}))
         assert taken is not None
-        ordered, verdicts = taken
+        ordered, hits, kverdicts = taken
         assert ordered == (q_in, q_out)
-        for q in (q_in, q_out):
-            affected, inside = verdicts[q.query_id]
-            assert affected == q.is_affected_by(pos, prev)
-            assert inside == q.rect.contains_point(pos)
+        assert kverdicts == []
+        # Only the affected query appears in the delta; its payload is
+        # the new-position containment ``reevaluate_range`` consumes.
+        assert q_in.is_affected_by(pos, prev)
+        assert not q_out.is_affected_by(pos, prev)
+        assert hits == [(q_in, q_in.rect.contains_point(pos))]
+
+    def test_knn_gates_match_scalar_quarantine(self):
+        planner = TickPlanner(Kernels("numpy"))
+        q_near = KNNQuery(Point(0.3, 0.3), 2, query_id="knear")
+        q_near.radius = 0.2
+        q_far = KNNQuery(Point(0.9, 0.9), 2, query_id="kfar")
+        q_far.radius = 0.05
+        pos, prev = Point(0.35, 0.3), Point(0.1, 0.1)
+        plan = _plan_one(planner, "a", pos, prev, [q_far, q_near])
+        taken = plan.take_affected("a", pos, prev, _StubGrid({3: 0}))
+        assert taken is not None
+        ordered, hits, kverdicts = taken
+        assert hits == []
+        # Every plain kNN candidate gets a gate row (candidate order),
+        # carrying the radius it was planned against.
+        assert [(q, hit, rad) for q, hit, _, rad in kverdicts] == [
+            (q_far, q_far.is_affected_by(pos, prev), q_far.radius),
+            (q_near, q_near.is_affected_by(pos, prev), q_near.radius),
+        ]
+        for q, _, (in_new, in_old), _ in kverdicts:
+            assert in_new == q.quarantine_contains(pos)
+            assert in_old == q.quarantine_contains(prev)
 
     def test_entries_pop_once(self):
         planner = TickPlanner(Kernels("numpy"))
@@ -125,10 +162,13 @@ class TestTakeValidation:
             Rect(0.30, 0.30, 0.35, 0.35),
             Rect(0.44, 0.40, 0.48, 0.49),
         ]
+        queries = [
+            RangeQuery(r, query_id=f"r{i}")
+            for i, r in enumerate(obstacles)
+        ]
         planner.begin()
-        planner.add_region(
-            "a", p, 7, cell, quadrant_extents(p, cell), obstacles
-        )
+        cols = planner.obstacle_columns(7, 0, queries)
+        planner.add_region("a", p, 7, cell, quadrant_extents(p, cell), cols)
         plan = planner.finish()
         taken = plan.take_range_region("a", p, 7)
         assert taken is not None
@@ -138,6 +178,36 @@ class TestTakeValidation:
         # Wrong cell id (a mid-tick move) rejects; entries pop once.
         assert plan.take_range_region("a", p, 8) is None
         assert plan.take_range_region("a", p, 7) is None
+
+    def test_contained_obstacles_are_dropped_in_kernel(self):
+        # The resident obstacle columns include every eligible rect of
+        # the cell; the containment exclusion moves into the dispatch.
+        planner = TickPlanner(Kernels("numpy"))
+        p = Point(0.41, 0.37)
+        cell = Rect(0.25, 0.25, 0.5, 0.5)
+        around_p = Rect(0.40, 0.30, 0.45, 0.40)  # contains p
+        blocker = Rect(0.30, 0.30, 0.35, 0.35)
+        queries = [
+            RangeQuery(around_p, query_id="rc"),
+            RangeQuery(blocker, query_id="rb"),
+        ]
+        planner.begin()
+        cols = planner.obstacle_columns(7, 0, queries)
+        assert cols.n == 2
+        planner.add_region("a", p, 7, cell, quadrant_extents(p, cell), cols)
+        plan = planner.finish()
+        n_obstacles, region = plan.take_range_region("a", p, 7)
+        assert n_obstacles == 1
+        assert region == batch_range_safe_region(p, cell, [blocker], None)
+
+    def test_obstacle_columns_cache_by_generation(self):
+        planner = TickPlanner(Kernels("numpy"))
+        q = RangeQuery(Rect(0.3, 0.3, 0.4, 0.4), query_id="r0")
+        cols = planner.obstacle_columns(5, 3, [q])
+        assert planner.obstacle_columns(5, 3, [q]) is cols
+        q2 = RangeQuery(Rect(0.6, 0.6, 0.7, 0.7), query_id="r1")
+        fresh = planner.obstacle_columns(5, 4, [q, q2])
+        assert fresh is not cols and fresh.n == 2
 
 
 def _world(events=None, metrics=None):
