@@ -17,6 +17,11 @@ import pathlib
 import subprocess
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+#: Regenerated side artifacts — rendered tables, smoke metrics, flight
+#: spills — land here.  The directory is gitignored: only the
+#: ``BENCH_*.json`` baselines in ``results/`` proper are tracked, so a
+#: bench run never churns the working tree with refreshed renderings.
+SCRATCH_DIR = RESULTS_DIR / "scratch"
 TRAJECTORY_PATH = RESULTS_DIR / "BENCH_trajectory.json"
 
 
@@ -31,7 +36,9 @@ def _current_commit() -> str:
         return "unknown"
 
 
-def append_trajectory(figure: str, updates_per_sec: float) -> None:
+def append_trajectory(
+    figure: str, updates_per_sec: float, phases: dict | None = None
+) -> None:
     """Record one full bench run on the tracked perf trajectory.
 
     ``BENCH_trajectory.json`` holds one entry per (figure, commit) —
@@ -41,6 +48,12 @@ def append_trajectory(figure: str, updates_per_sec: float) -> None:
     duplicate.  ``check_regression.py --trajectory`` gates the newest
     entry of each figure against its predecessors.  Callers skip smoke
     runs: their timings are not comparable to full-run entries.
+
+    ``phases`` (optional) attaches the tick-phase budget as *shares*
+    (phase label -> fraction of attributed time) from a profiled replay
+    of the same scenario — shares, not seconds, so entries stay
+    comparable across machines.  The gate only reads
+    ``updates_per_sec``; phases ride along for the record.
     """
     entries: list[dict] = []
     if TRAJECTORY_PATH.exists():
@@ -50,12 +63,15 @@ def append_trajectory(figure: str, updates_per_sec: float) -> None:
         e for e in entries
         if not (e["figure"] == figure and e["commit"] == commit)
     ]
-    entries.append({
+    entry = {
         "date": datetime.date.today().isoformat(),
         "commit": commit,
         "figure": figure,
         "updates_per_sec": round(updates_per_sec, 1),
-    })
+    }
+    if phases is not None:
+        entry["phases"] = phases
+    entries.append(entry)
     RESULTS_DIR.mkdir(exist_ok=True)
     TRAJECTORY_PATH.write_text(json.dumps(entries, indent=2) + "\n")
 
@@ -68,7 +84,7 @@ def run_figure(benchmark, figure_fn, **kwargs):
     table = result.table()
     print()
     print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
     slug = result.figure_id.lower().replace(" ", "_").replace(".", "_")
-    (RESULTS_DIR / f"{slug}.txt").write_text(table + "\n")
+    (SCRATCH_DIR / f"{slug}.txt").write_text(table + "\n")
     return result

@@ -6,7 +6,7 @@ reproduction added (the anti-storm relief pass of DESIGN.md §6), by
 toggling them off and measuring the cost on the base scenario.
 """
 
-from conftest import RESULTS_DIR
+from conftest import SCRATCH_DIR
 
 from repro.experiments.figures import BENCH_BASE
 from repro.experiments.reporting import format_table
@@ -52,8 +52,8 @@ def test_ablations(benchmark):
     table = format_table(rows, title="Ablations (base scenario)")
     print()
     print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "ablations.txt").write_text(table + "\n")
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
+    (SCRATCH_DIR / "ablations.txt").write_text(table + "\n")
 
     default = reports["default"]
     # Correctness is never traded: every variant stays accurate (the

@@ -22,7 +22,7 @@ import os
 import random
 import time
 
-from conftest import RESULTS_DIR, append_trajectory
+from conftest import RESULTS_DIR, SCRATCH_DIR, append_trajectory
 
 from repro.core.queries import KNNQuery, RangeQuery
 from repro.core.server import DatabaseServer, ServerConfig
@@ -189,8 +189,8 @@ def test_hotpath_benchmark():
     registry = MetricsRegistry()
     recorder = EventLog(capacity=50_000)
     _run(enable_caches=True, metrics=registry, events=recorder)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    recorder.dump(RESULTS_DIR / "BENCH_hotpath_flight.jsonl")
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
+    recorder.dump(SCRATCH_DIR / "BENCH_hotpath_flight.jsonl")
     findings = diagnose([event.to_dict() for event in recorder.events()])
     assert findings.ok, "invariant violations:\n" + findings.render()
     counters = registry.to_dict()["counters"]

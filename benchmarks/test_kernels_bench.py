@@ -27,7 +27,7 @@ from repro.core.queries import KNNQuery, RangeQuery
 from repro.core.server import DatabaseServer, ServerConfig
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, phase_budget
 
 SMOKE = os.environ.get("KERNELS_SMOKE") == "1"
 
@@ -101,7 +101,7 @@ def _build():
     return positions, queries, plan
 
 
-def _run(backend: str, metrics=None):
+def _run(backend: str, metrics=None, profile=False):
     """Replay the plan against a fresh server; time only the update loop."""
     positions, queries, plan = _build()
     live = dict(positions)
@@ -110,6 +110,8 @@ def _run(backend: str, metrics=None):
         ServerConfig(grid_m=GRID_M, kernel_backend=backend),
         metrics=metrics,
     )
+    if profile:
+        server.profile_start()
     server.load_objects(live.items())
     for query in queries:
         server.register_query(query, time=0.0)
@@ -137,13 +139,16 @@ def _run(backend: str, metrics=None):
         st.queries_registered, st.queries_checked,
         st.queries_reevaluated, st.result_changes,
     )
-    return {
+    result = {
         "total_seconds": total,
         "latencies": sorted(latencies),
         "snapshots": snapshots,
         "counters": counters,
         "updates": st.location_updates,
     }
+    if profile:
+        result["profile"] = server.profile_snapshot()
+    return result
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -182,11 +187,16 @@ def test_kernels_benchmark():
         and vectorised["counters"] == scalar["counters"]
     )
 
-    # Metrics replay (separate so instrument costs stay out of the timings).
+    # Metrics + profiling replay (separate so instrumentation costs stay
+    # out of the timings; one replay serves both).
     registry = MetricsRegistry()
-    _run("numpy", metrics=registry)
+    profiled = _run("numpy", metrics=registry, profile=True)
     counters = registry.to_dict()["counters"]
     gauges = registry.to_dict()["gauges"]
+    phases = {
+        label: {"seconds": round(seconds, 6), "share": round(share, 4)}
+        for label, seconds, share in phase_budget(profiled["profile"])
+    }
 
     speedup = scalar["total_seconds"] / vectorised["total_seconds"]
     baseline = _hotpath_cached_baseline()
@@ -233,6 +243,9 @@ def test_kernels_benchmark():
             "grid_cells_indexed": gauges.get("grid.cells_indexed", 0),
         },
         "hotpath_cached_updates_per_sec": baseline,
+        # Where the replay's tick time goes (tick-phase profiler, from
+        # the instrumented replay — shares of attributed self time).
+        "phases": phases,
         "equivalent": equivalent,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -256,7 +269,10 @@ def test_kernels_benchmark():
                 f"scalar fallback served {fallback_row_ratio:.1%} of "
                 f"kernel-visible rows (cap {MAX_FALLBACK_ROW_RATIO:.0%})"
             )
-        append_trajectory("kernels.numpy", document["numpy"]["updates_per_sec"])
+        append_trajectory(
+            "kernels.numpy", document["numpy"]["updates_per_sec"],
+            phases={label: row["share"] for label, row in phases.items()},
+        )
         append_trajectory("kernels.python", document["python"]["updates_per_sec"])
         ups = document["numpy"]["updates_per_sec"]
         required = 2.0 * PRE_PLANNER_UPDATES_PER_SEC

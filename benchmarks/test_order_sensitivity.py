@@ -6,7 +6,7 @@ notes its reevaluation runs from scratch.  This bench quantifies the
 whole-system effect of the semantics choice on the base scenario.
 """
 
-from conftest import RESULTS_DIR
+from conftest import SCRATCH_DIR
 
 from repro.experiments.figures import BENCH_BASE
 from repro.experiments.reporting import format_table
@@ -43,8 +43,8 @@ def test_order_sensitivity(benchmark):
     table = format_table(rows, title="kNN order semantics")
     print()
     print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "order_sensitivity.txt").write_text(table + "\n")
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
+    (SCRATCH_DIR / "order_sensitivity.txt").write_text(table + "\n")
 
     sensitive = reports["order-sensitive"]
     insensitive = reports["order-insensitive"]

@@ -6,7 +6,7 @@ query load, and that the per-update server cost stays flat as N grows
 (the property that let the paper's server outpace PRD at 100k objects).
 """
 
-from conftest import RESULTS_DIR
+from conftest import SCRATCH_DIR
 
 from repro.experiments.figures import BENCH_BASE
 from repro.experiments.reporting import format_table
@@ -47,8 +47,8 @@ def test_scale_smoke(benchmark):
     table = format_table(rows, title="Scale smoke (SRB only, 1 time unit)")
     print()
     print(table)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "scale_smoke.txt").write_text(table + "\n")
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
+    (SCRATCH_DIR / "scale_smoke.txt").write_text(table + "\n")
 
     small, large = reports[2_000], reports[20_000]
     assert large.accuracy > 0.95
@@ -95,13 +95,13 @@ def test_bench_metrics_artifact():
         ), f"missing span timings for phase {phase!r}: {sorted(spans)}"
     assert snapshot["timeseries"], "sampler recorded no series"
 
-    RESULTS_DIR.mkdir(exist_ok=True)
+    SCRATCH_DIR.mkdir(parents=True, exist_ok=True)
     write_json(
         {"schemes": {"SRB": snapshot}},
-        RESULTS_DIR / "bench_metrics.json",
+        SCRATCH_DIR / "bench_metrics.json",
     )
     # Flight-recorder tail: archived by CI on failure for post-mortems,
     # and replayed through the diagnostics invariants right here.
-    recorder.dump(RESULTS_DIR / "scale_smoke_flight.jsonl")
+    recorder.dump(SCRATCH_DIR / "scale_smoke_flight.jsonl")
     findings = diagnose([event.to_dict() for event in recorder.events()])
     assert findings.ok, "invariant violations:\n" + findings.render()

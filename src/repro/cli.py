@@ -17,6 +17,12 @@ Commands:
   run) into a per-interval timeline table.
 * ``diagnose`` — replay an event stream against the framework's
   invariants and report violations/anomalies (exit 1 on violations).
+* ``profile`` — run the SRB scheme with the tick-phase profiler
+  attached and print where the time goes: the phase-budget table, the
+  top-k hotspot tables, and the cell-occupancy skew.  ``--folded-out``
+  writes collapsed-stack lines (flamegraph.pl / speedscope input),
+  ``--profile-out`` the JSON phase-budget report.  Works identically
+  with ``--shards N`` (per-shard summaries are merged).
 
 All simulation commands accept ``--objects/--queries/--duration/--seed``
 style overrides of the laptop-scale defaults; ``compare --metrics-out
@@ -45,13 +51,15 @@ from repro.obs import (
     causal_chain,
     diagnose,
     filter_events,
+    folded_lines,
     load_metrics,
     read_events,
     render_document,
+    render_profile,
     timeline,
     write_json,
 )
-from repro.simulation import Scenario
+from repro.simulation import Scenario, SRBSimulation
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -342,6 +350,47 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    simulation = SRBSimulation(
+        scenario,
+        profile=True,
+        profile_max_ticks=args.ticks,
+        profile_top_k=args.top_k,
+    )
+    report = simulation.run()
+    summary = report.extras.get("profile") or {}
+    scope = (
+        f"first {args.ticks} ticks" if args.ticks is not None
+        else "whole run"
+    )
+    deployment = (
+        f"{scenario.shards} shards" if scenario.shards else "single server"
+    )
+    print(
+        f"SRB profile: N={scenario.num_objects} W={scenario.num_queries} "
+        f"T={scenario.duration:g} ({deployment}, {scope})"
+    )
+    print(render_profile(summary, top_k=args.top_k))
+    if args.folded_out is not None:
+        try:
+            with open(args.folded_out, "w", encoding="utf-8") as handle:
+                for line in folded_lines(summary):
+                    handle.write(line + "\n")
+        except OSError as error:
+            print(f"cannot write {args.folded_out}: {error}", file=sys.stderr)
+            return 2
+        print(f"collapsed stacks written to {args.folded_out}")
+    if args.profile_out is not None:
+        try:
+            write_json(summary, args.profile_out)
+        except OSError as error:
+            print(f"cannot write {args.profile_out}: {error}", file=sys.stderr)
+            return 2
+        print(f"profile report written to {args.profile_out}")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     figure_fn = figures.ALL_FIGURES.get(args.id)
     if figure_fn is None:
@@ -514,6 +563,32 @@ def build_parser() -> argparse.ArgumentParser:
              "for zero-delay runs)",
     )
     diagnose_cmd.set_defaults(handler=_cmd_diagnose)
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="attribute SRB tick time to phases and hotspots",
+    )
+    _add_scenario_arguments(profile_cmd)
+    profile_cmd.add_argument(
+        "--ticks", type=int, default=None, metavar="N",
+        help="sampling capture: profile only the first N server ticks "
+             "(per shard in sharded mode; default: the whole run)",
+    )
+    profile_cmd.add_argument(
+        "--top-k", type=int, default=10, metavar="K",
+        help="rows per hotspot table (queries / cells / objects)",
+    )
+    profile_cmd.add_argument(
+        "--folded-out", metavar="FILE", default=None,
+        help="write collapsed-stack lines ('phase;subphase micros') "
+             "for flamegraph.pl or speedscope",
+    )
+    profile_cmd.add_argument(
+        "--profile-out", metavar="FILE", default=None,
+        help="write the JSON phase-budget report (phases, hotspots, "
+             "occupancy; per-shard sections under 'shards')",
+    )
+    profile_cmd.set_defaults(handler=_cmd_profile)
 
     figure = commands.add_parser(
         "figure", help="regenerate a paper figure (7.1 ... 7.6b)"

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Hashable, Iterable
 
 from repro.core.enhancements import ReachabilityModel, weighted_perimeter_objective
@@ -41,7 +42,14 @@ from repro.index.bulk import bulk_load
 from repro.index.grid import GridIndex
 from repro.index.rstar import RStarTree
 from repro.kernels import KERNEL_BACKENDS, Kernels, PositionStore, TickPlanner
-from repro.obs import COUNT_BUCKETS, NULL_EVENT_LOG, NULL_REGISTRY, Tracer
+from repro.obs import (
+    COUNT_BUCKETS,
+    NULL_EVENT_LOG,
+    NULL_PROFILER,
+    NULL_REGISTRY,
+    Tracer,
+    occupancy_summary,
+)
 
 ObjectId = Hashable
 PositionOracle = Callable[[ObjectId], Point]
@@ -244,6 +252,11 @@ class DatabaseServer:
         #: through probes, shrink pushes, and region installs.
         self._cause: int | None = None
         self._trace = Tracer(self.metrics)
+        #: Tick-phase profiler (repro.obs.profile): the shared no-op by
+        #: default, so every hook costs one attribute check.  A capture
+        #: session swaps in a live :class:`TickProfiler` via
+        #: :meth:`attach_profiler`.
+        self.profiler = NULL_PROFILER
         self._m_probes = self.metrics.counter("server.probes")
         self._m_pushes = self.metrics.counter("server.safe_region_pushes")
         self._m_updates = self.metrics.counter("server.location_updates")
@@ -393,10 +406,52 @@ class DatabaseServer:
         the node-count walk is cheap but pointless per-report.  The grid's
         own gauges (``grid.cells_indexed`` et al.) refresh on mutation.
         """
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.push("index.maintenance")
+            try:
+                if self.metrics.enabled:
+                    self._g_rstar_height.set(self.object_index.height)
+                    self._g_rstar_nodes.set(self.object_index.count_nodes())
+            finally:
+                profiler.pop()
+            return
         if not self.metrics.enabled:
             return
         self._g_rstar_height.set(self.object_index.height)
         self._g_rstar_nodes.set(self.object_index.count_nodes())
+
+    def attach_profiler(self, profiler) -> None:
+        """Install a tick-phase profiler (``NULL_PROFILER`` detaches).
+
+        The planner shares the instance so kernel dispatch and scatter
+        attribute into the same tick's budget.
+        """
+        self.profiler = profiler
+        self.planner.profiler = profiler
+
+    def profile_start(self, max_ticks: int | None = None) -> None:
+        """Begin a profiling session (same surface as ``ShardedServer``)."""
+        from repro.obs import TickProfiler
+
+        self.attach_profiler(TickProfiler(max_ticks=max_ticks))
+
+    def profile_stop(self) -> None:
+        """End the session; the shared no-op profiler goes back in."""
+        self.attach_profiler(NULL_PROFILER)
+
+    def profile_snapshot(self, top_k: int = 10) -> dict:
+        """The attached profiler's summary + current cell-occupancy skew.
+
+        The occupancy section is computed from the resident position
+        store at snapshot time (it is state, not a per-tick cost) and
+        reuses the ``shard.objects.imbalance`` formula.
+        """
+        summary = self.profiler.to_dict(top_k)
+        summary["occupancy"] = occupancy_summary(
+            self.positions.cell_occupancy().values()
+        )
+        return summary
 
     # ------------------------------------------------------------------
     # Columnar position queries (repro.kernels)
@@ -798,37 +853,45 @@ class DatabaseServer:
         reports = list(reports)
         oids = [oid for oid, _ in reports]
         batch = BatchOutcome()
-        if not reports:
+        profiler = self.profiler
+        # The ownership token: an outer wrapper (a shard batch op) may
+        # already hold the tick — then this batch nests inside it.
+        owns_tick = profiler.enabled and profiler.tick_begin()
+        try:
+            if not reports:
+                self.refresh_index_gauges()
+                return batch
+            if len(set(oids)) != len(oids):
+                for i in range(len(reports)):
+                    oid, position = reports[i]
+                    outcome = self.handle_location_update(oid, position, time)
+                    batch.merge(oid, outcome)
+                self.refresh_index_gauges()
+                return batch
+            # One columnar pass computes every destination cell (identical
+            # to per-report ``grid.cell_of``); the sort key is unchanged.
+            cells = self.query_index.cells_of_points(
+                [position for _, position in reports]
+            )
+            # Stable sort over the already index-ordered range: equal cells
+            # keep submission order, so the key collapses to the cell alone.
+            ordered = sorted(range(len(reports)), key=cells.__getitem__)
+            if (
+                not self.events.enabled
+                and not self._degraded
+                and time >= self._clock
+            ):
+                self._bulk_updates(reports, ordered, cells, time, batch)
+            else:
+                for i in ordered:
+                    oid, position = reports[i]
+                    outcome = self.handle_location_update(oid, position, time)
+                    batch.merge(oid, outcome)
             self.refresh_index_gauges()
             return batch
-        if len(set(oids)) != len(oids):
-            for i in range(len(reports)):
-                oid, position = reports[i]
-                outcome = self.handle_location_update(oid, position, time)
-                batch.merge(oid, outcome)
-            self.refresh_index_gauges()
-            return batch
-        # One columnar pass computes every destination cell (identical
-        # to per-report ``grid.cell_of``); the sort key is unchanged.
-        cells = self.query_index.cells_of_points(
-            [position for _, position in reports]
-        )
-        # Stable sort over the already index-ordered range: equal cells
-        # keep submission order, so the key collapses to the cell alone.
-        ordered = sorted(range(len(reports)), key=cells.__getitem__)
-        if (
-            not self.events.enabled
-            and not self._degraded
-            and time >= self._clock
-        ):
-            self._bulk_updates(reports, ordered, cells, time, batch)
-        else:
-            for i in ordered:
-                oid, position = reports[i]
-                outcome = self.handle_location_update(oid, position, time)
-                batch.merge(oid, outcome)
-        self.refresh_index_gauges()
-        return batch
+        finally:
+            if owns_tick:
+                profiler.tick_end(len(reports))
 
     @contextmanager
     def planned_tick(
@@ -893,6 +956,9 @@ class DatabaseServer:
         objects = self._objects
         planner = self.planner
         planner.begin()
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.push("plan.gather")
         caches_on = self._caches_on
         plan_regions = (
             self.config.batch_range_regions and self.config.steadiness == 0.0
@@ -970,7 +1036,13 @@ class DatabaseServer:
                         oid, position, cell_new, cell,
                         quadrant_extents(position, cell), obstacles,
                     )
-        return planner.finish() if any_work else None
+        # ``finish`` runs inside the gather phase; the planner opens its
+        # own ``kernel.dispatch`` / ``report.scatter`` child phases.
+        try:
+            return planner.finish() if any_work else None
+        finally:
+            if profiler.enabled:
+                profiler.pop()
 
     def _bulk_updates(self, reports, ordered, cells, time, batch) -> None:
         """Planner-backed batch processing (see ``handle_location_updates``).
@@ -1105,6 +1177,24 @@ class DatabaseServer:
             self.stats.cpu_seconds = self._trace.cpu_seconds
 
     def _process_update(
+        self,
+        oid: ObjectId,
+        position: Point,
+        previous: Point | None,
+        time: float,
+    ) -> UpdateOutcome:
+        profiler = self.profiler
+        # Auto-root: an update arriving outside a batch (the simulator's
+        # per-event path) is its own one-report tick; inside a batch the
+        # open tick wins (tick_begin returns False).
+        owns_tick = profiler.enabled and profiler.tick_begin()
+        try:
+            return self._process_update_traced(oid, position, previous, time)
+        finally:
+            if owns_tick:
+                profiler.tick_end(1)
+
+    def _process_update_traced(
         self,
         oid: ObjectId,
         position: Point,
@@ -1300,8 +1390,25 @@ class DatabaseServer:
         return outcome
 
     def _ingest_reports(self, *args, **kwargs) -> None:
-        with self._trace.span("ingest"):
-            self._do_ingest_reports(*args, **kwargs)
+        # Inline segment clock (``TickProfiler.acc_ingest``): cheaper
+        # than a push/pop pair on a phase entered once per report.
+        profiler = self.profiler
+        timed = profiler.enabled and profiler.tick_open
+        if timed:
+            profiler.in_ingest = True
+            start = perf_counter()
+        try:
+            # Skip the no-op span scaffolding when tracing is off
+            # (behaviourally identical, measurably cheaper).
+            if self._trace.noop_spans():
+                self._do_ingest_reports(*args, **kwargs)
+                return
+            with self._trace.span("ingest"):
+                self._do_ingest_reports(*args, **kwargs)
+        finally:
+            if timed:
+                profiler.acc_ingest += perf_counter() - start
+                profiler.in_ingest = False
 
     def _do_ingest_reports(
         self,
@@ -1344,8 +1451,21 @@ class DatabaseServer:
                     reports.append((target, target_pos))
 
     def _location_manager_phase(self, *args, **kwargs) -> None:
-        with self._trace.span("location_manager"):
-            self._do_location_manager_phase(*args, **kwargs)
+        # The phase scatters freshly computed regions back onto reports;
+        # safe-region *construction* is its ``safe_region`` child phase.
+        profiler = self.profiler
+        timed = profiler.enabled and profiler.tick_open
+        if timed:
+            start = perf_counter()
+        try:
+            if self._trace.noop_spans():
+                self._do_location_manager_phase(*args, **kwargs)
+                return
+            with self._trace.span("location_manager"):
+                self._do_location_manager_phase(*args, **kwargs)
+        finally:
+            if timed:
+                profiler.acc_scatter += perf_counter() - start
 
     def _do_location_manager_phase(
         self,
@@ -1592,11 +1712,25 @@ class DatabaseServer:
     def _reevaluate_affected(self, *args, **kwargs) -> None:
         # Called once per report; skip the no-op span scaffolding when
         # tracing is off (behaviourally identical, measurably cheaper).
-        if self._trace.noop_spans():
-            self._do_reevaluate_affected(*args, **kwargs)
-            return
-        with self._trace.span("reevaluate"):
-            self._do_reevaluate_affected(*args, **kwargs)
+        # The profiler's ``in_ingest`` flag routes the segment to
+        # ``tick;ingest;reevaluate`` or ``tick;report.scatter;reevaluate``
+        # (the relief path reevaluates from inside the scatter phase).
+        profiler = self.profiler
+        timed = profiler.enabled and profiler.tick_open
+        if timed:
+            start = perf_counter()
+        try:
+            if self._trace.noop_spans():
+                self._do_reevaluate_affected(*args, **kwargs)
+                return
+            with self._trace.span("reevaluate"):
+                self._do_reevaluate_affected(*args, **kwargs)
+        finally:
+            if timed:
+                if profiler.in_ingest:
+                    profiler.acc_reev_in += perf_counter() - start
+                else:
+                    profiler.acc_reev_out += perf_counter() - start
 
     def _do_reevaluate_affected(
         self,
@@ -1708,8 +1842,19 @@ class DatabaseServer:
                     self._pending_pointify = None
                     self.object_index.update(p_oid, Rect.from_point(p_pos))
                     break
+        profiler = self.profiler
+        profile_on = profiler.enabled
+        if profile_on:
+            # Hotspot attribution: the report's object, its landing cell
+            # (candidate rows stand in for kernel rows), and — below —
+            # per-query reevaluation seconds.
+            profiler.note_report(
+                oid, self.query_index.cell_of(position),
+                len(ordered), len(affected),
+            )
         events = self.events
         for query, inside in affected:
+            started = perf_counter() if profile_on else 0.0
             before = _snapshot(query)
             probes_before = set(probed)
             parent_cause = self._cause
@@ -1788,6 +1933,10 @@ class DatabaseServer:
                 self.stats.queries_reevaluated += 1
             finally:
                 self._cause = parent_cause
+                if profile_on:
+                    profiler.note_query(
+                        query.query_id, perf_counter() - started
+                    )
 
     # ------------------------------------------------------------------
     # Internals
@@ -1881,25 +2030,34 @@ class DatabaseServer:
         Returns each probed object's *previous* reported position (needed
         as the movement direction for the weighted-perimeter objective).
         """
+        # Called once per reevaluated query (usually with an empty dict);
+        # skip the no-op span scaffolding when tracing is off.
+        if self._trace.noop_spans():
+            return self._do_apply_probes(probed, time)
         with self._trace.span("probe"):
-            previous_positions = {}
-            for target, position in probed.items():
-                state = self._objects[target]
-                previous_positions[target] = state.p_lst
-                if target in self._failed_probes:
-                    # No fresh fix: keep the stale report and its time (the
-                    # silence keeps growing) and widen the installed region
-                    # to the reachability circle — conservative, never a
-                    # stale point the object may have left.
-                    self._enter_degraded(target, time)
-                    continue
-                if self._degraded and target in self._degraded:
-                    self._exit_degraded(target, time)
-                state.p_lst = position
-                self.positions.set(target, position)
-                state.last_update_time = time
-                self.object_index.update(target, Rect.from_point(position))
-            return previous_positions
+            return self._do_apply_probes(probed, time)
+
+    def _do_apply_probes(
+        self, probed: dict[ObjectId, Point], time: float
+    ) -> dict[ObjectId, Point]:
+        previous_positions = {}
+        for target, position in probed.items():
+            state = self._objects[target]
+            previous_positions[target] = state.p_lst
+            if target in self._failed_probes:
+                # No fresh fix: keep the stale report and its time (the
+                # silence keeps growing) and widen the installed region
+                # to the reachability circle — conservative, never a
+                # stale point the object may have left.
+                self._enter_degraded(target, time)
+                continue
+            if self._degraded and target in self._degraded:
+                self._exit_degraded(target, time)
+            state.p_lst = position
+            self.positions.set(target, position)
+            state.last_update_time = time
+            self.object_index.update(target, Rect.from_point(position))
+        return previous_positions
 
     def _apply_shrinks(
         self, shrunk: dict[ObjectId, Rect], probed: dict[ObjectId, Point]
@@ -1914,27 +2072,36 @@ class DatabaseServer:
         """
         if not self.config.reachability_pushes:
             return {}
+        # Same per-reevaluation cadence as ``_apply_probes``: skip the
+        # no-op span scaffolding when tracing is off.
+        if self._trace.noop_spans():
+            return self._do_apply_shrinks(shrunk, probed)
         with self._trace.span("shrink"):
-            applied = {}
-            for target, region in shrunk.items():
-                if target in probed:
-                    continue
-                state = self._objects[target]
-                state.safe_region = region
-                state.sr_stamp = None  # region no longer the full cell
-                state.sr_cert = None  # nor the cell-certified region
-                self.object_index.update(target, region)
-                self.stats.safe_region_pushes += 1
-                self._m_pushes.inc()
-                if self.events.enabled:
-                    self.events.emit(
-                        "shrink_push", cause=self._cause, oid=target,
-                        region=(region.min_x, region.min_y,
-                                region.max_x, region.max_y),
-                        pos=(state.p_lst.x, state.p_lst.y),
-                    )
-                applied[target] = region
-            return applied
+            return self._do_apply_shrinks(shrunk, probed)
+
+    def _do_apply_shrinks(
+        self, shrunk: dict[ObjectId, Rect], probed: dict[ObjectId, Point]
+    ) -> dict[ObjectId, Rect]:
+        applied = {}
+        for target, region in shrunk.items():
+            if target in probed:
+                continue
+            state = self._objects[target]
+            state.safe_region = region
+            state.sr_stamp = None  # region no longer the full cell
+            state.sr_cert = None  # nor the cell-certified region
+            self.object_index.update(target, region)
+            self.stats.safe_region_pushes += 1
+            self._m_pushes.inc()
+            if self.events.enabled:
+                self.events.emit(
+                    "shrink_push", cause=self._cause, oid=target,
+                    region=(region.min_x, region.min_y,
+                            region.max_x, region.max_y),
+                    pos=(state.p_lst.x, state.p_lst.y),
+                )
+            applied[target] = region
+        return applied
 
     def _advance_clock(self, oid: ObjectId, time: float) -> float:
         """Clamp ``time`` to the server's monotonic clock.
@@ -2066,10 +2233,18 @@ class DatabaseServer:
         install the returned region, keeping the stamp's certificate in
         step with the installed state.
         """
-        if self._trace.noop_spans():
-            return self._compute_full_safe_region(oid, position, previous)
-        with self._trace.span("safe_region"):
-            return self._compute_full_safe_region(oid, position, previous)
+        profiler = self.profiler
+        timed = profiler.enabled and profiler.tick_open
+        if timed:
+            start = perf_counter()
+        try:
+            if self._trace.noop_spans():
+                return self._compute_full_safe_region(oid, position, previous)
+            with self._trace.span("safe_region"):
+                return self._compute_full_safe_region(oid, position, previous)
+        finally:
+            if timed:
+                profiler.acc_sr += perf_counter() - start
 
     def _compute_full_safe_region(
         self,

@@ -53,7 +53,7 @@ from typing import Hashable
 
 from repro.kernels.ops import _QUADRANT_SIGNS
 from repro.kernels.store import ColumnBuffer
-from repro.obs import NULL_REGISTRY
+from repro.obs import NULL_PROFILER, NULL_REGISTRY
 
 ObjectId = Hashable
 
@@ -160,7 +160,7 @@ class TickPlanner:
     """Accumulates one tick's kernel work and dispatches it in bulk."""
 
     __slots__ = (
-        "kernels", "_metrics_on",
+        "kernels", "_metrics_on", "profiler",
         "_m_plans", "_m_rows", "_m_dispatches", "_m_scatter", "_m_skipped",
         "_aff_buf", "_knn_buf", "_pts", "_seg_rlens", "_seg_klens",
         "_aff_segments",
@@ -173,6 +173,9 @@ class TickPlanner:
         self.kernels = kernels
         registry = NULL_REGISTRY if metrics is None else metrics
         self._metrics_on = registry.enabled
+        #: Tick-phase profiler, shared with the owning server
+        #: (``DatabaseServer.attach_profiler``); the no-op by default.
+        self.profiler = NULL_PROFILER
         self._m_plans = registry.counter("kernels.planner.plans")
         self._m_rows = registry.counter("kernels.planner.rows_gathered")
         self._m_dispatches = registry.counter("kernels.planner.dispatches")
@@ -364,8 +367,12 @@ class TickPlanner:
         if rows:
             self._m_rows.inc(rows)
 
+        profiler = self.profiler
+        profile_on = profiler.enabled
         skipped = 0
         if self._aff_segments:
+            if profile_on:
+                profiler.push("kernel.dispatch")
             nxs, nys, oxs, oys = self._pts.columns()
             affected = inside = in_new = in_old = ()
             if n_aff:
@@ -380,6 +387,9 @@ class TickPlanner:
                     self._seg_klens, nxs, nys, oxs, oys,
                 )
                 self._m_dispatches.inc()
+            if profile_on:
+                profiler.pop()
+                profiler.push("report.scatter")
             rads = self._knn_buf.columns()[2]
             t0 = perf_counter() if self._metrics_on else 0.0
             ro = 0
@@ -416,13 +426,20 @@ class TickPlanner:
                 )
             if self._metrics_on:
                 self._m_scatter.inc(perf_counter() - t0)
+            if profile_on:
+                profiler.pop()
 
         if self._reg_segments:
+            if profile_on:
+                profiler.push("kernel.dispatch")
             contained, keep, cxs, cys = self.kernels.quadrant_corners_grouped(
                 *self._reg_pts.columns(), self._reg_w, self._reg_h,
                 self._reg_lens, *self._reg_buf.columns(),
             )
             self._m_dispatches.inc()
+            if profile_on:
+                profiler.pop()
+                profiler.push("report.scatter")
             t0 = perf_counter() if self._metrics_on else 0.0
             off = 0
             for oid, pos, cell_id, cell, n, extents in self._reg_segments:
@@ -446,6 +463,8 @@ class TickPlanner:
                 off += n
             if self._metrics_on:
                 self._m_scatter.inc(perf_counter() - t0)
+            if profile_on:
+                profiler.pop()
 
         if skipped:
             self._m_skipped.inc(skipped)

@@ -200,6 +200,13 @@ class PositionStore:
         when determinism matters)."""
         return list(self._cells)
 
+    def cell_occupancy(self) -> dict:
+        """Resident object count per cell — the occupancy-skew input
+        for profiling and the shard-rebalance signal."""
+        return {
+            cell: len(bucket.ids) for cell, bucket in self._cells.items()
+        }
+
     def set(self, oid, p) -> None:
         """Insert ``oid`` at ``p``, or move it if already stored."""
         x = p.x

@@ -40,6 +40,17 @@ from repro.obs.export import (
     write_json,
     write_jsonl,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    TickProfiler,
+    empty_profile,
+    folded_lines,
+    merge_profiles,
+    occupancy_summary,
+    phase_budget,
+    render_profile,
+)
 from repro.obs.registry import (
     COUNT_BUCKETS,
     NULL_REGISTRY,
@@ -58,6 +69,7 @@ __all__ = [
     "DEFAULT_SERIES",
     "EVENT_KINDS",
     "NULL_EVENT_LOG",
+    "NULL_PROFILER",
     "NULL_REGISTRY",
     "TIME_BUCKETS",
     "Counter",
@@ -69,18 +81,26 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullEventLog",
+    "NullProfiler",
     "NullRegistry",
     "SpanRecord",
+    "TickProfiler",
     "TimeSeries",
     "TimeSeriesSampler",
     "Tracer",
     "causal_chain",
     "diagnose",
+    "empty_profile",
     "filter_events",
+    "folded_lines",
     "histogram_quantile",
     "load_metrics",
+    "merge_profiles",
+    "occupancy_summary",
+    "phase_budget",
     "read_events",
     "render_document",
+    "render_profile",
     "render_snapshot",
     "timeline",
     "write_json",

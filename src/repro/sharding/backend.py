@@ -148,23 +148,40 @@ class ShardBackend:
         updates = [
             (op[1], Point(*op[2])) for op in ops if op[0] == "update"
         ]
-        with self.server.planned_tick(updates, time):
-            for op in ops:
-                kind, oid = op[0], op[1]
-                if kind == "update":
-                    outcome = self.server.handle_location_update(
-                        oid, Point(*op[2]), time
-                    )
-                elif kind == "add":
-                    outcome = self.server.add_object(oid, Point(*op[2]), time)
-                elif kind == "evict":
-                    outcome = self.server.evict_object(oid, time)
-                else:
-                    raise ValueError(f"unknown shard op {kind!r}")
-                outcomes.append(outcome)
-                touched.add(oid)
-                touched.update(outcome.probed)
-                touched.update(outcome.missed)
+        # One profiled tick per batch op: the plan's gather/dispatch and
+        # every per-op phase nest under it (per-op auto-roots defer to
+        # the open tick).
+        profiler = self.server.profiler
+        owns_tick = profiler.enabled and profiler.tick_begin()
+        try:
+            with self.server.planned_tick(updates, time):
+                for op in ops:
+                    kind, oid = op[0], op[1]
+                    if kind == "update":
+                        outcome = self.server.handle_location_update(
+                            oid, Point(*op[2]), time
+                        )
+                    elif kind == "add":
+                        outcome = self.server.add_object(
+                            oid, Point(*op[2]), time
+                        )
+                    elif kind == "evict":
+                        outcome = self.server.evict_object(oid, time)
+                    else:
+                        raise ValueError(f"unknown shard op {kind!r}")
+                    outcomes.append(outcome)
+                    touched.add(oid)
+                    touched.update(outcome.probed)
+                    touched.update(outcome.missed)
+        finally:
+            if owns_tick:
+                # Updates and adds are both location reports (a migrated
+                # report arrives as evict-on-old + add-on-new), so the
+                # profiled report count reconciles with the
+                # coordinator's ``location_updates`` sum.
+                profiler.tick_end(
+                    sum(1 for op in ops if op[0] in ("update", "add"))
+                )
         partials = self._affected_partials(touched, outcomes)
         self.busy_seconds += _time.process_time() - start
         return {
@@ -217,6 +234,27 @@ class ShardBackend:
 
     def refresh_index_gauges(self) -> None:
         self.server.refresh_index_gauges()
+
+    def profile_start(self, max_ticks: int | None = None) -> None:
+        """Attach a fresh tick-phase profiler to this shard's server.
+
+        Reached through the generic op dispatch, so the pipe protocol
+        needs no new message kinds — ``profile_start`` / a later
+        ``profile_snapshot`` are ordinary ops.
+        """
+        from repro.obs import TickProfiler
+
+        self.server.attach_profiler(TickProfiler(max_ticks=max_ticks))
+
+    def profile_stop(self) -> None:
+        """Detach the profiler (the shared no-op goes back in)."""
+        from repro.obs import NULL_PROFILER
+
+        self.server.attach_profiler(NULL_PROFILER)
+
+    def profile_snapshot(self, top_k: int = 10) -> dict:
+        """This shard's picklable phase/hotspot summary."""
+        return self.server.profile_snapshot(top_k)
 
     # -- partial extraction --------------------------------------------
     def _affected_partials(self, touched: set[ObjectId], outcomes) -> dict:

@@ -45,7 +45,12 @@ from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.kernels import Kernels
-from repro.obs import NULL_EVENT_LOG, NULL_REGISTRY, MetricsRegistry
+from repro.obs import (
+    NULL_EVENT_LOG,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    merge_profiles,
+)
 from repro.sharding.backend import ShardBackend, query_spec
 from repro.sharding.router import ShardRouter
 from repro.sharding.shardmap import ShardMap
@@ -131,6 +136,11 @@ class ShardedServer:
         self._dirty: set[str] = set()
         self._stats_cache: dict[int, ServerStats] = {}
         self._metrics_cache: dict[int, dict] = {}
+        #: Frozen per-shard profile summaries (kill/close), mirroring
+        #: ``_stats_cache`` so ``profile_snapshot`` keeps answering
+        #: after workers are gone.
+        self._profile_cache: dict[int, dict] = {}
+        self._profiling = False
         self._busy = [0.0] * n_shards
         #: Coordinator compute: routing plus merging, the serial part of
         #: the scaling model (benchmarks/test_shards_bench.py).
@@ -270,6 +280,43 @@ class ShardedServer:
                 )
         agg.result_changes = self._merged_changes
         return agg
+
+    def profile_start(self, max_ticks: int | None = None) -> None:
+        """Begin a tick-phase profiling session on every live shard.
+
+        Rides the existing op pipe (``profile_start`` is an ordinary
+        backend op), so worker mode needs no protocol change.
+        """
+        self._profiling = True
+        for i in self._live():
+            if self._shards[i].alive:
+                self._shards[i].call("profile_start", max_ticks)
+
+    def profile_stop(self) -> None:
+        """End the session (shards go back to the no-op profiler)."""
+        self._profiling = False
+        for i in self._live():
+            if self._shards[i].alive:
+                self._shards[i].call("profile_stop")
+
+    def profile_snapshot(self, top_k: int = 10) -> dict:
+        """Cluster-wide merged profile, plus per-shard summaries.
+
+        Dead or closed shards answer from the summary frozen at
+        kill/close time, exactly like ``stats``.
+        """
+        snapshots: dict[int, dict] = {}
+        for i in range(self.n_shards):
+            shard = self._shards[i]
+            if i not in self._dead and shard.alive:
+                snapshots[i] = shard.call("profile_snapshot", top_k)
+            elif i in self._profile_cache:
+                snapshots[i] = self._profile_cache[i]
+        merged = merge_profiles(snapshots.values())
+        merged["shards"] = {
+            f"shard{i}": summary for i, summary in snapshots.items()
+        }
+        return merged
 
     def shard_metrics_snapshots(self) -> dict[str, dict]:
         """Per-shard metric registries, keyed ``shard<i>`` (live only)."""
@@ -468,6 +515,10 @@ class ShardedServer:
         # Freeze the accounting before the state disappears.
         self._stats_cache[shard_id] = self._shards[shard_id].call("stats")
         self._busy[shard_id] = self._shards[shard_id].call("info")["busy"]
+        if self._profiling:
+            self._profile_cache[shard_id] = self._shards[shard_id].call(
+                "profile_snapshot", 10
+            )
         self._dead.add(shard_id)
         self._dead_at[shard_id] = now
         self._shards[shard_id].kill()
@@ -513,6 +564,8 @@ class ShardedServer:
             snapshot = shard.call("metrics_snapshot")
             if snapshot is not None:
                 self._metrics_cache[i] = snapshot
+            if self._profiling:
+                self._profile_cache[i] = shard.call("profile_snapshot", 10)
             shard.close()
 
     def __enter__(self) -> "ShardedServer":

@@ -68,6 +68,9 @@ class SRBSimulation:
         metrics=None,
         events=None,
         sampler=None,
+        profile: bool = False,
+        profile_max_ticks: int | None = None,
+        profile_top_k: int = 10,
     ) -> None:
         self.scenario = scenario
         self.metrics = NULL_REGISTRY if metrics is None else metrics
@@ -184,6 +187,15 @@ class SRBSimulation:
                 events=self.events,
                 config=server_config,
             )
+        #: Tick-phase profiling (docs/OBSERVABILITY.md "Profiling and
+        #: cost attribution").  When enabled the server — single or
+        #: sharded, same surface — attributes every tick's wall time to
+        #: named phases; the merged summary lands on the report under
+        #: ``extras["profile"]``.
+        self._profiling = bool(profile)
+        self._profile_top_k = profile_top_k
+        if self._profiling:
+            self.server.profile_start(max_ticks=profile_max_ticks)
         self.costs = CommunicationCosts()
         self.accuracy = AccuracyAccumulator()
         self._now = 0.0
@@ -301,6 +313,12 @@ class SRBSimulation:
         }
         if self.faults is not None:
             extras["faults"] = self._fault_summary()
+        if self._profiling:
+            # Snapshot before ``close()`` tears down shard workers; the
+            # sharded snapshot merges every shard's summary.
+            extras["profile"] = self.server.profile_snapshot(
+                self._profile_top_k
+            )
         if scenario.shards:
             extras["shards"] = {
                 "n_shards": scenario.shards,

@@ -65,7 +65,7 @@ def test_workflow_parses_and_validates(workflow):
 def test_expected_jobs_present(workflow):
     assert set(workflow["jobs"]) == {
         "lint", "test", "bench-smoke", "bench-hotpath", "bench-kernels",
-        "bench-shards", "fault-matrix",
+        "bench-shards", "fault-matrix", "profile-smoke",
     }
 
 
@@ -134,8 +134,10 @@ def test_bench_smoke_uploads_metrics_artifact(workflow):
     assert any("benchmarks/test_scale_smoke.py" in run for run in runs)
     uploads = _primary_uploads(job)
     assert len(uploads) == 1
+    # The metrics land in the gitignored scratch dir — bench runs never
+    # churn the tracked results/ tree with regenerated side artifacts.
     assert uploads[0]["with"]["path"] == (
-        "benchmarks/results/bench_metrics.json"
+        "benchmarks/results/scratch/bench_metrics.json"
     )
     assert uploads[0]["with"]["if-no-files-found"] == "error"
 
@@ -220,6 +222,35 @@ def test_bench_jobs_upload_flight_recorder_on_failure(workflow):
         upload = failure_uploads[0]["with"]
         assert "flight" in upload["path"], name
         assert upload["if-no-files-found"] == "ignore", name
+
+
+def test_profile_smoke_covers_both_deployments_and_gates(workflow):
+    """The profile-smoke job runs ``repro profile`` single-server *and*
+    sharded (exercising cross-process aggregation), verifies both phase
+    budgets close via ``benchmarks/profile_gate.py``, gates bit-identity
+    plus enabled-mode overhead, and archives the folded-stack artifacts
+    unconditionally (docs/OBSERVABILITY.md)."""
+    job = workflow["jobs"]["profile-smoke"]
+    runs = _runs(job)
+    profile_runs = [run for run in runs if "repro profile" in run]
+    assert len(profile_runs) == 2
+    assert any("--shards 2" in run for run in profile_runs)
+    assert all("--folded-out" in run for run in profile_runs)
+    assert all("--profile-out" in run for run in profile_runs)
+    # Structural verification covers both reports, with the sharded one
+    # required to carry a per-shard sub-report for each of the 2 shards.
+    verify = [run for run in runs if "profile_gate.py verify" in run]
+    assert verify and any("--shards 2" in run for run in verify)
+    # The contract gate: bit-identical disabled-mode output and < 5%
+    # enabled-mode CPU overhead on the same scenario.
+    assert any(
+        "profile_gate.py gate" in run and "--threshold 0.05" in run
+        for run in runs
+    )
+    uploads = _primary_uploads(job)
+    assert len(uploads) == 1
+    assert "folded" in uploads[0]["with"]["path"]
+    assert uploads[0]["with"]["if-no-files-found"] == "error"
 
 
 def test_fault_matrix_runs_canned_profiles_through_diagnose(workflow):

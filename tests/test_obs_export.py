@@ -56,6 +56,35 @@ class TestHistogramQuantile:
         data = _exported(*([0.005] * 10 + [0.05] * 10))
         assert histogram_quantile(data, 0.0) == pytest.approx(0.01)
 
+    def test_single_bucket_histogram_pins_every_quantile(self):
+        # All mass in one bucket: every quantile resolves to that
+        # bucket's upper bound (0.01), then clamps to the observed max
+        # — one value for the whole quantile range, by design.
+        data = _exported(0.002, 0.004, 0.008)
+        assert data["buckets"].get("le_0.01") == 3
+        for q in (0.0, 0.5, 1.0):
+            assert histogram_quantile(data, q) == pytest.approx(0.008)
+
+    def test_quantile_exactly_at_bucket_boundary(self):
+        # 10 + 10 observations: q=0.5 targets cumulative exactly 10 —
+        # the boundary must resolve to the *first* bucket (>=, not >),
+        # and anything past it to the second.
+        data = _exported(*([0.005] * 10 + [0.05] * 10))
+        assert histogram_quantile(data, 0.5) == pytest.approx(0.01)
+        assert histogram_quantile(data, 0.50001) == pytest.approx(0.05)
+        # q=1.0 targets the full count: last non-empty bucket, clamped
+        # to the observed max.
+        assert histogram_quantile(data, 1.0) == pytest.approx(0.05)
+
+    def test_count_without_buckets_degrades_to_observed_range(self):
+        # A foreign/truncated export: count > 0 but no bucket section.
+        # The estimate falls through to max (then min-clamps) rather
+        # than crashing; with no range either, it reports None.
+        assert histogram_quantile(
+            {"count": 4, "min": 0.2, "max": 0.9}, 0.5
+        ) == pytest.approx(0.9)
+        assert histogram_quantile({"count": 4}, 0.5) is None
+
 
 class TestJsonlRoundTrip:
     def _populated(self, probes=3):
@@ -200,3 +229,26 @@ class TestMissingSections:
             if line.startswith("h ")
         )
         assert row.count("-") >= 4  # p50/p95/p99/max all blank
+
+    def test_stats_renders_placeholder_when_quantiles_unavailable(
+        self, tmp_path, capsys
+    ):
+        """count > 0 with no bucket/range data (a truncated or foreign
+        export): the quantile columns must show the same '-' placeholder
+        as the empty case, not crash or print a bogus number."""
+        from repro.cli import main
+
+        path = tmp_path / "m.json"
+        path.write_text(
+            '{"schemes": {"run": {"histograms":'
+            ' {"h": {"count": 7, "sum": 1.4}}}}}'
+        )
+        assert main(["stats", str(path)]) == 0
+        row = next(
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("h ")
+        )
+        # p50/p95/p99/max render the shared placeholder; count and the
+        # mean still show.
+        assert row.count("-") >= 4
+        assert "7" in row
