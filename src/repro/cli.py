@@ -122,6 +122,20 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
                         help="shard-failure drill: kill that shard at "
                              "that simulation time and continue in "
                              "degraded mode (requires --shards >= 2)")
+    parser.add_argument("--refresh-probes", action="store_true",
+                        help="exact cross-shard kNN merges: probe "
+                             "boundary candidates whose held positions "
+                             "may be stale before ranking (requires "
+                             "--shards)")
+    parser.add_argument("--reshard", default=None,
+                        metavar="+@T|-S@T[,...]",
+                        help="elasticity drill: '+@TIME' adds a shard, "
+                             "'-SHARD@TIME' removes one, live, "
+                             "comma-separated (requires --shards)")
+    parser.add_argument("--rebalance", default=None, metavar="SPEC",
+                        help="occupancy-driven elastic rebalancing, e.g. "
+                             "'max=6,grow-imbalance=1.5,cooldown=2' "
+                             "(docs/SHARDING.md; requires --shards)")
 
 
 def _scenario_from(args: argparse.Namespace) -> Scenario:
@@ -158,6 +172,9 @@ def _scenario_from(args: argparse.Namespace) -> Scenario:
             shards=args.shards,
             shard_workers=args.shard_workers,
             kill_shard=args.kill_shard,
+            refresh_probes=args.refresh_probes,
+            reshard=args.reshard,
+            rebalance=args.rebalance,
         )
     except ValueError as error:
         print(f"bad scenario: {error}", file=sys.stderr)

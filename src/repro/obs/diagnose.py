@@ -19,6 +19,13 @@ back via :func:`~repro.obs.events.read_events`) and produces a
 * ``monotonic_time`` — event timestamps must never decrease along the
   stream; the :class:`~repro.obs.events.EventLog` clock clamps
   regressions, so a decreasing ``t`` means the recorder is corrupt.
+* ``reshard_consistency`` — every elastic topology change
+  (``shard_added`` / ``shard_removed`` events) must complete with a
+  consistent home table: each object's coordinator-side home matches
+  the shard that actually holds it.  A ``consistent: false`` flag means
+  a migration tore mid-move — the same split-home state a snapshot
+  taken between an evict and its add would capture, which
+  ``restore_shards`` refuses for the same reason.
 * ``ground_truth`` — with ``check_ground_truth=True``, every ``sample``
   event must report all queries matching the exact results (only sound
   when the run had zero communication delay; with ``tau > 0`` transient
@@ -131,6 +138,7 @@ def diagnose(
     checks = [
         "containment", "monotonic_time", "probe_cascade", "shrink_storm",
         "retry_storm", "stuck_degraded", "time_regression",
+        "reshard_consistency",
     ]
     if check_ground_truth:
         checks.append("ground_truth")
@@ -147,6 +155,7 @@ def diagnose(
     )
     _check_stuck_degraded(rows, report, stuck_degraded_timeout)
     _check_time_regressions(rows, report)
+    _check_reshard_consistency(rows, report)
     if check_ground_truth:
         _check_ground_truth(rows, report)
     report.findings.sort(
@@ -342,6 +351,36 @@ def _check_time_regressions(rows, report) -> None:
             detail=(
                 f"{len(regressions)} update(s) carried a time earlier than "
                 f"the server clock and were clamped (reordered reports)"
+            ),
+        ))
+
+
+def _check_reshard_consistency(rows, report) -> None:
+    """Every elastic topology change left a consistent home table.
+
+    ``shard_added`` / ``shard_removed`` events carry the coordinator's
+    post-migration audit: ``consistent`` is ``true`` iff every live
+    shard's object table matches the home table.  ``false`` is a torn
+    migration — some object's evict and add did not both land.
+    """
+    for event in rows:
+        if event.get("kind") not in ("shard_added", "shard_removed"):
+            continue
+        if event.get("consistent", True):
+            continue
+        action = (
+            "grow" if event["kind"] == "shard_added" else "shrink"
+        )
+        report.findings.append(Finding(
+            check="reshard_consistency",
+            severity="violation",
+            t=event.get("t"),
+            seq=event.get("seq"),
+            detail=(
+                f"elastic {action} of shard {event.get('shard')} left a "
+                f"split home table (moved_cells="
+                f"{event.get('moved_cells')}, moved_objects="
+                f"{event.get('moved_objects')})"
             ),
         ))
 

@@ -44,6 +44,10 @@ degraded_enter      an unreachable object enters degraded mode
 degraded_exit       a fresh position ends an object's degraded episode
 unknown_update      a report for an unknown object id was dropped
 time_regression     an update carried a time earlier than the clock
+shard_killed        the failure drill hard-stopped a shard
+shard_added         an elastic grow migrated cells onto a new shard
+shard_removed       an elastic shrink retired a shard, live
+rebalance           the occupancy policy triggered a topology change
 =================== ====================================================
 """
 
@@ -74,6 +78,10 @@ EVENT_KINDS = frozenset({
     "degraded_exit",
     "unknown_update",
     "time_regression",
+    "shard_killed",
+    "shard_added",
+    "shard_removed",
+    "rebalance",
 })
 
 

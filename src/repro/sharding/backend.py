@@ -190,6 +190,25 @@ class ShardBackend:
             "busy": self.busy_seconds,
         }
 
+    def residents(self, cells: list[tuple]) -> dict:
+        """``(oid, x, y)`` rows of the objects resident in ``cells``.
+
+        The migration work-list of an elastic topology change: the
+        coordinator asks the old owner which of its objects sit in the
+        moved cells, then replays them as evict+add pairs.  Reads the
+        position store's cell residency — one dict probe per cell, no
+        scan — and returns rows in (cell, object id) order so the
+        migration op stream is deterministic.
+        """
+        store = self.server.positions
+        rows: list[tuple] = []
+        for cell in cells:
+            cell = tuple(cell)
+            for oid in sorted(store.cell_ids(cell), key=repr):
+                x, y = store.get(oid)
+                rows.append((oid, x, y))
+        return {"rows": rows}
+
     def query_partials(self, query_ids: list[str]) -> dict:
         return {
             qid: self._partial(self._queries[qid])
@@ -285,10 +304,16 @@ class ShardBackend:
             rows = []
             for oid in query.results:
                 x, y = server.positions.get(oid)
-                max_dist = server.safe_region_of(oid).max_dist_to_point(
-                    query.center
-                )
-                rows.append((oid, x, y, max_dist))
+                region = server.safe_region_of(oid)
+                # ``max_dist`` is the merge's conservative ranking bound;
+                # ``min_dist`` tells the coordinator which candidates a
+                # refresh probe could still move into or out of the true
+                # top-k (docs/SHARDING.md "Refresh probes").
+                rows.append((
+                    oid, x, y,
+                    region.max_dist_to_point(query.center),
+                    region.min_dist_to_point(query.center),
+                ))
             return {
                 "kind": "knn",
                 "rows": rows,

@@ -41,6 +41,7 @@ from typing import Hashable, Iterable
 from repro.core.queries import KNNQuery, Query, RangeQuery
 from repro.core.results import BatchOutcome, ResultChange, UpdateOutcome
 from repro.core.server import PositionOracle, ServerConfig, ServerStats
+from repro.faults import ProbeTimeout
 from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -86,6 +87,30 @@ class InProcessShard:
         self.alive = False
 
 
+class RetiredSlot:
+    """Placeholder for a shard id retired by ``remove_shard``.
+
+    Keeps per-shard lists dense (ids never get reused), while any
+    attempt to operate on the retired shard fails loudly.
+    """
+
+    alive = False
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+
+    def call(self, name: str, *args):
+        raise RuntimeError(
+            f"shard {self.shard_id} was removed and cannot serve {name!r}"
+        )
+
+    def kill(self) -> None:  # pragma: no cover - nothing to kill
+        pass
+
+    def close(self) -> None:
+        pass
+
+
 class ShardedServer:
     """Coordinator over N cell-owned shards (see module docstring)."""
 
@@ -97,20 +122,44 @@ class ShardedServer:
         n_workers: int = 0,
         metrics=None,
         events=None,
+        refresh_probes: bool = False,
+        shard_ids: Iterable[int] | None = None,
     ) -> None:
-        if n_shards < 1:
-            raise ValueError("need at least one shard")
+        if shard_ids is not None:
+            live_ids = tuple(sorted(set(shard_ids)))
+            if not live_ids:
+                raise ValueError("need at least one shard")
+            if any(s < 0 for s in live_ids):
+                raise ValueError("shard ids must be non-negative")
+            n_shards = live_ids[-1] + 1
+        else:
+            if n_shards < 1:
+                raise ValueError("need at least one shard")
+            live_ids = tuple(range(n_shards))
         if n_workers < 0:
             raise ValueError("n_workers must be non-negative")
         self.config = config or ServerConfig()
+        #: Allocated slot space: shard ids ever issued.  Retired ids
+        #: (``remove_shard``) keep their slot — ids are never reused, so
+        #: frozen stats and event streams stay unambiguous.
         self.n_shards = n_shards
-        #: Any non-zero worker count runs one process per shard; the
-        #: knob is a mode bit kept numeric for CLI symmetry.
-        self.n_workers = n_shards if n_workers else 0
+        #: Any non-zero worker count runs one process per live shard;
+        #: the knob is a mode bit kept numeric for CLI symmetry.
+        self.n_workers = len(live_ids) if n_workers else 0
         self._oracle = position_oracle
         self.metrics = NULL_REGISTRY if metrics is None else metrics
         self.events = NULL_EVENT_LOG if events is None else events
-        self.map = ShardMap(n_shards, self.config.grid_m)
+        #: Merge-time exactness mode (docs/SHARDING.md "Refresh
+        #: probes"): when on, the cross-shard kNN merge probes boundary
+        #: candidates whose held positions could be stale.  Off by
+        #: default — the merge is then bit-identical to the historical
+        #: behaviour (and to the single server fed the same reports).
+        self.refresh_probes = bool(refresh_probes)
+        #: Total refresh probes issued (also counted on
+        #: ``shard.fanout.refresh_probes`` when metrics are on).
+        self.refresh_probe_count = 0
+        self._probe_memo: dict[ObjectId, tuple[float, float] | None] = {}
+        self.map = ShardMap(live_ids, self.config.grid_m)
         self.router = ShardRouter(self.map, self.config.space)
         self.kernels = Kernels(
             self.config.kernel_backend,
@@ -126,6 +175,9 @@ class ShardedServer:
         self._holders: dict[str, set[int]] = {}
         self._dead: set[int] = set()
         self._dead_at: dict[int, float] = {}
+        self._retired: set[int] = set(range(n_shards)) - set(live_ids)
+        #: Clock of the last ``maybe_rebalance`` action (cooldown input).
+        self.last_rebalance_at: float | None = None
         self._clock = 0.0
         self._merged_changes = 0
         #: Degraded-member flags of the last merge, per query id.
@@ -151,6 +203,16 @@ class ShardedServer:
         self._m_fanout_reg = self.metrics.counter("shard.fanout.registrations")
         self._m_expansions = self.metrics.counter("shard.fanout.expansions")
         self._m_dead_routed = self.metrics.counter("shard.dead_routed")
+        self._m_refresh = self.metrics.counter("shard.fanout.refresh_probes")
+        self._m_rebal_checks = self.metrics.counter("shard.rebalance.checks")
+        self._m_rebal_grows = self.metrics.counter("shard.rebalance.grows")
+        self._m_rebal_shrinks = self.metrics.counter("shard.rebalance.shrinks")
+        self._m_rebal_cells = self.metrics.counter(
+            "shard.rebalance.moved_cells"
+        )
+        self._m_rebal_objects = self.metrics.counter(
+            "shard.rebalance.moved_objects"
+        )
         self._c_updates = [
             self.metrics.counter(f"shard.updates.s{i}") for i in range(n_shards)
         ]
@@ -160,22 +222,23 @@ class ShardedServer:
         self._g_imbalance = self.metrics.gauge("shard.objects.imbalance")
         self._g_dead = self.metrics.gauge("shard.dead")
 
-        metrics_enabled = self.metrics.enabled
+        self._shards: list = [
+            self._make_shard(i) if i in set(live_ids) else RetiredSlot(i)
+            for i in range(n_shards)
+        ]
+
+    def _make_shard(self, shard_id: int):
+        """One fresh shard handle in the cluster's execution mode."""
         if self.n_workers:
-            self._shards: list = [
-                WorkerShard(i, self.config, position_oracle, metrics_enabled)
-                for i in range(n_shards)
-            ]
-        else:
-            # In-process shards share the coordinator's event log: one
-            # causally ordered stream, exactly like the single server.
-            self._shards = [
-                InProcessShard(
-                    i, self.config, position_oracle, metrics_enabled,
-                    events=self.events,
-                )
-                for i in range(n_shards)
-            ]
+            return WorkerShard(
+                shard_id, self.config, self._oracle, self.metrics.enabled
+            )
+        # In-process shards share the coordinator's event log: one
+        # causally ordered stream, exactly like the single server.
+        return InProcessShard(
+            shard_id, self.config, self._oracle, self.metrics.enabled,
+            events=self.events,
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -203,6 +266,12 @@ class ShardedServer:
 
     def dead_shards(self) -> frozenset[int]:
         return frozenset(self._dead)
+
+    def retired_shards(self) -> frozenset[int]:
+        return frozenset(self._retired)
+
+    def live_shard_ids(self) -> tuple[int, ...]:
+        return tuple(self._live())
 
     def shard_object_counts(self) -> list[int]:
         return list(self._home_counts)
@@ -252,6 +321,10 @@ class ShardedServer:
         counts = [self._home_counts[i] for i in live]
         if counts and sum(counts):
             self._g_imbalance.set(max(counts) * len(counts) / sum(counts))
+        else:
+            # An empty cluster is balanced by definition; a stale gauge
+            # here would feed phantom skew to the rebalance policy.
+            self._g_imbalance.set(1.0)
         self._g_dead.set(len(self._dead))
         if not self.n_workers:
             for i in live:
@@ -279,6 +352,10 @@ class ShardedServer:
                     getattr(agg, f.name) + getattr(shard_stats, f.name),
                 )
         agg.result_changes = self._merged_changes
+        # Merge-time refresh probes are real messages to real clients;
+        # they land on the same bill as shard-issued probes so the
+        # communication-cost model sees the exactness premium.
+        agg.probes += self.refresh_probe_count
         return agg
 
     def profile_start(self, max_ticks: int | None = None) -> None:
@@ -319,11 +396,19 @@ class ShardedServer:
         return merged
 
     def shard_metrics_snapshots(self) -> dict[str, dict]:
-        """Per-shard metric registries, keyed ``shard<i>`` (live only)."""
+        """Per-shard metric registries, keyed ``shard<i>``.
+
+        Live shards answer directly; closed or retired shards answer
+        from the registry frozen at shutdown/retirement, so an elastic
+        run's report still carries every shard that ever served (dead
+        shards took their registry with them — nothing to render).
+        """
         out = {}
         if not self.metrics.enabled:
             return out
-        for i in self._live():
+        for i in range(self.n_shards):
+            if i in self._dead:
+                continue
             if self._shards[i].alive:
                 snapshot = self._shards[i].call("metrics_snapshot")
             else:
@@ -369,6 +454,7 @@ class ShardedServer:
         spec = query_spec(query)  # raises TypeError for extension types
         del spec
         self._clock = max(self._clock, time)
+        self._begin_op()
         excluding = frozenset(self._dead)
         if isinstance(query, RangeQuery):
             targets = sorted(self.router.shards_for_rect(query.rect, excluding))
@@ -415,6 +501,7 @@ class ShardedServer:
         self, oid: ObjectId, position: Point, time: float = 0.0
     ) -> UpdateOutcome:
         self._clock = max(self._clock, time)
+        self._begin_op()
         start = _time.process_time()
         plan = self._plan_report(oid, position)
         per_shard: dict[int, list[tuple]] = {}
@@ -449,6 +536,7 @@ class ShardedServer:
         only the coordinator's merge joins them.
         """
         self._clock = max(self._clock, time)
+        self._begin_op()
         start = _time.process_time()
         reports = list(reports)
         oids = [oid for oid, _ in reports]
@@ -506,12 +594,17 @@ class ShardedServer:
         """
         if not 0 <= shard_id < self.n_shards:
             raise ValueError(f"no such shard: {shard_id}")
+        if shard_id in self._retired:
+            raise ValueError(
+                f"shard {shard_id} was removed and cannot be killed"
+            )
         if shard_id in self._dead:
             raise ValueError(f"shard {shard_id} is already dead")
-        if len(self._dead) + 1 == self.n_shards:
+        if len(self._live()) == 1:
             raise ValueError("cannot kill the last live shard")
         now = self._clock if time is None else max(time, self._clock)
         self._clock = now
+        self._begin_op()
         # Freeze the accounting before the state disappears.
         self._stats_cache[shard_id] = self._shards[shard_id].call("stats")
         self._busy[shard_id] = self._shards[shard_id].call("info")["busy"]
@@ -546,6 +639,247 @@ class ShardedServer:
         return outcome
 
     # ------------------------------------------------------------------
+    # Elastic topology
+    # ------------------------------------------------------------------
+    def add_shard(self, time: float | None = None) -> UpdateOutcome:
+        """Grow the cluster by one shard, live (docs/SHARDING.md).
+
+        Rendezvous hashing makes growth cheap: only the cells the new
+        shard *wins* change owner — ``1/(N+1)`` of the grid in
+        expectation — and :meth:`ShardMap.moved_cells` lists exactly
+        those.  Query copies register on the new shard first (so
+        migrated objects are evaluated on arrival, exactly like an
+        update-path migration), then each moved object replays as an
+        evict on its old home plus an add on the new shard.  The home
+        table tracks every move, so ``validate()`` holds mid- and
+        post-migration.  The new shard's id is ``n_shards - 1`` after
+        the call; ids are never reused.
+
+        Resharding requires a healthy cluster: a dead shard's frozen
+        objects cannot be migrated, so heal (or drill) first.
+        """
+        if self._dead:
+            raise ValueError(
+                "cannot reshard with dead shards present: "
+                f"{sorted(self._dead)} must heal first"
+            )
+        now = self._clock if time is None else max(time, self._clock)
+        self._clock = now
+        self._begin_op()
+        new_id = self.n_shards
+        new_map = self.map.with_shard(new_id)
+        moved = self.map.moved_cells(new_map)
+        # Gather the moving residents while the old owners still answer.
+        by_old: dict[int, list] = {}
+        for cell in moved:
+            by_old.setdefault(self.map.shard_of(cell), []).append(cell)
+        migrating: list[tuple] = []
+        for old in sorted(by_old):
+            resp = self._shards[old].call("residents", by_old[old])
+            migrating.extend(
+                (oid, (x, y), old, new_id) for oid, x, y in resp["rows"]
+            )
+        # Allocate the slot and spawn the shard (worker mode: a fresh
+        # process) before any state references the new id.
+        self._shards.append(self._make_shard(new_id))
+        self._busy.append(0.0)
+        self._home_counts.append(0)
+        self._c_updates.append(
+            self.metrics.counter(f"shard.updates.s{new_id}")
+        )
+        self._g_objects.append(self.metrics.gauge(f"shard.objects.s{new_id}"))
+        self.n_shards = new_id + 1
+        if self.n_workers:
+            self.n_workers += 1
+        self.map = new_map
+        self.router = ShardRouter(new_map, self.config.space)
+        outcome = UpdateOutcome()
+        self._cover_queries(now, outcome)
+        self._migrate(migrating, now, outcome)
+        self._m_rebal_cells.inc(len(moved))
+        self._m_rebal_objects.inc(len(migrating))
+        if self.events.enabled:
+            self.events.set_time(now)
+            self.events.emit(
+                "shard_added", shard=new_id, moved_cells=len(moved),
+                moved_objects=len(migrating),
+                consistent=self._consistent_homes(),
+            )
+        self.refresh_index_gauges()
+        return outcome
+
+    def remove_shard(
+        self, shard_id: int, time: float | None = None
+    ) -> UpdateOutcome:
+        """Retire one live shard, migrating its objects off first.
+
+        The inverse drill of :meth:`add_shard`: exactly the retiring
+        shard's cells change owner (each to its rendezvous runner-up),
+        adopting shards get query copies before the objects arrive, and
+        every object replays as evict+add so intermediate states stay
+        ``validate()``-clean.  The slot is then frozen — stats, busy
+        time, metrics, and profile answer from caches exactly like a
+        closed cluster — and the id is never reused.
+        """
+        if not 0 <= shard_id < self.n_shards:
+            raise ValueError(f"no such shard: {shard_id}")
+        if shard_id in self._retired:
+            raise ValueError(f"shard {shard_id} is already removed")
+        if self._dead:
+            raise ValueError(
+                "cannot reshard with dead shards present: "
+                f"{sorted(self._dead)} must heal first"
+            )
+        if len(self._live()) == 1:
+            raise ValueError("cannot remove the last live shard")
+        now = self._clock if time is None else max(time, self._clock)
+        self._clock = now
+        self._begin_op()
+        new_map = self.map.without_shard(shard_id)
+        moved = self.map.cells_of(shard_id)
+        resp = self._shards[shard_id].call("residents", moved)
+        cells = self.router.grid.cells_of_points(
+            [Point(x, y) for _, x, y in resp["rows"]]
+        )
+        migrating = [
+            (oid, (x, y), shard_id, new_map.shard_of(cell))
+            for (oid, x, y), cell in zip(resp["rows"], cells)
+        ]
+        self.map = new_map
+        self.router = ShardRouter(new_map, self.config.space)
+        outcome = UpdateOutcome()
+        self._cover_queries(now, outcome)
+        self._migrate(migrating, now, outcome)
+        # Drop the retiree's query copies; its partials are already
+        # empty (every resident was just evicted), so merges only lose
+        # a zero contribution.
+        for qid in sorted(self._views):
+            if shard_id in self._holders[qid]:
+                self._shards[shard_id].call("deregister", qid)
+                self._holders[qid].discard(shard_id)
+                self._partials[qid].pop(shard_id, None)
+                self._dirty.add(qid)
+        self._drain_dirty(now, outcome)
+        # Freeze the slot's accounting, then retire it for good.
+        shard = self._shards[shard_id]
+        self._stats_cache[shard_id] = shard.call("stats")
+        self._busy[shard_id] = shard.call("info")["busy"]
+        snapshot = shard.call("metrics_snapshot")
+        if snapshot is not None:
+            self._metrics_cache[shard_id] = snapshot
+        if self._profiling:
+            self._profile_cache[shard_id] = shard.call("profile_snapshot", 10)
+        shard.close()
+        self._shards[shard_id] = RetiredSlot(shard_id)
+        self._retired.add(shard_id)
+        if self.n_workers:
+            self.n_workers -= 1
+        self._m_rebal_cells.inc(len(moved))
+        self._m_rebal_objects.inc(len(migrating))
+        if self.events.enabled:
+            self.events.set_time(now)
+            self.events.emit(
+                "shard_removed", shard=shard_id, moved_cells=len(moved),
+                moved_objects=len(migrating),
+                consistent=self._consistent_homes(),
+            )
+        self.refresh_index_gauges()
+        return outcome
+
+    def maybe_rebalance(self, policy, time: float | None = None):
+        """Apply one step of an occupancy-driven rebalance policy.
+
+        ``policy`` is a :class:`repro.sharding.rebalance.RebalancePolicy`
+        (or anything with its ``decide`` signature).  The decision input
+        is the live per-shard object census — the same numbers behind
+        the ``shard.objects.imbalance`` gauge.  Returns the topology
+        change's :class:`UpdateOutcome`, or ``None`` when the policy
+        holds still.  Never acts on an unhealthy cluster.
+        """
+        now = self._clock if time is None else max(time, self._clock)
+        self._m_rebal_checks.inc()
+        if self._dead:
+            return None
+        counts = {i: self._home_counts[i] for i in self._live()}
+        action = policy.decide(counts, now, self.last_rebalance_at)
+        if action is None:
+            return None
+        if action == "grow":
+            outcome = self.add_shard(now)
+            detail: dict = {"action": "grow", "shard": self.n_shards - 1}
+            self._m_rebal_grows.inc()
+        else:
+            kind, victim = action
+            if kind != "shrink":
+                raise ValueError(f"unknown rebalance action {action!r}")
+            outcome = self.remove_shard(victim, now)
+            detail = {"action": "shrink", "shard": victim}
+            self._m_rebal_shrinks.inc()
+        self.last_rebalance_at = now
+        if self.events.enabled:
+            self.events.set_time(now)
+            self.events.emit("rebalance", **detail)
+        return outcome
+
+    def _cover_queries(self, time: float, outcome: UpdateOutcome) -> None:
+        """Register every view on the shards its coverage now needs."""
+        excluding = frozenset(self._dead)
+        for qid in sorted(self._views):
+            view = self._views[qid]
+            if isinstance(view, RangeQuery):
+                needed = self.router.shards_for_rect(view.rect, excluding)
+            else:
+                radius = view.radius if view.radius > 0 else self._diameter
+                needed = self.router.shards_for_circle(
+                    Circle(view.center, radius), excluding
+                )
+            for shard in sorted(needed - self._holders[qid]):
+                self._register_on(qid, shard, time, outcome)
+                self._dirty.add(qid)
+
+    def _migrate(
+        self, rows: list[tuple], time: float, outcome: UpdateOutcome
+    ) -> None:
+        """Replay ``(oid, pos, old, target)`` moves as evict+add pairs."""
+        plan: list[tuple[int, tuple]] = []
+        for oid, pos, old, target in rows:
+            plan.append((old, ("evict", oid)))
+            plan.append((target, ("add", oid, pos)))
+            self._homes[oid] = target
+            self._home_counts[old] -= 1
+            self._home_counts[target] += 1
+        per_shard: dict[int, list[tuple]] = {}
+        for shard, op in plan:
+            per_shard.setdefault(shard, []).append(op)
+        responses = self._dispatch(per_shard, time)
+        affected = self._absorb_responses(responses)
+        for shard, op in plan:
+            shard_outcome = responses[shard]["outcomes"].pop(0)
+            self._fold_outcome(outcome, shard_outcome)
+        for qid in sorted(affected):
+            self._dirty.discard(qid)
+            self._remerge(qid, time, outcome)
+        self._drain_dirty(time, outcome)
+
+    def _consistent_homes(self) -> bool:
+        """Does every live shard's object table match the home table?
+
+        The audit behind the ``consistent`` flag on reshard events —
+        ``repro diagnose`` treats a ``false`` as a violation (a split
+        or torn home table after a migration).
+        """
+        for i in self._live():
+            if not self._shards[i].alive:
+                continue
+            expected = sorted(
+                (oid for oid, home in self._homes.items() if home == i),
+                key=repr,
+            )
+            if self._shards[i].call("info")["oids"] != expected:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -578,7 +912,15 @@ class ShardedServer:
     # Internals
     # ------------------------------------------------------------------
     def _live(self) -> list[int]:
-        return [i for i in range(self.n_shards) if i not in self._dead]
+        return [
+            i for i in range(self.n_shards)
+            if i not in self._dead and i not in self._retired
+        ]
+
+    def _begin_op(self) -> None:
+        """Reset per-operation merge state (the refresh-probe memo)."""
+        if self.refresh_probes:
+            self._probe_memo.clear()
 
     def _shard_stats(self, shard_id: int) -> ServerStats:
         if shard_id in self._dead or not self._shards[shard_id].alive:
@@ -600,6 +942,10 @@ class ShardedServer:
             target = self.router.shard_for_point(position, excluding)
         home = self._homes.get(oid)
         pos = (position.x, position.y)
+        if self.refresh_probes:
+            # A position reported this operation is fresh by definition:
+            # pre-seeding the memo spares the merge a probe round trip.
+            self._probe_memo[oid] = pos
         self._c_updates[target].inc()
         if home is None or home == target:
             # Unknown ids ride the update op: the owning shard applies
@@ -799,16 +1145,61 @@ class ShardedServer:
             rows = sorted(pool.values())
         except TypeError:  # unorderable object ids
             rows = sorted(pool.values(), key=lambda r: repr(r[0]))
-        top = self.kernels.top_k_rows(
-            [r[1] for r in rows], [r[2] for r in rows],
-            view.center.x, view.center.y, view.k,
-        )
-        view.results = [rows[i][0] for i in top]
         bounds = sorted(r[3] for r in rows)
         if len(bounds) >= view.k:
-            view.radius = bounds[view.k - 1]
+            bound = bounds[view.k - 1]
         else:
-            view.radius = self._diameter
+            bound = self._diameter
+        xs = [r[1] for r in rows]
+        ys = [r[2] for r in rows]
+        if self.refresh_probes and rows:
+            self._refresh_rows(rows, xs, ys, bound)
+        top = self.kernels.top_k_rows(
+            xs, ys, view.center.x, view.center.y, view.k,
+        )
+        view.results = [rows[i][0] for i in top]
+        # The merged radius stays the conservative k-th ``max_dist``
+        # even when probes tightened the ranking: the fan-out expansion
+        # must cover every object that *could* enter the top-k without
+        # reporting, which fresh point positions cannot bound.
+        view.radius = bound
         return tuple(sorted(
             (oid for oid in view.results if flagged_src.get(oid)), key=repr
         ))
+
+    def _refresh_rows(
+        self, rows: list, xs: list, ys: list, bound: float
+    ) -> None:
+        """Swap held coordinates for probed ones on boundary candidates.
+
+        Exactness (docs/SHARDING.md "Refresh probes"): ``bound`` is the
+        k-th smallest ``max_dist``, so k candidates have true distance
+        ≤ ``bound``; any candidate whose safe-region ``min_dist``
+        exceeds it cannot belong to the true top-k and needs no probe.
+        Probing every remaining candidate and re-ranking by live
+        positions therefore reproduces the single server's answer.
+        Probes are memoised per top-level operation (and pre-seeded
+        with this batch's reported positions), so only genuinely stale
+        boundary candidates cost a message; a probe timeout falls back
+        to the held row — conservative, never worse than before.
+        """
+        memo = self._probe_memo
+        for i, row in enumerate(rows):
+            if len(row) < 5 or row[4] > bound:
+                continue
+            oid = row[0]
+            if oid in memo:
+                fresh = memo[oid]
+            else:
+                self._m_refresh.inc()
+                self.refresh_probe_count += 1
+                try:
+                    p = self._oracle(oid)
+                except ProbeTimeout:
+                    fresh = None
+                else:
+                    fresh = (p.x, p.y)
+                memo[oid] = fresh
+            if fresh is not None:
+                xs[i] = fresh[0]
+                ys[i] = fresh[1]

@@ -1,0 +1,131 @@
+"""Occupancy-driven elastic rebalance policy (docs/SHARDING.md).
+
+The coordinator exposes the mechanism — ``add_shard`` / ``remove_shard``
+migrate exactly the cells the rendezvous map moves — and this module
+owns the *policy*: when is the cluster worth resizing?
+
+The decision input is the live per-shard object census, the same
+numbers behind the ``shard.objects.imbalance`` gauge
+(``max(counts) * n / sum(counts)``; 1.0 is perfect balance):
+
+* **grow** when the census is hot *and* skewed — mean occupancy at or
+  above ``grow_occupancy`` and imbalance at or above ``grow_imbalance``
+  — because rendezvous growth carves cells off every shard, including
+  the overloaded one, and a cold cluster gains nothing from more
+  fan-out surface;
+* **shrink** when the cluster runs cold — mean occupancy strictly below
+  ``shrink_occupancy`` — retiring the emptiest live shard (lowest id on
+  ties) so the merge has fewer partials to pool;
+* otherwise hold still.  A ``cooldown`` between actions stops the
+  policy from thrashing while a migration's effects settle, and
+  ``min_shards`` / ``max_shards`` bound the topology.
+
+Policies are parsed from compact CLI specs (``--rebalance``), e.g.::
+
+    max=6,grow-occupancy=120,grow-imbalance=1.5,cooldown=2
+
+Unset keys keep the defaults below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Spec key → constructor field.
+_KEYS = {
+    "min": "min_shards",
+    "max": "max_shards",
+    "grow-occupancy": "grow_occupancy",
+    "grow-imbalance": "grow_imbalance",
+    "shrink-occupancy": "shrink_occupancy",
+    "cooldown": "cooldown",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class RebalancePolicy:
+    """Threshold policy over the live per-shard object census."""
+
+    #: Never shrink below / grow above this many live shards.
+    min_shards: int = 1
+    max_shards: int = 8
+    #: Grow only when mean objects per live shard reaches this…
+    grow_occupancy: float = 100.0
+    #: …and the imbalance gauge (max * n / sum) reaches this.
+    grow_imbalance: float = 1.25
+    #: Shrink when mean objects per live shard falls below this
+    #: (0 disables shrinking).
+    shrink_occupancy: float = 0.0
+    #: Minimum clock time between actions.
+    cooldown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1:
+            raise ValueError("min_shards must be at least 1")
+        if self.max_shards < self.min_shards:
+            raise ValueError("max_shards must be >= min_shards")
+        if self.grow_imbalance < 1.0:
+            raise ValueError("grow_imbalance below 1.0 can never hold still")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    @classmethod
+    def parse(cls, spec: str) -> "RebalancePolicy":
+        """A policy from a ``key=value,...`` spec (see module docstring)."""
+        overrides: dict = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            field = _KEYS.get(key.strip())
+            if not sep or field is None:
+                known = ", ".join(sorted(_KEYS))
+                raise ValueError(
+                    f"bad rebalance spec item {item!r} (known keys: {known})"
+                )
+            try:
+                parsed = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"bad rebalance spec value in {item!r}"
+                ) from None
+            if field in ("min_shards", "max_shards"):
+                parsed = int(parsed)
+            overrides[field] = parsed
+        return cls(**overrides)
+
+    def decide(
+        self,
+        counts: dict[int, int],
+        now: float,
+        last_action_at: float | None,
+    ):
+        """``"grow"``, ``("shrink", shard_id)``, or ``None`` (hold).
+
+        ``counts`` is the live shard → object count census.  The caller
+        (``ShardedServer.maybe_rebalance``) supplies the clock pair for
+        the cooldown check and executes whatever comes back.
+        """
+        if last_action_at is not None and now - last_action_at < self.cooldown:
+            return None
+        live = len(counts)
+        total = sum(counts.values())
+        if live == 0 or total == 0:
+            return None
+        mean = total / live
+        imbalance = max(counts.values()) * live / total
+        if (
+            live < self.max_shards
+            and mean >= self.grow_occupancy
+            and imbalance >= self.grow_imbalance
+        ):
+            return "grow"
+        if (
+            self.shrink_occupancy > 0
+            and live > self.min_shards
+            and mean < self.shrink_occupancy
+        ):
+            victim = min(sorted(counts), key=lambda i: counts[i])
+            return ("shrink", victim)
+        return None

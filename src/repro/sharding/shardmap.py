@@ -16,6 +16,14 @@ shard only moves the cells the *new* shard wins (1/(N+1) of them in
 expectation), and removing a shard only moves that shard's cells — to
 each cell's runner-up, which is exactly the fail-over rule the
 coordinator uses when a shard dies mid-run.
+
+Because a weight depends only on ``(cell, shard_id)``, the same
+properties hold for *any* set of shard ids, not just ``0..N-1`` —
+which is what makes the elastic topology cheap:
+:meth:`ShardMap.with_shard` / :meth:`ShardMap.without_shard` derive the
+next epoch's map, and :meth:`ShardMap.moved_cells` lists exactly the
+cells whose owner changed (the only cells whose objects and query
+copies must migrate).
 """
 
 from __future__ import annotations
@@ -38,16 +46,29 @@ def _weight(cell: CellId, shard: int) -> int:
 
 
 class ShardMap:
-    """Owner lookup for every cell of an ``grid_m`` x ``grid_m`` grid."""
+    """Owner lookup for every cell of an ``grid_m`` x ``grid_m`` grid.
 
-    __slots__ = ("n_shards", "grid_m", "_owners")
+    ``shards`` is either a count (ids ``0..N-1``, the fixed-topology
+    spelling) or an explicit iterable of shard ids (the elastic
+    spelling — ids need not be contiguous after a ``remove_shard``).
+    """
 
-    def __init__(self, n_shards: int, grid_m: int) -> None:
-        if n_shards < 1:
-            raise ValueError("need at least one shard")
+    __slots__ = ("shard_ids", "grid_m", "_owners")
+
+    def __init__(self, shards: int | Iterable[int], grid_m: int) -> None:
+        if isinstance(shards, int):
+            if shards < 1:
+                raise ValueError("need at least one shard")
+            shard_ids: tuple[int, ...] = tuple(range(shards))
+        else:
+            shard_ids = tuple(sorted(set(shards)))
+            if not shard_ids:
+                raise ValueError("need at least one shard")
+            if any(s < 0 for s in shard_ids):
+                raise ValueError("shard ids must be non-negative")
         if grid_m < 1:
             raise ValueError("grid_m must be positive")
-        self.n_shards = n_shards
+        self.shard_ids = shard_ids
         self.grid_m = grid_m
         # The full-health owner table is dense and small (M^2 cells);
         # precomputing it keeps the per-update routing at one dict hit.
@@ -57,10 +78,15 @@ class ShardMap:
             for j in range(grid_m)
         }
 
+    @property
+    def n_shards(self) -> int:
+        """How many shards participate in this map."""
+        return len(self.shard_ids)
+
     def _rank(self, cell: CellId) -> list[int]:
         """Shards ordered by descending weight (ties broken by id)."""
         return sorted(
-            range(self.n_shards),
+            self.shard_ids,
             key=lambda shard: (-_weight(cell, shard), shard),
         )
 
@@ -78,7 +104,10 @@ class ShardMap:
         for shard in self._rank(cell):
             if shard not in excluding:
                 return shard
-        raise ValueError("every shard is excluded")
+        raise ValueError(
+            f"no live owner for cell {cell}: all "
+            f"{len(self.shard_ids)} shards are excluded"
+        )
 
     def shards_of(
         self,
@@ -103,9 +132,41 @@ class ShardMap:
     ) -> dict[int, int]:
         """Cells owned per live shard — the balance/skew diagnostic."""
         tallies = {
-            shard: 0 for shard in range(self.n_shards)
+            shard: 0 for shard in self.shard_ids
             if shard not in excluding
         }
         for cell in self._owners:
             tallies[self.shard_of(cell, excluding)] += 1
         return tallies
+
+    # -- elastic topology ----------------------------------------------
+    def with_shard(self, shard_id: int) -> "ShardMap":
+        """The map after ``shard_id`` joins (only its wins move)."""
+        if shard_id in self.shard_ids:
+            raise ValueError(f"shard {shard_id} is already in the map")
+        return ShardMap((*self.shard_ids, shard_id), self.grid_m)
+
+    def without_shard(self, shard_id: int) -> "ShardMap":
+        """The map after ``shard_id`` retires (only its cells move)."""
+        if shard_id not in self.shard_ids:
+            raise ValueError(f"shard {shard_id} is not in the map")
+        if len(self.shard_ids) == 1:
+            raise ValueError("cannot remove the last shard from the map")
+        return ShardMap(
+            tuple(s for s in self.shard_ids if s != shard_id), self.grid_m
+        )
+
+    def moved_cells(self, successor: "ShardMap") -> list[CellId]:
+        """Cells whose owner differs between ``self`` and ``successor``.
+
+        The migration work-list of one topology change, in row-major
+        order.  Rendezvous guarantees it is exactly the joining shard's
+        wins (growth) or the leaving shard's cells (shrink).
+        """
+        if successor.grid_m != self.grid_m:
+            raise ValueError("cannot diff maps over different grids")
+        return [
+            cell
+            for cell in sorted(self._owners)
+            if successor._owners[cell] != self._owners[cell]
+        ]

@@ -19,22 +19,28 @@ from repro.sharding.coordinator import ShardedServer
 
 
 def snapshot_shards(sharded: ShardedServer) -> dict:
-    """Checkpoint every shard of a healthy cluster."""
+    """Checkpoint every live shard of a healthy cluster.
+
+    Retired slots (``remove_shard``) carry no durable state — their
+    objects migrated before retirement — so the envelope records the
+    *live* shard ids alongside the per-shard payloads.  Restoring
+    rebuilds the same holey topology (ids are never reused).
+    """
     if sharded.dead_shards():
         raise ValueError("cannot snapshot a cluster with dead shards")
+    live = sharded.live_shard_ids()
     if sharded.n_workers:
-        payloads = [
-            shard.call("snapshot") for shard in sharded._shards
-        ]
+        payloads = [sharded._shards[i].call("snapshot") for i in live]
     else:
         payloads = [
-            snapshot_server(shard.backend.server)
-            for shard in sharded._shards
+            snapshot_server(sharded._shards[i].backend.server)
+            for i in live
         ]
     return {
         "version": FORMAT_VERSION,
         "kind": "sharded",
         "n_shards": sharded.n_shards,
+        "shard_ids": list(live),
         "time": sharded.clock,
         "shards": payloads,
     }
@@ -46,6 +52,7 @@ def restore_shards(
     n_workers: int = 0,
     metrics=None,
     events=None,
+    refresh_probes: bool = False,
 ) -> ShardedServer:
     """Rebuild a :class:`ShardedServer` from :func:`snapshot_shards` output.
 
@@ -54,6 +61,12 @@ def restore_shards(
     shard object tables, merged views from the restored per-shard query
     copies — so the result continues exactly where the checkpoint left
     off (pinned in ``tests/test_sharding_snapshot.py``).
+
+    The home table must come out *consistent*: an object claimed by two
+    shard payloads means the checkpoint interleaved a migration's evict
+    and add (a torn, mid-move capture) and is rejected rather than
+    restored split — the invariant ``repro diagnose`` audits on reshard
+    events.
     """
     if payload.get("kind") != "sharded":
         raise ValueError("not a sharded snapshot (missing kind='sharded')")
@@ -62,6 +75,14 @@ def restore_shards(
             f"unsupported snapshot version {payload.get('version')!r}"
         )
     shard_payloads = payload["shards"]
+    shard_ids = payload.get("shard_ids")
+    if shard_ids is None:  # pre-elastic envelope: ids were 0..N-1
+        shard_ids = list(range(payload["n_shards"]))
+    if len(shard_ids) != len(shard_payloads):
+        raise ValueError(
+            f"snapshot lists {len(shard_ids)} shard ids but "
+            f"{len(shard_payloads)} shard payloads"
+        )
     config_payload = shard_payloads[0]["config"]
     from repro.core.snapshot import config_from_payload
 
@@ -69,17 +90,25 @@ def restore_shards(
     sharded = ShardedServer(
         position_oracle,
         config,
-        n_shards=payload["n_shards"],
         n_workers=n_workers,
         metrics=metrics,
         events=events,
+        refresh_probes=refresh_probes,
+        shard_ids=shard_ids,
     )
     sharded._clock = payload["time"]
-    for shard_id, shard_payload in enumerate(shard_payloads):
+    for shard_id, shard_payload in zip(shard_ids, shard_payloads):
         sharded._shards[shard_id].call("restore", shard_payload)
         for key in shard_payload["objects"]:
             oid = json.loads(key)
             oid = tuple(oid) if isinstance(oid, list) else oid
+            held = sharded._homes.get(oid)
+            if held is not None:
+                raise ValueError(
+                    f"torn snapshot: object {oid!r} appears on shards "
+                    f"{held} and {shard_id} — the checkpoint caught a "
+                    "migration between its evict and add"
+                )
             sharded._homes[oid] = shard_id
             sharded._home_counts[shard_id] += 1
         for spec in shard_payload["queries"]:

@@ -179,6 +179,7 @@ class SRBSimulation:
                 n_workers=scenario.shard_workers,
                 metrics=self.metrics,
                 events=self.events,
+                refresh_probes=scenario.refresh_probes,
             )
         else:
             self.server = DatabaseServer(
@@ -196,6 +197,12 @@ class SRBSimulation:
         self._profile_top_k = profile_top_k
         if self._profiling:
             self.server.profile_start(max_ticks=profile_max_ticks)
+        #: Occupancy-driven elasticity (docs/SHARDING.md): checked at
+        #: every accuracy checkpoint, so the census the policy reads is
+        #: the same one the imbalance gauge publishes.
+        self._rebalance_policy = (
+            scenario.rebalance_policy() if scenario.shards else None
+        )
         self.costs = CommunicationCosts()
         self.accuracy = AccuracyAccumulator()
         self._now = 0.0
@@ -255,6 +262,9 @@ class SRBSimulation:
         if self.scenario.kill_shard is not None:
             shard_id, kill_at = self.scenario.parsed_kill_shard()
             self._schedule(kill_at, _PRIO_EXIT, "kill_shard", shard_id)
+        if self.scenario.reshard is not None:
+            for action, shard_id, at in self.scenario.parsed_reshard():
+                self._schedule(at, _PRIO_EXIT, "reshard", (action, shard_id))
 
     def run(self) -> SchemeReport:
         """Execute the full scenario and return the report."""
@@ -262,7 +272,7 @@ class SRBSimulation:
         counters = {
             kind: event_counter(f"sim.events.{kind}")
             for kind in ("exit", "retry", "recv_update", "recv_region",
-                         "sample", "client_timeout", "kill_shard")
+                         "sample", "client_timeout", "kill_shard", "reshard")
         }
         with self._trace.span("sim.run"):
             self._bootstrap()
@@ -285,6 +295,8 @@ class SRBSimulation:
                     self._on_client_timeout(*payload)
                 elif kind == "kill_shard":
                     self.server.kill_shard(payload, time=t)
+                elif kind == "reshard":
+                    self._on_reshard(*payload)
                 else:
                     self._on_sample()
         self.server.refresh_index_gauges()
@@ -321,13 +333,16 @@ class SRBSimulation:
             )
         if scenario.shards:
             extras["shards"] = {
-                "n_shards": scenario.shards,
+                "n_shards": self.server.n_shards,
                 "n_workers": self.server.n_workers,
+                "live": list(self.server.live_shard_ids()),
                 "dead": sorted(self.server.dead_shards()),
+                "retired": sorted(self.server.retired_shards()),
                 "objects": self.server.shard_object_counts(),
                 "busy_seconds": self.server.shard_busy_seconds(),
                 "route_seconds": self.server.route_seconds,
                 "merge_seconds": self.server.merge_seconds,
+                "refresh_probes": self.server.refresh_probe_count,
             }
             self.server.close()
         return SchemeReport(
@@ -488,7 +503,31 @@ class SRBSimulation:
                     retry_at, _PRIO_EXIT, "retry", (oid, client.epoch)
                 )
 
+    def _on_reshard(self, action: str, shard_id) -> None:
+        """Apply one scheduled elastic topology change, live.
+
+        Migration evicts can probe and re-region other objects; those
+        regions must reach their clients exactly like update-path
+        regions, or the closed loop desynchronises.
+        """
+        if action == "add":
+            outcome = self.server.add_shard(self._now)
+        else:
+            outcome = self.server.remove_shard(shard_id, self._now)
+        for target, region in outcome.probed.items():
+            self._deliver_region(target, region)
+
+    def _maybe_rebalance(self) -> None:
+        outcome = self.server.maybe_rebalance(
+            self._rebalance_policy, self._now
+        )
+        if outcome is not None:
+            for target, region in outcome.probed.items():
+                self._deliver_region(target, region)
+
     def _on_sample(self) -> None:
+        if self._rebalance_policy is not None:
+            self._maybe_rebalance()
         true_results = self.truth.evaluate_at(self._now)
         matches = 0
         for query in self.queries:

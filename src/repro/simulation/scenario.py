@@ -86,6 +86,16 @@ class Scenario:
     #: Shard-failure drill: ``"SHARD@TIME"`` kills that shard mid-run
     #: and the cluster continues in degraded mode (``--kill-shard``).
     kill_shard: str | None = None
+    #: Exact cross-shard kNN merges: probe boundary candidates whose
+    #: held positions may be stale before ranking (``--refresh-probes``).
+    refresh_probes: bool = False
+    #: Elasticity drill: comma-separated ``+@TIME`` (add a shard) and
+    #: ``-SHARD@TIME`` (remove that shard) events (``--reshard``).
+    reshard: str | None = None
+    #: Occupancy-driven rebalancing: a ``RebalancePolicy`` spec string
+    #: such as ``"max=6,grow-imbalance=1.5,cooldown=2"`` checked at
+    #: every sample tick (``--rebalance``).
+    rebalance: str | None = None
     #: How long a client waits for its new safe region before
     #: retransmitting the report (lost uplink or downlink).  ``None``
     #: derives a bound covering the worst faulted round trip.  Only
@@ -133,6 +143,25 @@ class Scenario:
                 raise ValueError("cannot kill the only shard")
             if not 0 < kill_at <= self.duration:
                 raise ValueError("kill_shard time must fall inside the run")
+        if self.refresh_probes and not self.shards:
+            raise ValueError("refresh_probes requires shards > 0")
+        if self.reshard is not None:
+            if not self.shards:
+                raise ValueError("reshard requires shards > 0")
+            for action, shard_id, at in self.parsed_reshard():
+                if action == "remove" and not 0 <= shard_id:
+                    raise ValueError("reshard names a negative shard id")
+                if not 0 < at <= self.duration:
+                    raise ValueError(
+                        "reshard times must fall inside the run"
+                    )
+        if self.rebalance is not None:
+            if not self.shards:
+                raise ValueError("rebalance requires shards > 0")
+            from repro.sharding.rebalance import RebalancePolicy
+
+            # Fail fast on a malformed spec — parse() raises ValueError.
+            RebalancePolicy.parse(self.rebalance)
 
     @property
     def max_speed(self) -> float:
@@ -174,6 +203,46 @@ class Scenario:
                 f"kill_shard must look like 'SHARD@TIME', "
                 f"got {self.kill_shard!r}"
             ) from exc
+
+    def parsed_reshard(self) -> list[tuple[str, int | None, float]]:
+        """The ``reshard`` spec as ``(action, shard_id, time)`` triples.
+
+        ``("add", None, t)`` for ``+@t``; ``("remove", s, t)`` for
+        ``-s@t``.  Sorted by time so the engine can schedule them in
+        replay order.
+        """
+        if self.reshard is None:
+            raise ValueError("no reshard spec set")
+        events: list[tuple[str, int | None, float]] = []
+        for item in self.reshard.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            head, sep, time_text = item.partition("@")
+            try:
+                if not sep:
+                    raise ValueError(item)
+                at = float(time_text)
+                if head == "+":
+                    events.append(("add", None, at))
+                elif head.startswith("-"):
+                    events.append(("remove", int(head[1:]), at))
+                else:
+                    raise ValueError(item)
+            except ValueError as exc:
+                raise ValueError(
+                    "reshard items must look like '+@TIME' or "
+                    f"'-SHARD@TIME', got {item!r}"
+                ) from exc
+        return sorted(events, key=lambda e: e[2])
+
+    def rebalance_policy(self):
+        """The parsed ``RebalancePolicy``, or ``None`` when unset."""
+        if self.rebalance is None:
+            return None
+        from repro.sharding.rebalance import RebalancePolicy
+
+        return RebalancePolicy.parse(self.rebalance)
 
     def fault_plan(self) -> FaultPlan | None:
         """The parsed, seeded :class:`FaultPlan`, or ``None`` (reliable)."""

@@ -261,7 +261,8 @@ def test_fault_matrix_runs_canned_profiles_through_diagnose(workflow):
     job = workflow["jobs"]["fault-matrix"]
     profiles = job["strategy"]["matrix"]["profile"]
     assert {p["name"] for p in profiles} == {
-        "lossy", "dup-reorder", "probe-timeout", "shard-kill"
+        "lossy", "dup-reorder", "probe-timeout", "shard-kill",
+        "elastic-drill",
     }
     specs = {p["name"]: p["spec"] for p in profiles}
     assert "drop=" in specs["lossy"] and "dup=" in specs["lossy"]
@@ -273,6 +274,12 @@ def test_fault_matrix_runs_canned_profiles_through_diagnose(workflow):
     extras = {p["name"]: p.get("extra", "") for p in profiles}
     assert "--shards" in extras["shard-kill"]
     assert "--kill-shard" in extras["shard-kill"]
+    # The elasticity drill grows and shrinks the cluster mid-run with
+    # refresh probes on; the reshard_consistency check in the same
+    # diagnose step fails the job on any split home table.
+    assert "--shards" in extras["elastic-drill"]
+    assert "--reshard" in extras["elastic-drill"]
+    assert "--refresh-probes" in extras["elastic-drill"]
     runs = _runs(job)
     compare = [i for i, run in enumerate(runs)
                if "repro compare" in run and "--faults" in run

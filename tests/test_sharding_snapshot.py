@@ -117,6 +117,70 @@ def test_snapshot_refuses_dead_shards():
         snapshot_shards(cluster)
 
 
+def test_holey_topology_roundtrip_after_remove_shard():
+    """A cluster that shrank (retired shard 1) checkpoints its *live*
+    ids; restore rebuilds the same holey topology and continues
+    identically."""
+    cluster, oracle, world = _build()
+    cluster.remove_shard(1, time=0.5)
+    warmup = _stream(35, world, ticks=8)
+    for t, batch in warmup:
+        oracle.apply(batch)
+        cluster.handle_location_updates(batch, t)
+
+    payload = snapshot_shards(cluster)
+    assert payload["n_shards"] == 3  # slot space, ids never reused
+    assert payload["shard_ids"] == [0, 2]
+    assert len(payload["shards"]) == 2
+
+    restored = restore_shards(payload, _Oracle(oracle.positions))
+    try:
+        assert restored.live_shard_ids() == (0, 2)
+        assert restored.retired_shards() == frozenset({1})
+        before = {q.query_id: q.result_snapshot() for q in cluster.queries()}
+        after = {q.query_id: q.result_snapshot() for q in restored.queries()}
+        assert after == before
+        assert restored.shard_object_counts() == cluster.shard_object_counts()
+
+        oracle2 = _Oracle(oracle.positions)
+        tail = _stream(36, oracle.positions, ticks=6)
+        for t, batch in tail:
+            oracle.apply(batch)
+            oracle2.apply(batch)
+            cluster.handle_location_updates(batch, t + 8.0)
+            restored.handle_location_updates(batch, t + 8.0)
+            a = {q.query_id: q.result_snapshot() for q in cluster.queries()}
+            b = {q.query_id: q.result_snapshot() for q in restored.queries()}
+            assert a == b
+        restored.validate()
+    finally:
+        restored.close()
+
+
+def test_restore_rejects_torn_snapshot():
+    """An object appearing in two shard payloads means the checkpoint
+    caught a migration between its evict and add; restoring that split
+    would corrupt the home table, so it must refuse."""
+    cluster, oracle, _ = _build()
+    payload = snapshot_shards(cluster)
+    donor = next(p for p in payload["shards"] if p["objects"])
+    key = sorted(donor["objects"])[0]
+    target = payload["shards"][-1]
+    if target is donor:
+        target = payload["shards"][0]
+    target["objects"][key] = donor["objects"][key]
+    with pytest.raises(ValueError, match="torn snapshot"):
+        restore_shards(payload, oracle)
+
+
+def test_restore_rejects_id_payload_length_mismatch():
+    cluster, oracle, _ = _build()
+    payload = snapshot_shards(cluster)
+    payload["shard_ids"] = payload["shard_ids"][:-1]
+    with pytest.raises(ValueError, match="shard ids"):
+        restore_shards(payload, oracle)
+
+
 def test_restore_rejects_foreign_payloads():
     cluster, oracle, _ = _build()
     payload = snapshot_shards(cluster)

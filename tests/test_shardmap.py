@@ -103,7 +103,97 @@ def test_all_shards_excluded_raises():
     shard_map = ShardMap(2, 14)
     try:
         shard_map.shard_of((0, 0), excluding=frozenset({0, 1}))
+    except ValueError as exc:
+        # The message must name the cell and the exclusion count — the
+        # seed raised a bare "no shard" that hid which lookup failed.
+        assert "(0, 0)" in str(exc) and "excluded" in str(exc)
+    else:
+        raise AssertionError("expected ValueError with no live shards")
+
+
+# ----------------------------------------------------------------------
+# Elastic derivation: with_shard / without_shard / moved_cells
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=7), grid_ms)
+def test_with_shard_moves_only_the_new_shards_wins(n, m):
+    """``add_shard`` minimality: every moved cell lands on the new shard
+    and the expected fraction is 1/(N+1) (2x slack, as above)."""
+    before = ShardMap(n, m)
+    after = before.with_shard(n)
+    moved = before.moved_cells(after)
+    assert all(after.shard_of(cell) == n for cell in moved)
+    assert len(moved) < 2 * m * m / (n + 1)
+    moved_set = set(moved)
+    for i in range(m):
+        for j in range(m):
+            if (i, j) not in moved_set:
+                assert after.shard_of((i, j)) == before.shard_of((i, j))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=8), grid_ms,
+       st.integers(min_value=0, max_value=7))
+def test_without_shard_moves_only_the_removed_shards_cells(n, m, victim):
+    """``remove_shard`` minimality: exactly the retiree's cells move,
+    each to its rendezvous runner-up; every other cell keeps its owner."""
+    victim %= n
+    before = ShardMap(n, m)
+    if n == 1:
+        return  # without_shard refuses the last shard; covered below
+    after = before.without_shard(victim)
+    moved = before.moved_cells(after)
+    assert set(moved) == set(before.cells_of(victim))
+    for cell in moved:
+        assert after.shard_of(cell) == before.shard_of(
+            cell, excluding=frozenset({victim})
+        )
+    for i in range(m):
+        for j in range(m):
+            if before.shard_of((i, j)) != victim:
+                assert after.shard_of((i, j)) == before.shard_of((i, j))
+
+
+def test_holey_maps_compose():
+    """Grow-after-shrink works on non-contiguous id sets and ids are
+    never reused: {0,1,2} - {1} + {3} owns with ids {0,2,3}."""
+    base = ShardMap(3, 16)
+    holey = base.without_shard(1)
+    assert holey.shard_ids == (0, 2)
+    grown = holey.with_shard(3)
+    assert grown.shard_ids == (0, 2, 3)
+    owners = {grown.shard_of((i, j)) for i in range(16) for j in range(16)}
+    assert owners <= {0, 2, 3}
+    # Cells neither shard-1 lost nor shard-3 won are untouched from base.
+    for i in range(16):
+        for j in range(16):
+            if base.shard_of((i, j)) != 1 and grown.shard_of((i, j)) != 3:
+                assert grown.shard_of((i, j)) == base.shard_of((i, j))
+
+
+def test_with_without_reject_bad_ids_and_mismatched_diffs():
+    shard_map = ShardMap(3, 14)
+    try:
+        shard_map.with_shard(1)
     except ValueError:
         pass
     else:
-        raise AssertionError("expected ValueError with no live shards")
+        raise AssertionError("with_shard must refuse an existing id")
+    try:
+        shard_map.without_shard(9)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("without_shard must refuse a missing id")
+    try:
+        ShardMap(1, 14).without_shard(0)
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("without_shard must refuse the last shard")
+    try:
+        shard_map.moved_cells(ShardMap(3, 16))
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("moved_cells must refuse a grid_m mismatch")
